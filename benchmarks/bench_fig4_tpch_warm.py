@@ -1,0 +1,65 @@
+"""E2 — Fig. 4: TPC-H run-time improvement, warm cache, all bees enabled.
+
+Paper: improvements range 1.4%-32.8% across the 22 queries, Avg1 = 12.4%
+(equal weight), Avg2 = 23.7% (time weighted, dominated by q17/q20 whose
+pathological nested subplans we decorrelate — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import emit, bar_chart
+from repro.bench.tpch_experiments import compare_queries
+from repro.workloads.tpch.queries import QUERIES
+
+
+@pytest.fixture(scope="module")
+def warm_suite(tpch_pair):
+    stock, bees = tpch_pair
+    suite = compare_queries(stock, bees, cold=False)
+    labels = [f"q{n}" for n in sorted(suite.comparisons)]
+    values = [
+        suite.comparisons[n].time_improvement
+        for n in sorted(suite.comparisons)
+    ]
+    emit("\n=== E2 / Fig. 4: TPC-H run time improvement (warm cache) ===")
+    emit(bar_chart(labels, values, "Per-query % improvement (warm)"))
+    emit(f"Avg1 = {suite.avg1('time'):.1f}%   (paper 12.4%)")
+    emit(f"Avg2 = {suite.avg2('time'):.1f}%   (paper 23.7%)")
+    assert suite.all_match(), "bee-enabled results diverged from stock"
+    return suite
+
+
+def test_fig4_q01_stock(benchmark, tpch_pair, warm_suite):
+    stock, _ = tpch_pair
+    stock.warm_cache()
+    benchmark(QUERIES[1], stock)
+
+
+def test_fig4_q01_bees(benchmark, tpch_pair, warm_suite):
+    _, bees = tpch_pair
+    bees.warm_cache()
+    benchmark(QUERIES[1], bees)
+
+
+def test_fig4_q06_stock(benchmark, tpch_pair, warm_suite):
+    stock, _ = tpch_pair
+    stock.warm_cache()
+    benchmark(QUERIES[6], stock)
+
+
+def test_fig4_q06_bees(benchmark, tpch_pair, warm_suite):
+    _, bees = tpch_pair
+    bees.warm_cache()
+    benchmark(QUERIES[6], bees)
+
+
+def test_fig4_shape(benchmark, warm_suite):
+    """Every query improves; the average lands in the paper's band."""
+    benchmark(lambda: None)
+    for comparison in warm_suite.comparisons.values():
+        assert comparison.time_improvement > 0, (
+            f"q{comparison.query} regressed"
+        )
+    assert 8.0 <= warm_suite.avg1("time") <= 30.0

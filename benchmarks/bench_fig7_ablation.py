@@ -1,0 +1,76 @@
+"""E5 — Fig. 7: run-time improvement as bee routines accumulate.
+
+Paper: GCL alone gives Avg1 7.6% / Avg2 13.7%; adding EVP reaches 11.5% /
+23.4% (q6 jumps from 15.1% to 30.6% — heavy predicates, single scan);
+adding EVJ nudges the average further with q2/q5 (join-heavy) improving
+visibly.  The headline property is **bee additivity**: enabling more
+routines never undoes the gains of the already-enabled ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import emit, table
+from repro.bench.tpch_experiments import run_ablation
+
+from conftest import TPCH_SF
+
+STEPS = ["GCL", "GCL+EVP", "GCL+EVP+EVJ"]
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = run_ablation(scale_factor=TPCH_SF)
+    ordered = sorted(results[STEPS[0]].comparisons)
+    rows = []
+    for n in ordered:
+        rows.append(
+            [f"q{n}"]
+            + [
+                round(results[step].comparisons[n].time_improvement, 1)
+                for step in STEPS
+            ]
+        )
+    rows.append(
+        ["Avg1"] + [round(results[step].avg1("time"), 1) for step in STEPS]
+    )
+    rows.append(
+        ["Avg2"] + [round(results[step].avg2("time"), 1) for step in STEPS]
+    )
+    emit("\n=== E5 / Fig. 7: improvement with various bee routines (warm) ===")
+    emit(table(["query"] + STEPS, rows))
+    emit("(paper Avg1: 7.6% -> 11.5% -> 12.4%)")
+    return results
+
+
+def test_fig7_ablation_table(benchmark, ablation):
+    benchmark(lambda: None)
+    avg_gcl = ablation["GCL"].avg1("time")
+    avg_evp = ablation["GCL+EVP"].avg1("time")
+    avg_evj = ablation["GCL+EVP+EVJ"].avg1("time")
+    # Monotone averages: each routine adds, none subtracts.
+    assert avg_gcl > 0
+    assert avg_evp >= avg_gcl
+    assert avg_evj >= avg_evp - 0.2   # measurement-noise allowance (paper's)
+
+
+def test_fig7_q06_evp_jump(benchmark, ablation):
+    """q6's predicate-heavy single-scan profile makes EVP its big win."""
+    benchmark(lambda: None)
+    q6_gcl = ablation["GCL"].comparisons[6].time_improvement
+    q6_evp = ablation["GCL+EVP"].comparisons[6].time_improvement
+    assert q6_evp >= q6_gcl + 5.0, (
+        f"EVP should lift q6 strongly: {q6_gcl:.1f}% -> {q6_evp:.1f}%"
+    )
+
+
+def test_fig7_bee_additivity(benchmark, ablation):
+    """No query regresses by more than noise when a routine is added."""
+    benchmark(lambda: None)
+    for n in ablation["GCL"].comparisons:
+        gcl = ablation["GCL"].comparisons[n].time_improvement
+        evp = ablation["GCL+EVP"].comparisons[n].time_improvement
+        evj = ablation["GCL+EVP+EVJ"].comparisons[n].time_improvement
+        assert evp >= gcl - 0.5, f"q{n}: EVP regressed GCL's gain"
+        assert evj >= evp - 0.5, f"q{n}: EVJ regressed GCL+EVP's gain"

@@ -1,0 +1,61 @@
+"""Future-work bench: the experimental AGG routine (Section VIII).
+
+The paper attributes q1/q9/q16/q18's lower improvements to unspecialized
+aggregation and names it future work.  This bench quantifies what the AGG
+bee routine adds on the aggregation-dominated queries, on top of the
+paper's evaluated system (all bees).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.bench.reporting import emit, improvement, table
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import QUERIES
+
+from conftest import TPCH_SF
+
+AGG_HEAVY_QUERIES = [1, 9, 16, 18]
+
+
+@pytest.fixture(scope="module")
+def agg_report():
+    rows_data = generate_rows(TPCHGenerator(TPCH_SF))
+    stock = build_tpch_database(BeeSettings.stock(), rows=rows_data)
+    paper = build_tpch_database(BeeSettings.all_bees(), rows=rows_data)
+    future = build_tpch_database(BeeSettings.future(), rows=rows_data)
+    report = {}
+    table_rows = []
+    for n in AGG_HEAVY_QUERIES:
+        stock_run = stock.measure(lambda: QUERIES[n](stock))
+        paper_run = paper.measure(lambda: QUERIES[n](paper))
+        future_run = future.measure(lambda: QUERIES[n](future))
+        assert stock_run.result == paper_run.result == future_run.result
+        paper_gain = improvement(stock_run.seconds, paper_run.seconds)
+        future_gain = improvement(stock_run.seconds, future_run.seconds)
+        report[n] = (paper_gain, future_gain)
+        table_rows.append([f"q{n}", round(paper_gain, 1), round(future_gain, 1)])
+    emit("\n=== Future work: +AGG routine on aggregation-heavy queries ===")
+    emit(table(["query", "paper bees %", "+AGG %"], table_rows))
+    return report
+
+
+def test_agg_routine_adds_on_top(benchmark, agg_report):
+    benchmark(lambda: None)
+    for n, (paper_gain, future_gain) in agg_report.items():
+        assert future_gain >= paper_gain - 0.2, (
+            f"q{n}: AGG routine regressed ({paper_gain:.1f} -> "
+            f"{future_gain:.1f})"
+        )
+    # q1 is the flagship aggregation query: the AGG routine must add
+    # a visible increment there.
+    assert agg_report[1][1] > agg_report[1][0] + 1.0
+
+
+def test_q01_future_wallclock(benchmark):
+    rows_data = generate_rows(TPCHGenerator(min(TPCH_SF, 0.002)))
+    future = build_tpch_database(BeeSettings.future(), rows=rows_data)
+    benchmark(QUERIES[1], future)

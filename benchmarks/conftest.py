@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Scale is controlled by environment variables so CI can run quick smoke
+passes while a full reproduction uses larger data:
+
+* ``REPRO_TPCH_SF`` — TPC-H scale factor (default 0.003; paper used 1.0)
+* ``REPRO_TPCC_WAREHOUSES`` — TPC-C warehouses (default 1; paper used 10)
+* ``REPRO_TPCC_TXNS`` — transactions per mix run (default 200)
+
+Reported metrics are percentages, which are scale-invariant in the cost
+model, so the small defaults still regenerate the paper's shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.tpch_experiments import build_suite_pair
+
+TPCH_SF = float(os.environ.get("REPRO_TPCH_SF", "0.003"))
+TPCC_WAREHOUSES = int(os.environ.get("REPRO_TPCC_WAREHOUSES", "1"))
+TPCC_TXNS = int(os.environ.get("REPRO_TPCC_TXNS", "200"))
+
+
+@pytest.fixture(scope="session")
+def tpch_pair():
+    """(stock, bee-enabled) TPC-H databases over one shared dataset."""
+    return build_suite_pair(scale_factor=TPCH_SF)

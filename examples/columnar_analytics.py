@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Column-store orthogonality: the paper's Section VIII direction, measured.
+
+Loads TPC-H lineitem into both the row store and the column store and runs
+a q6-shaped scan three ways:
+
+1. row store, stock (the paper's baseline),
+2. column store, generic vectorized execution (architectural
+   specialization alone),
+3. column store with bee routines (CDL chunk extraction + fused predicate
+   kernel) — micro-specialization applied *on top of* the architecture.
+
+Run:  python examples/columnar_analytics.py [scale_factor]
+"""
+
+import sys
+
+from repro.bees.settings import BeeSettings
+from repro.columnar import ColumnStore, ColumnarExecutor
+from repro.engine.expr import And, Arith, Between, Cmp, Col, Const
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import q06
+from repro.workloads.tpch.schema import lineitem_schema
+
+
+def qual():
+    return And(
+        Between(Col("l_shipdate"), 8766, 9130),
+        Between(Col("l_discount"), 0.05, 0.07),
+        Cmp("<", Col("l_quantity"), Const(24.0)),
+    )
+
+
+def revenue():
+    return Arith("*", Col("l_extendedprice"), Col("l_discount"))
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+    rows = generate_rows(TPCHGenerator(scale_factor))
+    print(f"lineitem rows: {len(rows['lineitem']):,}\n")
+
+    row_db = build_tpch_database(BeeSettings.stock(), rows=rows)
+    row_run = row_db.measure(lambda: q06(row_db))
+
+    store = ColumnStore(lineitem_schema())
+    store.load(rows["lineitem"])
+    qual_cols = ["l_shipdate", "l_discount", "l_quantity"]
+    sum_cols = ["l_extendedprice", "l_discount"]
+    generic = ColumnarExecutor(store, specialized=False).sum_where(
+        qual(), qual_cols, revenue(), sum_cols
+    )
+    specialized_exec = ColumnarExecutor(store, specialized=True)
+    specialized = specialized_exec.sum_where(
+        qual(), qual_cols, revenue(), sum_cols
+    )
+
+    assert abs(generic.value - row_run.result[0][0]) < 1e-6
+    assert abs(specialized.value - generic.value) < 1e-6
+
+    print("q6 (sum of discounted revenue), three engines — same answer:",
+          f"{generic.value:,.2f}\n")
+    width = max(row_run.instructions, 1)
+    for label, instr in (
+        ("row store, stock", row_run.instructions),
+        ("column store, generic", generic.instructions),
+        ("column store + bees", specialized.instructions),
+    ):
+        bar = "#" * max(1, int(50 * instr / width))
+        print(f"{label:24s} {bar:<50s} {instr:>12,} instr")
+
+    arch = 100 * (1 - generic.instructions / row_run.instructions)
+    micro = 100 * (1 - specialized.instructions / generic.instructions)
+    print(f"\narchitectural specialization (row -> column): -{arch:.0f}%")
+    print(f"micro-specialization on the column store:     -{micro:.0f}% more")
+    print("\nthe generated CDL routine:")
+    cdl = next(iter(specialized_exec._cdl_cache.values()))
+    print(cdl.source)
+
+
+if __name__ == "__main__":
+    main()

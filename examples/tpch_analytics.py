@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""TPC-H analytics: reproduce the paper's headline experiment in miniature.
+
+Builds stock and bee-enabled databases over one generated TPC-H dataset,
+replays the Section II case study, runs a selection of the 22 queries warm
+and cold, and prints paper-style improvement charts.
+
+Run:  python examples/tpch_analytics.py [scale_factor]
+"""
+
+import sys
+
+from repro.bench.reporting import bar_chart
+from repro.bench.tpch_experiments import (
+    build_suite_pair,
+    case_study,
+    compare_queries,
+)
+from repro.workloads.tpch.queries import QUERIES
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+
+    print(f"building TPC-H pair at SF={scale_factor} ...")
+    stock, bees = build_suite_pair(scale_factor=scale_factor)
+    lineitem = stock.relation("lineitem").heap.live_count
+    print(f"loaded {lineitem:,} lineitem rows into both databases\n")
+
+    print("== Section II case study: select o_comment from orders ==")
+    report = case_study(scale_factor=scale_factor)
+    print(
+        f"generic slot_deform_tuple: "
+        f"{report['stock']['deform_per_tuple']:.0f} instr/tuple (paper ~340)"
+    )
+    print(
+        f"specialized GCL routine:   "
+        f"{report['bees']['deform_per_tuple']:.0f} instr/tuple (paper ~146)"
+    )
+    print(
+        f"whole-query reduction:     "
+        f"{report['instruction_improvement']:.1f}% (paper 8.5%)\n"
+    )
+
+    queries = [1, 3, 5, 6, 9, 12, 14, 19]
+    print(f"== warm-cache improvements (queries {queries}) ==")
+    warm = compare_queries(stock, bees, queries=queries, cold=False)
+    print(bar_chart(
+        [f"q{n}" for n in queries],
+        [warm.comparisons[n].time_improvement for n in queries],
+        "Run-time improvement, warm cache (Fig. 4 analog)",
+    ))
+    print(f"Avg1 = {warm.avg1('time'):.1f}%  (paper: 12.4% over all 22)\n")
+
+    print("== cold-cache improvements (tuple-bee I/O savings, Fig. 5) ==")
+    cold = compare_queries(stock, bees, queries=queries, cold=True)
+    print(bar_chart(
+        [f"q{n}" for n in queries],
+        [cold.comparisons[n].time_improvement for n in queries],
+        "Run-time improvement, cold cache (Fig. 5 analog)",
+    ))
+
+    print("\n== q6 under the microscope ==")
+    stock.warm_cache()
+    bees.warm_cache()
+    stock_run = stock.measure(lambda: QUERIES[6](stock))
+    bees_run = bees.measure(lambda: QUERIES[6](bees))
+    print(f"q6 result (sum of discounted revenue): {stock_run.result[0][0]:.2f}")
+    print(f"stock: {stock_run.instructions:,} instr; "
+          f"bees: {bees_run.instructions:,} instr")
+    assert stock_run.result == bees_run.result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — Micro-Specialization in DBMSes (ICDE 2012), reproduced in Python.
+
+A bee-enabled relational engine: relation bees (GCL/SCL), query bees
+(EVP/EVJ), and tuple bees over a from-scratch storage manager and executor,
+with a callgrind-style virtual instruction model that regenerates the
+paper's TPC-H, bulk-loading, and TPC-C results.  See README.md for a
+quickstart and DESIGN.md for the architecture.
+
+Public entry points::
+
+    from repro import Database, BeeSettings
+    db = Database(BeeSettings.all_bees())
+"""
+
+from repro.bees.settings import BeeSettings
+from repro.catalog import (
+    BOOL,
+    DATE,
+    FLOAT8,
+    INT4,
+    INT8,
+    NUMERIC,
+    TEXT,
+    RelationSchema,
+    char,
+    make_schema,
+    varchar,
+)
+from repro.db import Database, MeasuredRun, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOL",
+    "BeeSettings",
+    "DATE",
+    "Database",
+    "FLOAT8",
+    "INT4",
+    "INT8",
+    "MeasuredRun",
+    "NUMERIC",
+    "Relation",
+    "RelationSchema",
+    "TEXT",
+    "char",
+    "make_schema",
+    "varchar",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""The generic bee module: micro-specialization support for the DBMS.
+
+Exports the module facade, settings, and routine generators.  See
+DESIGN.md for the mapping from the paper's Fig. 3 components to the
+submodules here.
+"""
+
+from repro.bees.cache import BeeCache
+from repro.bees.collector import BeeCollector
+from repro.bees.datasection import SLAB_SIZE, SOFT_CAP, DataSectionStore
+from repro.bees.maker import BeeMaker, QueryBee, RelationBee
+from repro.bees.module import GenericBeeModule
+from repro.bees.placement import (
+    BeePlacementOptimizer,
+    CodeRegion,
+    ICacheModel,
+)
+from repro.bees.routines.agg import generate_agg
+from repro.bees.routines.base import BeeRoutine
+from repro.bees.routines.idx import generate_idx
+from repro.bees.routines.evj import EVJRoutine, instantiate_evj
+from repro.bees.routines.evp import generate_evp
+from repro.bees.routines.gcl import gcl_cost, generate_gcl
+from repro.bees.routines.scl import generate_scl, scl_cost
+from repro.bees.settings import BeeSettings
+from repro.bees.walcache import BeeCacheWAL, StableBeeCache
+
+__all__ = [
+    "BeeCache",
+    "BeeCollector",
+    "BeeMaker",
+    "BeePlacementOptimizer",
+    "BeeRoutine",
+    "BeeSettings",
+    "CodeRegion",
+    "DataSectionStore",
+    "EVJRoutine",
+    "GenericBeeModule",
+    "ICacheModel",
+    "QueryBee",
+    "RelationBee",
+    "SLAB_SIZE",
+    "SOFT_CAP",
+    "BeeCacheWAL",
+    "StableBeeCache",
+    "gcl_cost",
+    "generate_agg",
+    "generate_idx",
+    "generate_evp",
+    "generate_gcl",
+    "generate_scl",
+    "instantiate_evj",
+    "scl_cost",
+]

@@ -1,0 +1,93 @@
+"""The Bee Maker: turns templates + invariant values into executable bees.
+
+Relation bees are "compiled" at schema-definition time (the expensive path —
+the paper invokes gcc here); query bees are instantiated at query
+preparation by cloning pre-compiled templates and patching constants; tuple
+bees are carved out of data-section slabs during inserts.  The maker owns
+code generation; the cache and manager own the lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bees.datasection import DataSectionStore
+from repro.bees.routines.base import BeeRoutine
+from repro.bees.routines.evj import EVJRoutine, instantiate_evj
+from repro.bees.routines.evp import generate_evp
+from repro.bees.routines.gcl import generate_gcl
+from repro.bees.routines.scl import generate_scl
+from repro.engine.expr import Expr
+from repro.storage.layout import TupleLayout
+
+
+@dataclass
+class RelationBee:
+    """The per-relation bee: GCL + SCL routines and tuple-bee data sections.
+
+    There is exactly one relation bee per relation (paper, Section III);
+    when the relation is annotated, the bee also owns the data sections its
+    tuple bees index with their beeIDs.
+    """
+
+    relation: str
+    layout: TupleLayout
+    gcl: BeeRoutine
+    scl: BeeRoutine
+    data_sections: DataSectionStore | None = None
+
+    @property
+    def routines(self) -> list[BeeRoutine]:
+        return [self.gcl, self.scl]
+
+    def sections_list(self) -> list[tuple]:
+        """Data sections as a beeID-indexed list (empty when unannotated)."""
+        if self.data_sections is None:
+            return []
+        return self.data_sections.as_list()
+
+
+@dataclass
+class QueryBee:
+    """Per-query specialized routines, created at plan-preparation time."""
+
+    query_id: str
+    evp_routines: dict[int, BeeRoutine] = field(default_factory=dict)
+    evj_routines: dict[int, EVJRoutine] = field(default_factory=dict)
+
+    @property
+    def routines(self) -> list:
+        return list(self.evp_routines.values()) + list(
+            self.evj_routines.values()
+        )
+
+
+class BeeMaker:
+    """Generates bee routines; the only component that emits code."""
+
+    def __init__(self, ledger) -> None:
+        self.ledger = ledger
+        self._evp_counter = 0
+        self._evj_counter = 0
+
+    def make_relation_bee(self, layout: TupleLayout) -> RelationBee:
+        """Create the relation bee for *layout* (schema-definition time)."""
+        name = layout.schema.name
+        gcl = generate_gcl(layout, self.ledger, f"GCL_{name}")
+        scl = generate_scl(layout, self.ledger, f"SCL_{name}")
+        sections = None
+        if layout.bee_attrs:
+            sections = DataSectionStore(name, layout.bee_attrs)
+        return RelationBee(name, layout, gcl, scl, sections)
+
+    def make_evp(self, expr: Expr, assume_not_null: bool = False) -> BeeRoutine:
+        """Specialize a bound predicate into an EVP routine."""
+        self._evp_counter += 1
+        fn_name = f"EVP_{self._evp_counter}"
+        return generate_evp(expr, self.ledger, fn_name, assume_not_null)
+
+    def make_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
+        """Clone the pre-compiled EVJ template for a join node."""
+        self._evj_counter += 1
+        fn_name = f"EVJ_{self._evj_counter}_{join_type}"
+        return instantiate_evj(join_type, n_keys, fn_name)

@@ -1,0 +1,208 @@
+"""The Generic Bee Module: the DBMS-independent facade of Fig. 3.
+
+The DBMS (our :class:`repro.db.Database`) talks to bees exclusively through
+this module: it requests relation bees at schema-definition time, query
+bees at plan-preparation time, and tuple bees during inserts; the module
+owns the maker, cache, cache manager, placement optimizer, and collector.
+The paper stresses that wiring this module into PostgreSQL took only
+~600 SLOC of DBMS changes — mirrored here by the thin call sites in
+``repro.db`` and the executor nodes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bees.cache import BeeCache
+from repro.bees.collector import BeeCollector
+from repro.bees.maker import BeeMaker, QueryBee, RelationBee
+from repro.bees.placement import BeePlacementOptimizer
+from repro.bees.routines.base import BeeRoutine
+from repro.bees.routines.evj import EVJRoutine
+from repro.bees.settings import BeeSettings
+from repro.engine.expr import Expr
+from repro.storage.layout import TupleLayout
+
+
+class GenericBeeModule:
+    """Creation, caching, invocation support, and GC for all bee kinds."""
+
+    def __init__(
+        self,
+        ledger,
+        settings: BeeSettings,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        self.ledger = ledger
+        self.settings = settings
+        self.maker = BeeMaker(ledger)
+        self.cache = BeeCache()
+        self.collector = BeeCollector(self.cache, disk_dir)
+        self.placement = BeePlacementOptimizer()
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        # Query-bee routine memoization, keyed by expression / join identity.
+        # The expression object is kept in the value: holding the reference
+        # pins its id(), which would otherwise be recycled after GC.
+        self._evp_by_expr: dict[int, tuple[Expr, BeeRoutine]] = {}
+        self._evj_by_shape: dict[tuple[str, int], EVJRoutine] = {}
+        self._agg_by_specs: dict[int, tuple] = {}
+        self._agg_counter = 0
+        self._idx_by_index: dict[tuple[str, str], BeeRoutine] = {}
+
+    # -- relation bees (schema definition time) ---------------------------------
+
+    def create_relation_bee(self, layout: TupleLayout) -> RelationBee:
+        """Create and cache the relation bee for *layout*."""
+        bee = self.maker.make_relation_bee(layout)
+        self.cache.put_relation_bee(bee)
+        return bee
+
+    def relation_bee(self, relation: str) -> RelationBee | None:
+        """The cached relation bee, or None for stock relations."""
+        return self.cache.get_relation_bee(relation)
+
+    def reconstruct_relation_bee(self, layout: TupleLayout) -> RelationBee:
+        """Bee reconstruction after ALTER TABLE: regenerate from the new
+        layout, preserving data sections when the annotated attributes are
+        unchanged."""
+        old = self.cache.get_relation_bee(layout.schema.name)
+        bee = self.maker.make_relation_bee(layout)
+        if (
+            old is not None
+            and old.data_sections is not None
+            and bee.data_sections is not None
+            and old.layout.bee_attrs == layout.bee_attrs
+        ):
+            bee.data_sections = old.data_sections
+        self.cache.put_relation_bee(bee)
+        return bee
+
+    def drop_relation_bee(self, relation: str) -> None:
+        """Collector entry point for DROP TABLE."""
+        self.collector.collect_relation(relation)
+
+    # -- query bees (query preparation time) ------------------------------------
+
+    def get_evp(self, expr: Expr, assume_not_null: bool = False) -> BeeRoutine:
+        """EVP routine for a bound predicate (memoized by expression)."""
+        entry = self._evp_by_expr.get(id(expr))
+        if entry is not None and entry[0] is expr:
+            return entry[1]
+        routine = self.maker.make_evp(expr, assume_not_null)
+        self._evp_by_expr[id(expr)] = (expr, routine)
+        return routine
+
+    def get_agg(self, specs: tuple, assume_not_null: bool = False) -> BeeRoutine:
+        """AGG routine for a HashAgg node's aggregate list (memoized).
+
+        Experimental (the paper's Section VIII future work); only used
+        when :attr:`BeeSettings.agg` is enabled.
+        """
+        key = id(specs)
+        entry = self._agg_by_specs.get(key)
+        if entry is not None and entry[0] is specs:
+            return entry[1]
+        from repro.bees.routines.agg import generate_agg
+
+        self._agg_counter += 1
+        routine = generate_agg(
+            list(specs), self.ledger, f"AGG_{self._agg_counter}",
+            assume_not_null,
+        )
+        self._agg_by_specs[key] = (specs, routine)
+        return routine
+
+    def get_idx(
+        self, relation: str, index_name: str, key_indexes: list[int]
+    ) -> BeeRoutine:
+        """IDX routine for one index's key extraction (memoized).
+
+        Experimental (Section VIII future work: "indexing"); only used
+        when :attr:`BeeSettings.idx` is enabled.
+        """
+        key = (relation, index_name)
+        routine = self._idx_by_index.get(key)
+        if routine is None:
+            from repro.bees.routines.idx import generate_idx
+
+            routine = generate_idx(
+                key_indexes, self.ledger, f"IDX_{relation}_{index_name}"
+            )
+            self._idx_by_index[key] = routine
+        return routine
+
+    def get_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
+        """EVJ routine for a join shape (clone of a pre-compiled template)."""
+        shape = (join_type, n_keys)
+        routine = self._evj_by_shape.get(shape)
+        if routine is None:
+            routine = self.maker.make_evj(join_type, n_keys)
+            self._evj_by_shape[shape] = routine
+        return routine
+
+    def register_query_bee(self, query_id: str) -> QueryBee:
+        """Create (or fetch) the query bee grouping a plan's routines."""
+        bee = self.cache.get_query_bee(query_id)
+        if bee is None:
+            bee = QueryBee(query_id)
+            self.cache.put_query_bee(bee)
+            self.collector.trim_query_bees()
+        return bee
+
+    # -- tuple bees (query execution time) ---------------------------------------
+
+    def tuple_bee_id(self, relation: str, key: tuple) -> int:
+        """Find or create the tuple bee for annotated values *key*.
+
+        Charges the memcmp scan + clone cost into the ledger (the bulk-load
+        overhead the paper measures in Fig. 8).
+        """
+        bee = self.cache.get_relation_bee(relation)
+        if bee is None or bee.data_sections is None:
+            raise LookupError(
+                f"relation {relation!r} has no tuple-bee data sections"
+            )
+        return bee.data_sections.get_or_create(key, self.ledger)
+
+    # -- persistence & placement -------------------------------------------------
+
+    def flush_to_disk(self) -> int:
+        """Write the bee cache to its directory; returns bees written."""
+        if self.disk_dir is None:
+            raise RuntimeError("bee module was created without a disk dir")
+        return self.cache.save_to(self.disk_dir)
+
+    def load_from_disk(self, layouts: dict[str, TupleLayout]) -> int:
+        """Reload persisted bees at server start; returns bees loaded."""
+        if self.disk_dir is None:
+            raise RuntimeError("bee module was created without a disk dir")
+        return self.cache.load_from(self.disk_dir, self.maker, layouts)
+
+    def placement_report(self) -> dict:
+        """Run the placement optimizer over all cached bee routines."""
+        bees = [
+            (routine.name, routine.size_bytes, 1.0 + routine.invocations / 1000)
+            for routine in self.cache.all_routines()
+        ]
+        naive = self.placement.naive_placement(bees)
+        optimized = self.placement.optimize(bees)
+        return {
+            "naive": self.placement.evaluate(naive),
+            "optimized": self.placement.evaluate(optimized),
+        }
+
+    def statistics(self) -> dict:
+        """Bee population counts (used by tests and EXPERIMENTS.md)."""
+        tuple_bees = sum(
+            len(bee.data_sections)
+            for bee in self.cache.relation_bees.values()
+            if bee.data_sections is not None
+        )
+        return {
+            "relation_bees": len(self.cache.relation_bees),
+            "query_bees": len(self.cache.query_bees),
+            "evp_routines": len(self._evp_by_expr),
+            "evj_routines": len(self._evj_by_shape),
+            "tuple_bees": tuple_bees,
+            "collected_relation_bees": self.collector.collected_relation_bees,
+        }

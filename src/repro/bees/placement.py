@@ -1,0 +1,168 @@
+"""The Bee Placement Optimizer: a simulated L1 instruction-cache model.
+
+The paper places bee object code at memory locations chosen so that bee
+lines do not evict hot DBMS code from the instruction cache, and reports
+the effect to be small (L1-I miss rates are already ~0.3% on TPC-H).  We
+reproduce the mechanism with a set-associative cache model: code regions
+(hot engine functions plus bee routines) map to cache sets by address, and
+a set with more concurrently-hot lines than its associativity incurs
+conflict misses proportional to the overflow and the region's heat.
+
+The optimizer greedily assigns each bee a starting address that minimizes
+added conflict pressure.  ``evaluate`` prices a placement so the ablation
+bench can compare optimized vs naive placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost import constants as C
+
+
+@dataclass(frozen=True)
+class CodeRegion:
+    """A contiguous stretch of executable code with an access heat."""
+
+    name: str
+    start: int
+    size: int
+    heat: float  # relative execution frequency (invocations per 1k rows)
+
+    def lines(self, line_size: int) -> range:
+        """Cache-line indexes (absolute) this region occupies."""
+        first = self.start // line_size
+        last = (self.start + max(self.size, 1) - 1) // line_size
+        return range(first, last + 1)
+
+
+# A synthetic map of the hot engine functions (address, size, heat) — the
+# stand-in for PostgreSQL's query-evaluation loop code footprint.
+HOT_ENGINE_REGIONS = [
+    CodeRegion("ExecProcNode", 0x0000, 1536, 10.0),
+    CodeRegion("heap_getnext", 0x0600, 2048, 8.0),
+    CodeRegion("slot_deform_tuple", 0x0E00, 1664, 9.0),
+    CodeRegion("ExecQual", 0x1480, 2304, 7.0),
+    CodeRegion("ExecHashJoin", 0x1D80, 3072, 5.0),
+    CodeRegion("ExecAgg", 0x2980, 2560, 4.0),
+    CodeRegion("heap_fill_tuple", 0x3380, 1536, 3.0),
+    CodeRegion("tuplesort", 0x3980, 2816, 2.0),
+]
+
+
+class ICacheModel:
+    """Set-associative I-cache pressure model."""
+
+    def __init__(
+        self,
+        size: int = C.ICACHE_SIZE,
+        line: int = C.ICACHE_LINE,
+        assoc: int = C.ICACHE_ASSOC,
+    ) -> None:
+        self.size = size
+        self.line = line
+        self.assoc = assoc
+        self.n_sets = size // (line * assoc)
+
+    def set_pressure(self, regions: list[CodeRegion]) -> list[float]:
+        """Total heat mapped to each cache set."""
+        pressure = [0.0] * self.n_sets
+        for region in regions:
+            for line_index in region.lines(self.line):
+                pressure[line_index % self.n_sets] += region.heat
+        return pressure
+
+    def conflict_score(
+        self, regions: list[CodeRegion], heat_unit: float | None = None
+    ) -> float:
+        """Aggregate conflict pressure: heat overflowing associativity.
+
+        A set's lines fit while the number of concurrently-hot lines is at
+        most the associativity; we approximate "hot lines in set" by
+        heat / *heat_unit* and price the overflow.  ``heat_unit`` defaults
+        to the mean heat of *regions*; pass a fixed value when comparing
+        placements incrementally (so scores stay on one scale).
+        """
+        if not regions:
+            return 0.0
+        if heat_unit is None:
+            heat_unit = sum(r.heat for r in regions) / len(regions)
+        per_set_lines = [0.0] * self.n_sets
+        for region in regions:
+            for line_index in region.lines(self.line):
+                per_set_lines[line_index % self.n_sets] += region.heat / heat_unit
+        return sum(max(0.0, lines - self.assoc) for lines in per_set_lines)
+
+
+class BeePlacementOptimizer:
+    """Chooses bee code addresses minimizing I-cache conflicts."""
+
+    def __init__(self, cache: ICacheModel | None = None) -> None:
+        self.cache = cache or ICacheModel()
+        self.engine_regions = list(HOT_ENGINE_REGIONS)
+
+    def naive_placement(self, bees: list[tuple[str, int, float]]) -> list[CodeRegion]:
+        """Pack bees right after the engine code (what malloc would do)."""
+        placed = []
+        address = max(r.start + r.size for r in self.engine_regions)
+        for name, size, heat in bees:
+            placed.append(CodeRegion(name, address, size, heat))
+            address += size
+        return placed
+
+    def optimize(self, bees: list[tuple[str, int, float]]) -> list[CodeRegion]:
+        """Greedy padded placement for each bee (hottest first).
+
+        Bees occupy disjoint addresses; each placement may insert up to one
+        cache's worth of line-aligned padding to shift which sets the bee's
+        lines map onto.  Scores use a fixed heat unit so candidates are
+        comparable across iterations.
+        """
+        placed: list[CodeRegion] = []
+        next_free = max(r.start + r.size for r in self.engine_regions)
+        all_regions = self.engine_regions
+        heat_unit = sum(r.heat for r in all_regions) / len(all_regions)
+        for name, size, heat in sorted(bees, key=lambda b: -b[2]):
+            best_region = None
+            best_score = float("inf")
+            n_positions = self.cache.size // self.cache.line
+            for pad_lines in range(n_positions):
+                address = next_free + pad_lines * self.cache.line
+                candidate = CodeRegion(name, address, size, heat)
+                score = self.cache.conflict_score(
+                    all_regions + placed + [candidate], heat_unit=heat_unit
+                )
+                if score < best_score:
+                    best_score = score
+                    best_region = candidate
+            assert best_region is not None
+            placed.append(best_region)
+            next_free = best_region.start + best_region.size
+        return placed
+
+    def evaluate(self, placement: list[CodeRegion]) -> dict:
+        """Price a placement: conflict score and estimated miss-rate delta."""
+        heat_unit = sum(r.heat for r in self.engine_regions) / len(
+            self.engine_regions
+        )
+        baseline = self.cache.conflict_score(
+            self.engine_regions, heat_unit=heat_unit
+        )
+        with_bees = self.cache.conflict_score(
+            self.engine_regions + placement, heat_unit=heat_unit
+        )
+        added = max(0.0, with_bees - baseline)
+        # Convert conflict pressure to an approximate miss-rate increment:
+        # overflowing-line heat over total heat, scaled by a small factor
+        # reflecting temporal reuse (misses only on working-set rotation).
+        total_heat = sum(r.heat for r in self.engine_regions + placement)
+        miss_rate_delta = 0.01 * added / max(total_heat, 1e-9)
+        return {
+            "baseline_conflict": baseline,
+            "with_bees_conflict": with_bees,
+            "added_conflict": added,
+            "miss_rate_delta": miss_rate_delta,
+            "penalty_cycles_per_kinstr": (
+                miss_rate_delta * 1000 * C.ICACHE_MISS_PENALTY_CYCLES
+            ),
+        }

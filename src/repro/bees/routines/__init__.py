@@ -1,0 +1,1 @@
+"""Bee routine generators: GCL, SCL (relation bees), EVP, EVJ (query bees)."""

@@ -1,0 +1,51 @@
+"""Common bee-routine plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class BeeRoutine:
+    """One specialized routine inside a bee.
+
+    Attributes:
+        name: routine identifier, e.g. ``GCL_orders`` (used for profiling
+            attribution and placement).
+        fn: the compiled specialized function.
+        cost: virtual instructions charged per invocation (the count of
+            instructions the generated native body would execute).
+        source: the generated source text (the paper's Listing 2 analog) —
+            kept for inspection, tests, and bee-cache persistence.
+        size_bytes: estimated native code size, used by the placement
+            optimizer's I-cache model.
+    """
+
+    name: str
+    fn: Callable
+    cost: int
+    source: str
+    size_bytes: int = 0
+    invocations: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            # ~4 bytes per virtual instruction of straight-line code.
+            self.size_bytes = max(64, self.cost * 4)
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+
+def compile_routine(source: str, fn_name: str, namespace: dict) -> Callable:
+    """Compile generated *source* and extract *fn_name* from it.
+
+    This is the reproduction's analog of the paper's bee maker invoking gcc
+    and extracting the function body from the resulting ELF object: the
+    "object code" is a Python code object, and extraction is a namespace
+    lookup.
+    """
+    code = compile(source, f"<bee:{fn_name}>", "exec")
+    exec(code, namespace)
+    return namespace[fn_name]

@@ -1,0 +1,220 @@
+"""EVP — the specialized predicate-evaluation query-bee routine.
+
+At query-preparation time the predicate's ``FuncExprState`` analog (an
+:class:`repro.engine.expr.Expr` tree) is compiled into straight-line Python:
+operator dispatch disappears, constants (including LIKE regexes and IN sets)
+are inlined into the routine's data section, and column loads become direct
+row indexing.  Two variants are generated:
+
+* the *not-null* variant (used when every referenced column is NOT NULL,
+  which the planner knows from the schema) is a single return expression
+  with native short-circuiting;
+* the *guarded* variant preserves SQL three-valued logic for nullable
+  inputs, propagating ``None`` explicitly.
+
+Both agree with the generic interpreter on every input (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.cost import constants as C
+from repro.bees.routines.base import BeeRoutine, compile_routine
+from repro.engine import expr as E
+
+
+class _Emitter:
+    """Shared state while generating one EVP routine."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.namespace: dict = {}
+        self._temp = 0
+        self._const = 0
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"t{self._temp}"
+
+    def const(self, value) -> str:
+        """Inline simple literals; intern others in the data section."""
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            return repr(value)
+        name = f"k{self._const}"
+        self._const += 1
+        self.namespace[name] = value
+        return name
+
+    def add(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+
+def _emit_direct(expr: E.Expr, em: _Emitter) -> str:
+    """Not-null variant: return a Python expression string."""
+    if isinstance(expr, E.Const):
+        return em.const(expr.value)
+    if isinstance(expr, E.Col):
+        return f"row[{expr.index}]"
+    if isinstance(expr, E.Cmp):
+        left = _emit_direct(expr.left, em)
+        right = _emit_direct(expr.right, em)
+        return f"({left} {E._CMP_PY[expr.op]} {right})"
+    if isinstance(expr, E.Arith):
+        left = _emit_direct(expr.left, em)
+        right = _emit_direct(expr.right, em)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, E.And):
+        return "(" + " and ".join(_emit_direct(a, em) for a in expr.args) + ")"
+    if isinstance(expr, E.Or):
+        return "(" + " or ".join(_emit_direct(a, em) for a in expr.args) + ")"
+    if isinstance(expr, E.Not):
+        return f"(not {_emit_direct(expr.arg, em)})"
+    if isinstance(expr, E.Like):
+        name = f"re{em._const}"
+        em._const += 1
+        em.namespace[name] = expr._regex
+        inner = f"({name}.match({_emit_direct(expr.arg, em)}) is not None)"
+        return f"(not {inner})" if expr.negate else inner
+    if isinstance(expr, E.InList):
+        name = f"in{em._const}"
+        em._const += 1
+        em.namespace[name] = expr.values
+        return f"({_emit_direct(expr.arg, em)} in {name})"
+    if isinstance(expr, E.Between):
+        arg = _emit_direct(expr.arg, em)
+        return f"({em.const(expr.low)} <= {arg} <= {em.const(expr.high)})"
+    if isinstance(expr, E.Case):
+        result = _emit_direct(expr.default, em)
+        for cond, value in reversed(expr.whens):
+            cond_src = _emit_direct(cond, em)
+            value_src = _emit_direct(value, em)
+            result = f"({value_src} if {cond_src} else {result})"
+        return result
+    if isinstance(expr, E.IsNull):
+        inner = f"({_emit_direct(expr.arg, em)} is None)"
+        return f"(not {inner})" if expr.negate else inner
+    if isinstance(expr, E.Func):
+        name = f"fn{em._const}"
+        em._const += 1
+        em.namespace[name] = expr._fn
+        args = ", ".join(_emit_direct(a, em) for a in expr.args)
+        return f"{name}({args})"
+    raise TypeError(f"cannot specialize expression node {type(expr).__name__}")
+
+
+def _emit_guarded(expr: E.Expr, em: _Emitter) -> str:
+    """Nullable variant: emit statements, return the temp holding the value."""
+    out = em.temp()
+    if isinstance(expr, E.Const):
+        em.add(f"{out} = {em.const(expr.value)}")
+    elif isinstance(expr, E.Col):
+        em.add(f"{out} = row[{expr.index}]")
+    elif isinstance(expr, (E.Cmp, E.Arith)):
+        left = _emit_guarded(expr.left, em)
+        right = _emit_guarded(expr.right, em)
+        op = E._CMP_PY[expr.op] if isinstance(expr, E.Cmp) else expr.op
+        em.add(
+            f"{out} = None if {left} is None or {right} is None "
+            f"else ({left} {op} {right})"
+        )
+    elif isinstance(expr, E.And):
+        args = [_emit_guarded(a, em) for a in expr.args]
+        falsy = " or ".join(f"{a} is False" for a in args)
+        nully = " or ".join(f"{a} is None" for a in args)
+        em.add(f"{out} = False if ({falsy}) else (None if ({nully}) else True)")
+    elif isinstance(expr, E.Or):
+        args = [_emit_guarded(a, em) for a in expr.args]
+        truthy = " or ".join(f"{a} is True" for a in args)
+        nully = " or ".join(f"{a} is None" for a in args)
+        em.add(f"{out} = True if ({truthy}) else (None if ({nully}) else False)")
+    elif isinstance(expr, E.Not):
+        arg = _emit_guarded(expr.arg, em)
+        em.add(f"{out} = None if {arg} is None else (not {arg})")
+    elif isinstance(expr, E.Like):
+        arg = _emit_guarded(expr.arg, em)
+        name = f"re{em._const}"
+        em._const += 1
+        em.namespace[name] = expr._regex
+        test = f"{name}.match({arg}) is None"
+        if not expr.negate:
+            test = f"not ({test})"
+        em.add(f"{out} = None if {arg} is None else ({test})")
+    elif isinstance(expr, E.InList):
+        arg = _emit_guarded(expr.arg, em)
+        name = f"in{em._const}"
+        em._const += 1
+        em.namespace[name] = expr.values
+        em.add(f"{out} = None if {arg} is None else ({arg} in {name})")
+    elif isinstance(expr, E.Between):
+        arg = _emit_guarded(expr.arg, em)
+        em.add(
+            f"{out} = None if {arg} is None else "
+            f"({em.const(expr.low)} <= {arg} <= {em.const(expr.high)})"
+        )
+    elif isinstance(expr, E.Case):
+        # Pre-evaluate every arm (expressions are pure), then select; all
+        # sub-results carry None through, matching the interpreter.
+        arms = [
+            (_emit_guarded(cond, em), _emit_guarded(value, em))
+            for cond, value in expr.whens
+        ]
+        default = _emit_guarded(expr.default, em)
+        first = True
+        for cond, value in arms:
+            keyword = "if" if first else "elif"
+            em.add(f"{keyword} {cond} is True:")
+            em.add(f"    {out} = {value}")
+            first = False
+        em.add("else:")
+        em.add(f"    {out} = {default}")
+    elif isinstance(expr, E.IsNull):
+        arg = _emit_guarded(expr.arg, em)
+        test = f"{arg} is None"
+        if expr.negate:
+            test = f"{arg} is not None"
+        em.add(f"{out} = {test}")
+    elif isinstance(expr, E.Func):
+        args = [_emit_guarded(a, em) for a in expr.args]
+        name = f"fn{em._const}"
+        em._const += 1
+        em.namespace[name] = expr._fn
+        nully = " or ".join(f"{a} is None" for a in args)
+        call = f"{name}({', '.join(args)})"
+        em.add(f"{out} = None if ({nully}) else {call}")
+    else:
+        raise TypeError(
+            f"cannot specialize expression node {type(expr).__name__}"
+        )
+    return out
+
+
+def generate_evp(
+    expr: E.Expr, ledger, fn_name: str, assume_not_null: bool = False
+) -> BeeRoutine:
+    """Compile *expr* (already bound) into an EVP bee routine.
+
+    Args:
+        expr: bound expression tree.
+        ledger: cost ledger of the owning database.
+        fn_name: routine name, used for profiling attribution.
+        assume_not_null: emit the faster direct variant; only valid when
+            every referenced column comes from NOT NULL attributes.
+    """
+    if not E.is_bound(expr):
+        raise ValueError("EVP specialization requires a bound expression")
+    cost = C.EVP_PROLOGUE + expr.evp_cost
+    em = _Emitter()
+    em.namespace["_charge"] = ledger.charge_fn
+    em.namespace["_COST"] = cost
+    header = [
+        f"def {fn_name}(row):",
+        f'    """Specialized predicate (generated query-bee routine)."""',
+        f"    _charge({fn_name!r}, _COST)",
+    ]
+    if assume_not_null:
+        body = _emit_direct(expr, em)
+        source = "\n".join(header + em.lines + [f"    return {body}"]) + "\n"
+    else:
+        result = _emit_guarded(expr, em)
+        source = "\n".join(header + em.lines + [f"    return {result}"]) + "\n"
+    fn = compile_routine(source, fn_name, em.namespace)
+    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)

@@ -1,0 +1,138 @@
+"""SCL — the specialized SetColumnsFromLongs relation-bee routine.
+
+Generates, per relation, an unrolled tuple-construction function replacing
+the generic ``heap_fill_tuple``: the constant header is baked in as a bytes
+literal, the fixed prefix is packed with one precompiled ``struct``, and
+tuple-bee-resident attributes are simply *not written* (their values are
+identified by the beeID patched into the header).  Output is byte-identical
+to the generic fill.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.cost import constants as C
+from repro.bees.routines.base import BeeRoutine, compile_routine
+from repro.storage.layout import TupleLayout
+
+
+def scl_cost(layout: TupleLayout) -> int:
+    """Per-invocation cost of the generated SCL routine for *layout*."""
+    cost = C.SCL_PROLOGUE
+    for attr in layout.stored_attrs:
+        if attr.attlen == -1:
+            cost += C.SCL_VARLENA
+        else:
+            cost += C.SCL_FIXED
+        if attr.nullable:
+            cost += C.SCL_NULLABLE
+    cost += C.SCL_TUPLE_BEE * len(layout.bee_attrs)
+    return cost
+
+
+def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
+    """Build the SCL bee routine for *layout*, charging into *ledger*."""
+    schema = layout.schema
+    cost = scl_cost(layout)
+    hoff = layout.header_size(tuple_has_nulls=False)
+
+    # Constant no-nulls header: infomask, hoff, (beeID patched at runtime),
+    # alignment padding.
+    infomask = 0x02 if layout.has_beeid else 0x00
+    header = bytearray(hoff)
+    header[0] = infomask
+    header[1] = hoff
+    namespace: dict = {
+        "_charge": ledger.charge_fn,
+        "_COST": cost,
+        "_HDR": bytes(header),
+    }
+
+    lines = [
+        f"def {fn_name}(values, bee_id=0):",
+        f'    """Specialized fill for relation {schema.name!r} (generated)."""',
+        "    if None in values:",
+        "        return _slow(values, bee_id)",
+        f"    _charge({fn_name!r}, _COST)",
+        "    out = bytearray(_HDR)",
+    ]
+    if layout.has_beeid:
+        lines.append("    out[2] = bee_id & 0xFF")
+        lines.append("    out[3] = (bee_id >> 8) & 0xFF")
+
+    # Fixed prefix packed in one shot.
+    prefix = []
+    for i, attr in enumerate(layout.stored_attrs):
+        if attr.attlen == -1:
+            break
+        prefix.append((i, attr))
+    fmt_parts = ["<"]
+    cursor = 0
+    pack_args = []
+    for i, attr in prefix:
+        offset = layout.stored_offset(i)
+        if offset > cursor:
+            fmt_parts.append(f"{offset - cursor}x")
+        sql_type = attr.sql_type
+        if sql_type.struct_fmt:
+            fmt_parts.append(sql_type.struct_fmt)
+            if sql_type.struct_fmt == "B":
+                pack_args.append(f"int(values[{attr.attnum}])")
+            else:
+                pack_args.append(f"values[{attr.attnum}]")
+        else:
+            fmt_parts.append(f"{sql_type.attlen}s")
+            pack_args.append(
+                f"values[{attr.attnum}].encode().ljust({sql_type.attlen}, b' ')"
+            )
+        cursor = offset + sql_type.attlen
+    if prefix:
+        namespace["_PREFIX"] = struct.Struct("".join(fmt_parts))
+        lines.append(f"    out += _PREFIX.pack({', '.join(pack_args)})")
+
+    rest = layout.stored_attrs[len(prefix) :]
+    if rest:
+        namespace["_VL"] = struct.Struct("<i")
+        lines.append(f"    off = {cursor}")
+        for attr in rest:
+            sql_type = attr.sql_type
+            align = attr.attalign
+            if align > 1:
+                lines.append(f"    pad = ((off + {align - 1}) & -{align}) - off")
+                lines.append("    if pad:")
+                lines.append("        out += b'\\x00' * pad")
+                lines.append("        off = off + pad")
+            if sql_type.attlen == -1:
+                lines.append(f"    b = values[{attr.attnum}].encode()")
+                lines.append("    out += _VL.pack(len(b))")
+                lines.append("    out += b")
+                lines.append("    off = off + 4 + len(b)")
+            elif sql_type.struct_fmt:
+                s_name = f"_P{attr.attnum}"
+                namespace[s_name] = struct.Struct("<" + sql_type.struct_fmt)
+                arg = f"values[{attr.attnum}]"
+                if sql_type.struct_fmt == "B":
+                    arg = f"int({arg})"
+                lines.append(f"    out += {s_name}.pack({arg})")
+                lines.append(f"    off = off + {sql_type.attlen}")
+            else:
+                lines.append(
+                    f"    out += values[{attr.attnum}].encode()"
+                    f".ljust({sql_type.attlen}, b' ')"
+                )
+                lines.append(f"    off = off + {sql_type.attlen}")
+
+    lines.append("    return bytes(out)")
+    source = "\n".join(lines) + "\n"
+
+    def _slow(values: list, bee_id: int) -> bytes:
+        from repro.engine.deform import generic_fill_cost
+
+        ledger.charge_fn(fn_name, generic_fill_cost(layout))
+        isnull = [value is None for value in values]
+        return layout.encode(values, isnull, bee_id)
+
+    namespace["_slow"] = _slow
+    fn = compile_routine(source, fn_name, namespace)
+    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)

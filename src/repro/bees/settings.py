@@ -1,0 +1,83 @@
+"""Which bee routines are enabled — the knobs behind the Fig. 7 ablation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BeeSettings:
+    """Per-database micro-specialization switches.
+
+    Each flag enables one bee routine family:
+
+    * ``gcl`` — relation-bee GetColumnsToLongs (specialized deform),
+    * ``scl`` — relation-bee SetColumnsFromLongs (specialized fill),
+    * ``evp`` — query-bee predicate evaluation,
+    * ``evj`` — query-bee join evaluation,
+    * ``tuple_bees`` — attribute-value specialization via data sections
+      (requires annotations on the relation; changes the storage layout).
+
+    ``stock()`` disables everything (the paper's baseline PostgreSQL);
+    ``all_bees()`` matches the paper's fully bee-enabled build.
+    """
+
+    gcl: bool = False
+    scl: bool = False
+    evp: bool = False
+    evj: bool = False
+    tuple_bees: bool = False
+    agg: bool = False      # experimental: the paper's Section VIII future work
+    idx: bool = False      # experimental: index-maintenance specialization
+
+    @classmethod
+    def stock(cls) -> "BeeSettings":
+        """The unmodified baseline: no micro-specialization."""
+        return cls()
+
+    @classmethod
+    def all_bees(cls) -> "BeeSettings":
+        """Everything on: relation, query, and tuple bees."""
+        return cls(gcl=True, scl=True, evp=True, evj=True, tuple_bees=True)
+
+    @classmethod
+    def relation_bees(cls) -> "BeeSettings":
+        """GCL + SCL only (the paper's first ablation step)."""
+        return cls(gcl=True, scl=True)
+
+    @classmethod
+    def future(cls) -> "BeeSettings":
+        """Everything plus the experimental AGG routine (Section VIII)."""
+        return cls(
+            gcl=True, scl=True, evp=True, evj=True, tuple_bees=True,
+            agg=True, idx=True,
+        )
+
+    def with_routines(self, *names: str) -> "BeeSettings":
+        """Return a copy with exactly the named flags enabled."""
+        valid = {"gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx"}
+        unknown = set(names) - valid
+        if unknown:
+            raise ValueError(f"unknown bee routine flags: {sorted(unknown)}")
+        return BeeSettings(**{name: name in names for name in valid})
+
+    def enabling(self, **flags: bool) -> "BeeSettings":
+        """Return a copy with the given flags overridden."""
+        return replace(self, **flags)
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one bee routine family is on."""
+        return (
+            self.gcl or self.scl or self.evp or self.evj
+            or self.tuple_bees or self.agg or self.idx
+        )
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``GCL+EVP``."""
+        parts = [
+            name.upper() if name != "tuple_bees" else "TB"
+            for name in ("gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx")
+            if getattr(self, name)
+        ]
+        return "+".join(parts) if parts else "stock"

@@ -1,0 +1,209 @@
+"""Stable bee cache: undo/redo-logged persistence (Section VIII).
+
+The paper notes its bee cache "is not guaranteed to survive across power
+failures or disk crashes, though a stable bee cache could be realized
+through the Undo/Redo logic associated with the log".  This module
+implements that future work:
+
+* every bee-cache mutation (put/delete of a relation bee, tuple-bee data
+  section appends) is appended to a write-ahead log as a checksummed
+  record;
+* a ``COMMIT`` marker seals a batch — records after the last commit are
+  rolled back on recovery (undo), committed records are replayed (redo);
+* a checkpoint writes the full cache with :meth:`BeeCache.save_to` and
+  truncates the log.
+
+Torn writes (a crash mid-record) are detected by the CRC and discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+from repro.bees.cache import BeeCache
+from repro.bees.maker import BeeMaker, RelationBee
+
+_COMMIT = "COMMIT"
+
+
+class WALCorruptionError(Exception):
+    """Raised when the log contains a committed but unreadable record."""
+
+
+def _encode_record(record: dict) -> str:
+    payload = json.dumps(record, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode())
+    return f"{crc:08x}:{payload}"
+
+
+def _decode_record(line: str) -> dict | None:
+    """Decode one log line; None for torn/corrupt records."""
+    if ":" not in line:
+        return None
+    crc_text, payload = line.split(":", 1)
+    try:
+        crc = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode()) != crc:
+        return None
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+
+
+class BeeCacheWAL:
+    """Append-only undo/redo log for bee-cache mutations."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.touch()
+
+    def _append(self, line: str) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- logging -------------------------------------------------------------------
+
+    def log_put(self, bee: RelationBee) -> None:
+        """Log the creation/replacement of a relation bee."""
+        record = {
+            "op": "put",
+            "relation": bee.relation,
+            "bee_attrs": list(bee.layout.bee_attrs),
+            "data_sections": (
+                [list(section) for section in bee.sections_list()]
+                if bee.data_sections is not None
+                else None
+            ),
+        }
+        self._append(_encode_record(record))
+
+    def log_section(self, relation: str, key: tuple) -> None:
+        """Log one new tuple-bee data section (created during inserts)."""
+        record = {"op": "section", "relation": relation, "key": list(key)}
+        self._append(_encode_record(record))
+
+    def log_delete(self, relation: str) -> None:
+        """Log the collection of a relation bee."""
+        self._append(_encode_record({"op": "delete", "relation": relation}))
+
+    def commit(self) -> None:
+        """Seal everything logged so far (redo on recovery)."""
+        self._append(_COMMIT)
+
+    def truncate(self) -> None:
+        """Discard the log (after a checkpoint)."""
+        self.path.write_text("")
+
+    # -- recovery -------------------------------------------------------------------
+
+    def committed_records(self) -> list[dict]:
+        """All records up to the last COMMIT, in order.
+
+        Records after the last commit marker are the undo set and are
+        dropped; torn trailing lines are ignored; a corrupt record
+        *before* the last commit raises :class:`WALCorruptionError`.
+        """
+        lines = self.path.read_text().splitlines()
+        last_commit = -1
+        for i, line in enumerate(lines):
+            if line == _COMMIT:
+                last_commit = i
+        records = []
+        for line in lines[:last_commit + 1]:
+            if line == _COMMIT:
+                continue
+            record = _decode_record(line)
+            if record is None:
+                raise WALCorruptionError(
+                    f"corrupt committed record in {self.path}"
+                )
+            records.append(record)
+        return records
+
+
+class StableBeeCache:
+    """A BeeCache wrapper whose state survives crashes via the WAL.
+
+    Usage::
+
+        stable = StableBeeCache(cache, maker, directory)
+        stable.put(bee)                 # logged
+        stable.note_section(rel, key)   # logged
+        stable.commit()                 # sealed
+        stable.checkpoint()             # full save + log truncate
+
+        # after a crash:
+        recovered = StableBeeCache.recover(directory, maker, layouts)
+    """
+
+    LOG_NAME = "beecache.wal"
+
+    def __init__(
+        self, cache: BeeCache, maker: BeeMaker, directory: str | Path
+    ) -> None:
+        self.cache = cache
+        self.maker = maker
+        self.directory = Path(directory)
+        self.wal = BeeCacheWAL(self.directory / self.LOG_NAME)
+
+    def put(self, bee: RelationBee) -> None:
+        """Install a relation bee and log it."""
+        self.cache.put_relation_bee(bee)
+        self.wal.log_put(bee)
+
+    def note_section(self, relation: str, key: tuple) -> None:
+        """Log a freshly created tuple-bee data section."""
+        self.wal.log_section(relation, key)
+
+    def delete(self, relation: str) -> None:
+        """Drop a relation bee and log the deletion."""
+        self.cache.drop_relation_bee(relation)
+        self.wal.log_delete(relation)
+
+    def commit(self) -> None:
+        self.wal.commit()
+
+    def checkpoint(self) -> int:
+        """Write the full cache to disk and truncate the log."""
+        written = self.cache.save_to(self.directory)
+        self.wal.truncate()
+        return written
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str | Path,
+        maker: BeeMaker,
+        layouts: dict,
+    ) -> "StableBeeCache":
+        """Rebuild the cache: checkpoint files first, then committed WAL."""
+        cache = BeeCache()
+        cache.load_from(directory, maker, layouts)
+        stable = cls(cache, maker, directory)
+        for record in stable.wal.committed_records():
+            relation = record["relation"]
+            if record["op"] == "put":
+                layout = layouts.get(relation)
+                if layout is None:
+                    continue
+                bee = maker.make_relation_bee(layout)
+                sections = record.get("data_sections")
+                if sections is not None and bee.data_sections is not None:
+                    for section in sections:
+                        bee.data_sections.get_or_create(tuple(section))
+                cache.put_relation_bee(bee)
+            elif record["op"] == "section":
+                bee = cache.get_relation_bee(relation)
+                if bee is not None and bee.data_sections is not None:
+                    bee.data_sections.get_or_create(tuple(record["key"]))
+            elif record["op"] == "delete":
+                cache.drop_relation_bee(relation)
+        return stable

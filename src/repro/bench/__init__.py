@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure in the paper."""
+
+from repro.bench.reporting import bar_chart, improvement, table
+from repro.bench.tpcc_experiments import MixComparison, run_tpcc_comparison
+from repro.bench.tpch_experiments import (
+    BULK_RELATIONS,
+    QueryComparison,
+    SuiteResult,
+    build_suite_pair,
+    bulk_loading,
+    case_study,
+    compare_queries,
+    run_ablation,
+)
+
+__all__ = [
+    "BULK_RELATIONS",
+    "MixComparison",
+    "QueryComparison",
+    "SuiteResult",
+    "bar_chart",
+    "build_suite_pair",
+    "bulk_loading",
+    "case_study",
+    "compare_queries",
+    "improvement",
+    "run_ablation",
+    "run_tpcc_comparison",
+    "table",
+]

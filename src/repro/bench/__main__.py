@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.bench``."""
+
+import sys
+
+from repro.bench.cli import run
+
+sys.exit(run())

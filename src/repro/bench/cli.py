@@ -1,0 +1,159 @@
+"""Command-line experiment runner: ``python -m repro.bench [options]``.
+
+Runs every experiment from the paper (or a selected subset) and prints the
+paper-style tables; optionally writes them to a results directory.  This is
+the no-pytest path to the reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.reporting import bar_chart, table
+from repro.bench.tpcc_experiments import run_tpcc_comparison
+from repro.bench.tpch_experiments import (
+    build_suite_pair,
+    bulk_loading,
+    case_study,
+    compare_queries,
+    run_ablation,
+)
+from repro.workloads.tpcc.loader import TPCCConfig
+
+EXPERIMENTS = (
+    "case-study", "fig4", "fig5", "fig6", "fig7", "fig8", "tpcc",
+)
+
+
+def _print_suite(suite, title: str, paper_avg1: float) -> None:
+    ordered = sorted(suite.comparisons)
+    print(bar_chart(
+        [f"q{n}" for n in ordered],
+        [suite.comparisons[n].time_improvement for n in ordered],
+        title,
+    ))
+    print(f"Avg1 = {suite.avg1('time'):.1f}%  (paper {paper_avg1}%)")
+    print(f"Avg2 = {suite.avg2('time'):.1f}%")
+    print()
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the ICDE 2012 micro-specialization experiments",
+    )
+    parser.add_argument(
+        "--sf", type=float, default=0.005,
+        help="TPC-H scale factor (paper used 1.0; default 0.005)",
+    )
+    parser.add_argument(
+        "--warehouses", type=int, default=1,
+        help="TPC-C warehouses (paper used 10; default 1)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=300,
+        help="TPC-C transactions per mix (default 300)",
+    )
+    parser.add_argument(
+        "--only", choices=EXPERIMENTS, action="append",
+        help="run only the named experiment(s); repeatable",
+    )
+    args = parser.parse_args(argv)
+    selected = set(args.only) if args.only else set(EXPERIMENTS)
+    started = time.time()
+
+    if "case-study" in selected:
+        print("=" * 72)
+        print("E1 / Section II case study: select o_comment from orders")
+        print("=" * 72)
+        report = case_study(scale_factor=args.sf)
+        print(
+            f"deform instr/tuple: generic "
+            f"{report['stock']['deform_per_tuple']:.0f} (paper ~340), "
+            f"GCL {report['bees']['deform_per_tuple']:.0f} (paper ~146)"
+        )
+        print(
+            f"whole-query reduction {report['instruction_improvement']:.1f}%"
+            " (paper 8.5%)\n"
+        )
+
+    needs_pair = selected & {"fig4", "fig5", "fig6"}
+    if needs_pair:
+        print(f"building TPC-H pair at SF={args.sf} ...")
+        stock, bees = build_suite_pair(scale_factor=args.sf)
+        warm = compare_queries(stock, bees, cold=False)
+        if "fig4" in selected:
+            print("=" * 72)
+            print("E2 / Fig. 4: run-time improvement (warm cache)")
+            print("=" * 72)
+            _print_suite(warm, "warm-cache % improvement", 12.4)
+        if "fig5" in selected:
+            print("=" * 72)
+            print("E3 / Fig. 5: run-time improvement (cold cache)")
+            print("=" * 72)
+            cold = compare_queries(stock, bees, cold=True)
+            _print_suite(cold, "cold-cache % improvement", 12.9)
+        if "fig6" in selected:
+            print("=" * 72)
+            print("E4 / Fig. 6: instruction-count reduction")
+            print("=" * 72)
+            ordered = sorted(warm.comparisons)
+            print(bar_chart(
+                [f"q{n}" for n in ordered],
+                [
+                    warm.comparisons[n].instruction_improvement
+                    for n in ordered
+                ],
+                "% fewer instructions executed",
+            ))
+            print(f"Avg1 = {warm.avg1('instructions'):.1f}% (paper 14.7%)\n")
+
+    if "fig7" in selected:
+        print("=" * 72)
+        print("E5 / Fig. 7: ablation GCL -> +EVP -> +EVJ")
+        print("=" * 72)
+        ablation = run_ablation(scale_factor=args.sf)
+        steps = list(ablation)
+        rows = [
+            [step, round(ablation[step].avg1("time"), 1),
+             round(ablation[step].avg2("time"), 1)]
+            for step in steps
+        ]
+        print(table(["routines", "Avg1 %", "Avg2 %"], rows))
+        print("(paper Avg1: 7.6 -> 11.5 -> 12.4)\n")
+
+    if "fig8" in selected:
+        print("=" * 72)
+        print("E6 / Fig. 8: bulk-loading improvement per relation")
+        print("=" * 72)
+        bulk = bulk_loading(scale_factor=args.sf)
+        print(bar_chart(
+            list(bulk),
+            [bulk[name]["time_improvement"] for name in bulk],
+            "% faster COPY, bee-enabled",
+            vmax=12.0,
+        ))
+        print()
+
+    if "tpcc" in selected:
+        print("=" * 72)
+        print("E7: TPC-C throughput, three mixes")
+        print("=" * 72)
+        config = TPCCConfig(warehouses=args.warehouses)
+        report = run_tpcc_comparison(config, n_transactions=args.transactions)
+        rows = [
+            [mix, round(c.stock.tpm_total), round(c.bees.tpm_total),
+             f"{c.throughput_improvement:+.1f}%"]
+            for mix, c in report.items()
+        ]
+        print(table(["mix", "stock tpm", "bees tpm", "improvement"], rows))
+        print("(paper: default +7.3%, query-only +18%, balanced +11.1%)\n")
+
+    print(f"all selected experiments finished in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,53 @@
+"""TPC-C experiment runner: the Section VI-C throughput comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bees.settings import BeeSettings
+from repro.bench.reporting import improvement
+from repro.workloads.tpcc.loader import TPCCConfig, build_tpcc_database
+from repro.workloads.tpcc.runner import MIXES, TPCCResult, run_mix
+
+
+@dataclass
+class MixComparison:
+    """Stock-vs-bees throughput for one transaction mix."""
+
+    mix: str
+    stock: TPCCResult
+    bees: TPCCResult
+
+    @property
+    def throughput_improvement(self) -> float:
+        """Gain in total transactions per simulated minute (percent)."""
+        if not self.stock.tpm_total:
+            return 0.0
+        return 100.0 * (self.bees.tpm_total / self.stock.tpm_total - 1.0)
+
+    @property
+    def tpmc_improvement(self) -> float:
+        """Gain in New-Order transactions per simulated minute (percent)."""
+        if not self.stock.tpmC:
+            return 0.0
+        return 100.0 * (self.bees.tpmC / self.stock.tpmC - 1.0)
+
+
+def run_tpcc_comparison(
+    config: TPCCConfig | None = None,
+    mixes: list[str] | None = None,
+    n_transactions: int = 300,
+    seed: int = 99,
+) -> dict[str, MixComparison]:
+    """Run each mix on fresh stock and bee-enabled TPC-C databases."""
+    config = config or TPCCConfig()
+    out: dict[str, MixComparison] = {}
+    for mix in mixes or list(MIXES):
+        stock_db = build_tpcc_database(BeeSettings.stock(), config)
+        bees_db = build_tpcc_database(BeeSettings.all_bees(), config)
+        out[mix] = MixComparison(
+            mix=mix,
+            stock=run_mix(stock_db, config, mix, n_transactions, seed),
+            bees=run_mix(bees_db, config, mix, n_transactions, seed),
+        )
+    return out

@@ -1,0 +1,50 @@
+"""Catalog: SQL types, relation schemas, annotations, and the registry."""
+
+from repro.catalog.annotations import (
+    DEFAULT_CARDINALITY_CAP,
+    AnnotationSet,
+    infer_annotations,
+)
+from repro.catalog.catalog import Catalog, CatalogError
+from repro.catalog.schema import Attribute, RelationSchema, make_schema
+from repro.catalog.types import (
+    BOOL,
+    DATE,
+    FLOAT8,
+    INT4,
+    INT8,
+    NUMERIC,
+    TEXT,
+    SQLType,
+    align_offset,
+    char,
+    date_to_days,
+    days_to_date,
+    scalar_struct,
+    varchar,
+)
+
+__all__ = [
+    "AnnotationSet",
+    "Attribute",
+    "BOOL",
+    "Catalog",
+    "CatalogError",
+    "DATE",
+    "DEFAULT_CARDINALITY_CAP",
+    "FLOAT8",
+    "INT4",
+    "INT8",
+    "NUMERIC",
+    "RelationSchema",
+    "SQLType",
+    "TEXT",
+    "align_offset",
+    "char",
+    "date_to_days",
+    "days_to_date",
+    "infer_annotations",
+    "make_schema",
+    "scalar_struct",
+    "varchar",
+]

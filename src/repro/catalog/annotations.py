@@ -1,0 +1,77 @@
+"""DBA annotations driving tuple-bee specialization.
+
+The paper extends the DDL with annotations naming low-cardinality attributes
+(e.g. ``gender``, TPC-H's ``l_returnflag``); tuple bees then hoist those
+attribute values out of stored tuples into per-bee data sections.  This
+module records annotations per relation and provides the simple inference
+the paper mentions (small-domain CHAR columns inferred from sampled data).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+# The paper checks "the few (maximally 256) possible values with memcmp";
+# beyond this the memcmp scan stops being cheap.  We treat it as a soft cap:
+# exceeding it is allowed but reported by the bee module's statistics.
+DEFAULT_CARDINALITY_CAP = 256
+
+
+class AnnotationSet:
+    """Low-cardinality annotations for the relations of one database."""
+
+    def __init__(self, cardinality_cap: int = DEFAULT_CARDINALITY_CAP) -> None:
+        self.cardinality_cap = cardinality_cap
+        self._by_relation: dict[str, list[str]] = defaultdict(list)
+
+    def annotate(self, relation: str, *attribute_names: str) -> None:
+        """Mark *attribute_names* of *relation* as low-cardinality.
+
+        Annotated attributes become candidates for tuple-bee specialization:
+        their values move into bee data sections and out of stored tuples.
+        Order of annotation is preserved (it defines data-section layout).
+        """
+        if not attribute_names:
+            raise ValueError("annotate() requires at least one attribute name")
+        existing = self._by_relation[relation]
+        for name in attribute_names:
+            if name not in existing:
+                existing.append(name)
+
+    def clear(self, relation: str) -> None:
+        """Remove all annotations for *relation*."""
+        self._by_relation.pop(relation, None)
+
+    def annotated_attributes(self, relation: str) -> tuple[str, ...]:
+        """Annotated attribute names for *relation*, in annotation order."""
+        return tuple(self._by_relation.get(relation, ()))
+
+    def is_annotated(self, relation: str) -> bool:
+        """True when *relation* has at least one annotated attribute."""
+        return bool(self._by_relation.get(relation))
+
+
+def infer_annotations(
+    rows: list[tuple],
+    schema,
+    max_cardinality: int = 16,
+    sample_size: int = 2000,
+) -> list[str]:
+    """Infer low-cardinality CHAR attributes from a sample of rows.
+
+    This is the paper's "annotations ... can be inferred" hook: any fixed
+    CHAR column whose sampled distinct-value count is at most
+    *max_cardinality* is suggested.  Returns attribute names in schema order.
+    """
+    if not rows:
+        return []
+    sample = rows[:sample_size]
+    suggested = []
+    for attr in schema.attributes:
+        if attr.sql_type.is_varlena or attr.sql_type.struct_fmt:
+            continue  # only fixed CHAR(n) columns are candidates
+        distinct = {row[attr.attnum] for row in sample}
+        if len(distinct) <= max_cardinality:
+            suggested.append(attr.name)
+    return suggested

@@ -1,0 +1,102 @@
+"""The system catalog: relation registry plus schema-change notification.
+
+Bee reconstruction (a Bee Configuration Group component in the paper's
+Fig. 3) is triggered by schema changes; the catalog therefore supports
+listeners that are informed when relations are created, altered, or dropped
+so the bee module can rebuild or garbage-collect the affected bees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog.annotations import AnnotationSet
+from repro.catalog.schema import RelationSchema
+
+CatalogListener = Callable[[str, RelationSchema | None], None]
+
+
+class CatalogError(KeyError):
+    """Raised for unknown or duplicate relations."""
+
+
+class Catalog:
+    """Registry of relation schemas with annotations and change listeners."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        self._next_relid = 16384  # first user relid, as in PostgreSQL
+        self._relids: dict[str, int] = {}
+        self.annotations = AnnotationSet()
+        self._listeners: dict[str, list[CatalogListener]] = {
+            "create": [],
+            "alter": [],
+            "drop": [],
+        }
+
+    # -- listeners ------------------------------------------------------------
+
+    def on(self, event: str, listener: CatalogListener) -> None:
+        """Register *listener* for ``create``/``alter``/``drop`` events."""
+        if event not in self._listeners:
+            raise ValueError(f"unknown catalog event {event!r}")
+        self._listeners[event].append(listener)
+
+    def _notify(self, event: str, name: str, schema: RelationSchema | None) -> None:
+        for listener in self._listeners[event]:
+            listener(name, schema)
+
+    # -- relation lifecycle ---------------------------------------------------
+
+    def create_relation(self, schema: RelationSchema) -> int:
+        """Register *schema*; returns the assigned relid."""
+        if schema.name in self._relations:
+            raise CatalogError(f"relation {schema.name!r} already exists")
+        self._relations[schema.name] = schema
+        relid = self._next_relid
+        self._next_relid += 1
+        self._relids[schema.name] = relid
+        self._notify("create", schema.name, schema)
+        return relid
+
+    def alter_relation(self, schema: RelationSchema) -> None:
+        """Replace the schema of an existing relation (triggers rebuild)."""
+        if schema.name not in self._relations:
+            raise CatalogError(f"relation {schema.name!r} does not exist")
+        self._relations[schema.name] = schema
+        self._notify("alter", schema.name, schema)
+
+    def drop_relation(self, name: str) -> None:
+        """Remove *name* from the catalog (triggers bee collection)."""
+        if name not in self._relations:
+            raise CatalogError(f"relation {name!r} does not exist")
+        del self._relations[name]
+        self._relids.pop(name, None)
+        self.annotations.clear(name)
+        self._notify("drop", name, None)
+
+    # -- lookups --------------------------------------------------------------
+
+    def get(self, name: str) -> RelationSchema:
+        """Schema for relation *name*; raises :class:`CatalogError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"relation {name!r} does not exist") from None
+
+    def relid(self, name: str) -> int:
+        """Stable numeric id for relation *name*."""
+        try:
+            return self._relids[name]
+        except KeyError:
+            raise CatalogError(f"relation {name!r} does not exist") from None
+
+    def relation_names(self) -> list[str]:
+        """All relation names in creation order."""
+        return list(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)

@@ -1,0 +1,149 @@
+"""Relation schemas: the metadata micro-specialization turns into code.
+
+An :class:`Attribute` mirrors ``pg_attribute``: name, type, nullability, and
+the derived ``attcacheoff`` (a fixed byte offset cached when no preceding
+attribute is variable-length — exactly the fast-path condition in the
+paper's Listing 1).  A :class:`RelationSchema` is an ordered list of
+attributes plus relation-level facts (any nullable attribute? primary key?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.types import SQLType, align_offset
+
+
+@dataclass
+class Attribute:
+    """One column of a relation, with physical layout metadata.
+
+    ``attcacheoff`` is computed by :class:`RelationSchema`: it is the fixed
+    byte offset of the attribute when every preceding attribute has a fixed
+    length, and -1 otherwise (the value must then be located by walking
+    earlier varlena values at deform time).
+    """
+
+    name: str
+    sql_type: SQLType
+    nullable: bool = False
+    attnum: int = field(default=-1)
+    attcacheoff: int = field(default=-1)
+
+    @property
+    def attlen(self) -> int:
+        """Fixed byte width, or -1 for varlena (mirrors pg_attribute)."""
+        return self.sql_type.attlen
+
+    @property
+    def attalign(self) -> int:
+        """Required storage alignment (mirrors pg_attribute)."""
+        return self.sql_type.attalign
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name}: {self.sql_type.name})"
+
+
+class RelationSchema:
+    """An ordered attribute list with derived layout metadata.
+
+    Args:
+        name: relation name.
+        attributes: column definitions in order.
+        primary_key: names of primary-key columns (used by indexes and the
+            TPC-C transactions).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: list[Attribute],
+        primary_key: tuple[str, ...] = (),
+    ) -> None:
+        if not attributes:
+            raise ValueError(f"relation {name!r} must have at least one column")
+        seen: set[str] = set()
+        for attr in attributes:
+            if attr.name in seen:
+                raise ValueError(f"duplicate column {attr.name!r} in {name!r}")
+            seen.add(attr.name)
+        for key_col in primary_key:
+            if key_col not in seen:
+                raise ValueError(
+                    f"primary key column {key_col!r} not in relation {name!r}"
+                )
+        self.name = name
+        self.attributes = list(attributes)
+        self.primary_key = tuple(primary_key)
+        self._by_name: dict[str, Attribute] = {}
+        self._assign_layout()
+
+    def _assign_layout(self) -> None:
+        """Number attributes and compute cacheable fixed offsets."""
+        offset = 0
+        offset_known = True
+        self._by_name.clear()
+        for attnum, attr in enumerate(self.attributes):
+            attr.attnum = attnum
+            if offset_known:
+                offset = align_offset(offset, attr.attalign)
+                attr.attcacheoff = offset
+                if attr.attlen >= 0:
+                    offset += attr.attlen
+                else:
+                    # A varlena attribute: its own offset is cacheable but
+                    # everything after it is not.
+                    offset_known = False
+            else:
+                attr.attcacheoff = -1
+            self._by_name[attr.name] = attr
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def natts(self) -> int:
+        """Number of attributes (the paper's loop bound)."""
+        return len(self.attributes)
+
+    @property
+    def has_nullable(self) -> bool:
+        """True when any attribute may be NULL (keeps null checks alive)."""
+        return any(attr.nullable for attr in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name; raises KeyError when absent."""
+        return self._by_name[name]
+
+    def attnum(self, name: str) -> int:
+        """Return the 0-based attribute number for *name*."""
+        return self._by_name[name].attnum
+
+    def column_names(self) -> list[str]:
+        """All column names in attribute order."""
+        return [attr.name for attr in self.attributes]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{attr.name} {attr.sql_type.name}" for attr in self.attributes
+        )
+        return f"RelationSchema({self.name}: {cols})"
+
+
+def make_schema(
+    name: str,
+    columns: list[tuple[str, SQLType]] | list[tuple[str, SQLType, bool]],
+    primary_key: tuple[str, ...] = (),
+) -> RelationSchema:
+    """Convenience constructor from ``(name, type[, nullable])`` tuples."""
+    attributes = []
+    for column in columns:
+        if len(column) == 2:
+            col_name, sql_type = column  # type: ignore[misc]
+            nullable = False
+        else:
+            col_name, sql_type, nullable = column  # type: ignore[misc]
+        attributes.append(Attribute(col_name, sql_type, nullable))
+    return RelationSchema(name, attributes, primary_key)

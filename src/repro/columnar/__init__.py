@@ -1,0 +1,27 @@
+"""Column-store extension: micro-specialization on a columnar architecture.
+
+The paper argues micro-specialization is orthogonal to architectural
+specialization and names column stores as a target (Sections I, VII,
+VIII).  This package provides a minimal column-oriented store plus a
+vectorized scan/filter/sum pipeline with generic and bee-specialized
+(CDL + EVP) code paths, so the orthogonality claim can be measured:
+the column store is faster than the row store on selective scans *and*
+micro-specialization still improves it by a similar factor.
+"""
+
+from repro.columnar.engine import (
+    CHUNK,
+    ColumnarExecutor,
+    ColumnarQueryResult,
+    generate_cdl,
+)
+from repro.columnar.store import Column, ColumnStore
+
+__all__ = [
+    "CHUNK",
+    "Column",
+    "ColumnStore",
+    "ColumnarExecutor",
+    "ColumnarQueryResult",
+    "generate_cdl",
+]

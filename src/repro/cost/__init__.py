@@ -1,0 +1,31 @@
+"""Virtual-instruction cost accounting — the reproduction's callgrind analog.
+
+The paper measures micro-specialization benefit in *machine instructions
+executed* (collected with callgrind) and shows run time tracks instruction
+count (Fig. 6).  Running the reproduction on CPython would bury those gains
+under interpreter overhead, so this package provides a deterministic virtual
+instruction ledger: every generic engine code path charges the number of
+virtual instructions the equivalent compiled C path would execute (branches,
+metadata loads, fetches), and every specialized bee routine charges the count
+of instructions its generated body would contain.  Constants are calibrated
+against the paper's Section II case study (generic ``slot_deform_tuple``
+= ~340 instr/tuple on TPC-H ``orders``; specialized GCL = ~146).
+
+A simple time model converts instructions + simulated I/O into seconds so
+that the paper's wall-clock figures (Figs. 4, 5, 7, 8; TPC-C tpmC) can be
+regenerated in a noise-free, scale-invariant way.
+"""
+
+from repro.cost import constants
+from repro.cost.ledger import Ledger
+from repro.cost.profiler import FunctionProfile, profile_report
+from repro.cost.timemodel import TimeModel, SimulatedClock
+
+__all__ = [
+    "constants",
+    "Ledger",
+    "FunctionProfile",
+    "profile_report",
+    "TimeModel",
+    "SimulatedClock",
+]

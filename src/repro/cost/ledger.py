@@ -1,0 +1,125 @@
+"""The instruction ledger: where every engine code path charges its cost."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Ledger:
+    """Accumulates virtual instruction counts and simulated I/O events.
+
+    One ledger is owned by each :class:`repro.db.Database`; executor nodes,
+    the storage manager, and bee routines charge into it.  Per-function
+    attribution (the callgrind-style profile) is optional because it is the
+    hot path of the whole simulator.
+
+    Usage::
+
+        ledger.charge(340)                  # anonymous instructions
+        ledger.charge_fn("slot_deform_tuple", 340)   # attributed
+        ledger.read_page(sequential=True)   # simulated I/O
+    """
+
+    __slots__ = (
+        "total",
+        "profiling",
+        "by_function",
+        "seq_pages_read",
+        "rand_pages_read",
+        "pages_hit",
+    )
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.profiling = False
+        self.by_function: dict[str, int] = defaultdict(int)
+        self.seq_pages_read = 0
+        self.rand_pages_read = 0
+        self.pages_hit = 0
+
+    # -- instruction charging ------------------------------------------------
+
+    def charge(self, n: int) -> None:
+        """Charge *n* virtual instructions without function attribution."""
+        self.total += n
+
+    def charge_fn(self, fn: str, n: int) -> None:
+        """Charge *n* virtual instructions attributed to function *fn*.
+
+        Attribution is recorded only while :attr:`profiling` is enabled;
+        the total is always maintained.
+        """
+        self.total += n
+        if self.profiling:
+            self.by_function[fn] += n
+
+    # -- simulated I/O --------------------------------------------------------
+
+    def read_page(self, sequential: bool = True) -> None:
+        """Record a simulated physical page read (buffer-pool miss)."""
+        if sequential:
+            self.seq_pages_read += 1
+        else:
+            self.rand_pages_read += 1
+
+    def hit_page(self) -> None:
+        """Record a buffer-pool hit (no physical I/O)."""
+        self.pages_hit += 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero all counters (used between experiment runs)."""
+        self.total = 0
+        self.by_function.clear()
+        self.seq_pages_read = 0
+        self.rand_pages_read = 0
+        self.pages_hit = 0
+
+    def snapshot(self) -> "LedgerSnapshot":
+        """Capture current counters so a later delta can be computed."""
+        return LedgerSnapshot(
+            total=self.total,
+            seq_pages_read=self.seq_pages_read,
+            rand_pages_read=self.rand_pages_read,
+            pages_hit=self.pages_hit,
+        )
+
+    def delta_since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
+        """Return counters accumulated since *snap* was taken."""
+        return LedgerSnapshot(
+            total=self.total - snap.total,
+            seq_pages_read=self.seq_pages_read - snap.seq_pages_read,
+            rand_pages_read=self.rand_pages_read - snap.rand_pages_read,
+            pages_hit=self.pages_hit - snap.pages_hit,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Ledger(total={self.total}, seq={self.seq_pages_read}, "
+            f"rand={self.rand_pages_read}, hit={self.pages_hit})"
+        )
+
+
+class LedgerSnapshot:
+    """Immutable view of ledger counters, used for before/after deltas."""
+
+    __slots__ = ("total", "seq_pages_read", "rand_pages_read", "pages_hit")
+
+    def __init__(
+        self,
+        total: int = 0,
+        seq_pages_read: int = 0,
+        rand_pages_read: int = 0,
+        pages_hit: int = 0,
+    ) -> None:
+        self.total = total
+        self.seq_pages_read = seq_pages_read
+        self.rand_pages_read = rand_pages_read
+        self.pages_hit = pages_hit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LedgerSnapshot(total={self.total}, seq={self.seq_pages_read}, "
+            f"rand={self.rand_pages_read}, hit={self.pages_hit})"
+        )

@@ -1,0 +1,67 @@
+"""Callgrind-style per-function instruction profiles.
+
+The paper uses callgrind to attribute executed instructions to functions
+(e.g. ``slot_deform_tuple`` vs the GCL bee, ``heap_fill_tuple`` vs SCL).
+Enabling :class:`FunctionProfile` turns on per-function attribution in a
+ledger for the duration of a ``with`` block and yields a sorted report.
+"""
+
+from __future__ import annotations
+
+from repro.cost.ledger import Ledger
+
+
+class FunctionProfile:
+    """Context manager that records a per-function instruction profile.
+
+    Example::
+
+        with FunctionProfile(db.ledger) as prof:
+            db.execute(plan)
+        print(profile_report(prof.counts, prof.total))
+    """
+
+    def __init__(self, ledger: Ledger) -> None:
+        self._ledger = ledger
+        self._was_profiling = False
+        self._start_counts: dict[str, int] = {}
+        self._start_total = 0
+        self.counts: dict[str, int] = {}
+        self.total = 0
+
+    def __enter__(self) -> "FunctionProfile":
+        self._was_profiling = self._ledger.profiling
+        self._ledger.profiling = True
+        self._start_counts = dict(self._ledger.by_function)
+        self._start_total = self._ledger.total
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.total = self._ledger.total - self._start_total
+        self.counts = {}
+        for fn, count in self._ledger.by_function.items():
+            delta = count - self._start_counts.get(fn, 0)
+            if delta:
+                self.counts[fn] = delta
+        self._ledger.profiling = self._was_profiling
+
+    def instructions_for(self, fn: str) -> int:
+        """Instructions attributed to *fn* during the profiled region."""
+        return self.counts.get(fn, 0)
+
+
+def profile_report(counts: dict[str, int], total: int, top: int = 20) -> str:
+    """Format a profile as a callgrind_annotate-style text table."""
+    lines = [f"{'Ir':>16}  {'Ir%':>6}  function", "-" * 48]
+    ranked = sorted(counts.items(), key=lambda item: item[1], reverse=True)
+    for fn, count in ranked[:top]:
+        share = (100.0 * count / total) if total else 0.0
+        lines.append(f"{count:>16,}  {share:>5.1f}%  {fn}")
+    attributed = sum(counts.values())
+    other = total - attributed
+    if other > 0:
+        share = (100.0 * other / total) if total else 0.0
+        lines.append(f"{other:>16,}  {share:>5.1f}%  <unattributed>")
+    lines.append("-" * 48)
+    lines.append(f"{total:>16,}  100.0%  TOTAL")
+    return "\n".join(lines)

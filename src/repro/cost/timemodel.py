@@ -1,0 +1,69 @@
+"""Convert ledger counters into simulated seconds.
+
+Simulated run time = CPU time (instructions / (Hz x IPC)) + I/O wait time
+(sequential and random page reads priced separately).  This is deliberately
+simple — the paper's claim is that run time tracks executed instructions
+(its Fig. 6 correlation), and this model encodes exactly that relationship
+while letting cold-cache experiments surface the I/O savings of tuple bees.
+"""
+
+from __future__ import annotations
+
+from repro.cost import constants
+from repro.cost.ledger import Ledger, LedgerSnapshot
+
+
+class TimeModel:
+    """Prices a ledger (or snapshot delta) in simulated seconds."""
+
+    def __init__(
+        self,
+        cpu_hz: float = constants.CPU_HZ,
+        ipc: float = constants.IPC,
+        seq_page_s: float = constants.SEQ_PAGE_READ_S,
+        rand_page_s: float = constants.RAND_PAGE_READ_S,
+    ) -> None:
+        self.cpu_hz = cpu_hz
+        self.ipc = ipc
+        self.seq_page_s = seq_page_s
+        self.rand_page_s = rand_page_s
+
+    def cpu_seconds(self, counters: Ledger | LedgerSnapshot) -> float:
+        """CPU component of the simulated time."""
+        return counters.total / (self.cpu_hz * self.ipc)
+
+    def io_seconds(self, counters: Ledger | LedgerSnapshot) -> float:
+        """I/O component (physical page reads only; hits are free)."""
+        return (
+            counters.seq_pages_read * self.seq_page_s
+            + counters.rand_pages_read * self.rand_page_s
+        )
+
+    def seconds(self, counters: Ledger | LedgerSnapshot) -> float:
+        """Total simulated wall-clock seconds."""
+        return self.cpu_seconds(counters) + self.io_seconds(counters)
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated clock for throughput experiments.
+
+    TPC-C terminals advance this clock by the simulated duration of each
+    transaction; tpmC is then transactions per simulated minute, which
+    removes the variance the paper had to average away over 1-hour runs.
+    """
+
+    def __init__(self, time_model: TimeModel | None = None) -> None:
+        self.time_model = time_model or TimeModel()
+        self.now_s = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by a non-negative duration."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self.now_s += seconds
+
+    def advance_for(self, delta: LedgerSnapshot) -> float:
+        """Advance by the simulated cost of a ledger delta; returns seconds."""
+        seconds = self.time_model.seconds(delta)
+        self.advance(seconds)
+        return seconds

@@ -1,0 +1,383 @@
+"""The Database: catalog + storage + executor + generic bee module.
+
+This is the session object users interact with.  Two databases configured
+with different :class:`repro.bees.BeeSettings` — ``stock()`` vs
+``all_bees()`` — are the reproduction's "stock PostgreSQL" and "bee-enabled
+PostgreSQL"; every experiment loads the same data into both and compares
+ledger deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.bees.maker import RelationBee
+from repro.bees.module import GenericBeeModule
+from repro.bees.settings import BeeSettings
+from repro.catalog import Catalog, RelationSchema
+from repro.cost import Ledger, TimeModel
+from repro.cost.ledger import LedgerSnapshot
+from repro.engine import dml
+from repro.engine.deform import GenericDeformer, GenericFiller
+from repro.engine.executor import execute as _execute
+from repro.engine.nodes import PlanNode
+from repro.storage import BufferPool, HeapFile, TupleLayout, build_index
+from repro.storage.buffer import DEFAULT_CAPACITY_PAGES
+
+
+class Relation:
+    """Runtime state of one relation: layout, heap, indexes, bee."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        layout: TupleLayout,
+        heap: HeapFile,
+        generic_deformer: GenericDeformer,
+        generic_filler: GenericFiller,
+        bee: RelationBee | None,
+    ) -> None:
+        self.schema = schema
+        self.layout = layout
+        self.heap = heap
+        self.generic_deformer = generic_deformer
+        self.generic_filler = generic_filler
+        self.bee = bee
+        self.indexes: dict[str, object] = {}
+        self._index_keys: dict[str, list[int]] = {}
+        self._idx_routines: dict[str, object] = {}
+
+    def sections_list(self) -> list[tuple]:
+        """Tuple-bee data sections, beeID-indexed (empty if none)."""
+        if self.bee is None or self.bee.data_sections is None:
+            return []
+        return self.bee.data_sections.as_list()
+
+    def add_index(self, index, key_columns: Sequence[str]) -> None:
+        self.indexes[index.name] = index
+        self._index_keys[index.name] = [
+            self.schema.attnum(col) for col in key_columns
+        ]
+
+    def set_idx_routine(self, index_name: str, routine) -> None:
+        """Install an IDX bee routine for one index (future-work flag)."""
+        self._idx_routines[index_name] = routine
+
+    def _extract_key(self, name: str, values: list) -> tuple:
+        """Key extraction for one index: IDX bee routine or generic loop."""
+        routine = self._idx_routines.get(name)
+        if routine is not None:
+            return routine.fn(values)   # charges its own specialized cost
+        from repro.bees.routines.idx import generic_idx_cost
+
+        key_idx = self._index_keys[name]
+        self.heap.ledger.charge_fn(
+            "index_key_extract", generic_idx_cost(len(key_idx))
+        )
+        return tuple(values[i] for i in key_idx)
+
+    def index_insert(self, values: list, tid) -> None:
+        from repro.cost import constants as _C
+
+        for name, index in self.indexes.items():
+            self.heap.ledger.charge(_C.INDEX_MAINTAIN)
+            index.insert(self._extract_key(name, values), tid)
+
+    def index_delete(self, values: list, tid) -> None:
+        from repro.cost import constants as _C
+
+        for name, index in self.indexes.items():
+            self.heap.ledger.charge(_C.INDEX_MAINTAIN)
+            index.delete(self._extract_key(name, values), tid)
+
+
+@dataclass
+class MeasuredRun:
+    """Result of :meth:`Database.measure`: outcome plus priced costs."""
+
+    result: object
+    instructions: int
+    seq_pages_read: int
+    rand_pages_read: int
+    cpu_seconds: float
+    io_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated run time."""
+        return self.cpu_seconds + self.io_seconds
+
+
+class Database:
+    """A single-session, bee-enabled (or stock) relational database."""
+
+    def __init__(
+        self,
+        settings: BeeSettings | None = None,
+        bee_cache_dir: str | Path | None = None,
+        buffer_capacity_pages: int = DEFAULT_CAPACITY_PAGES,
+    ) -> None:
+        self.settings = settings or BeeSettings.stock()
+        self.ledger = Ledger()
+        self.catalog = Catalog()
+        self.buffer_pool = BufferPool(self.ledger, buffer_capacity_pages)
+        self.bee_module = GenericBeeModule(
+            self.ledger, self.settings, bee_cache_dir
+        )
+        self.time_model = TimeModel()
+        self._relations: dict[str, Relation] = {}
+        self.catalog.on("drop", self._on_drop)
+
+    # -- DDL --------------------------------------------------------------------
+
+    def create_table(
+        self, schema: RelationSchema, annotate: Sequence[str] = ()
+    ) -> Relation:
+        """Create a relation; *annotate* names low-cardinality attributes.
+
+        Annotations are recorded regardless of settings (they are schema
+        metadata); they only change the physical layout when tuple bees
+        are enabled.
+        """
+        self.catalog.create_relation(schema)
+        if annotate:
+            self.catalog.annotations.annotate(schema.name, *annotate)
+        bee_attrs: tuple[str, ...] = ()
+        if self.settings.tuple_bees and annotate:
+            bee_attrs = tuple(annotate)
+        layout = TupleLayout(schema, bee_attrs)
+        heap = HeapFile(schema.name, self.ledger, self.buffer_pool)
+        bee = None
+        if self.settings.gcl or self.settings.scl or bee_attrs:
+            bee = self.bee_module.create_relation_bee(layout)
+        relation = Relation(
+            schema,
+            layout,
+            heap,
+            GenericDeformer(layout, self.ledger),
+            GenericFiller(layout, self.ledger),
+            bee,
+        )
+        self._relations[schema.name] = relation
+        return relation
+
+    def create_index(
+        self,
+        relation: str,
+        name: str,
+        columns: Sequence[str],
+        kind: str = "hash",
+        unique: bool = False,
+    ) -> None:
+        """Create a hash or btree index and backfill it from the heap."""
+        rel = self.relation(relation)
+        index = build_index(kind, name, relation, columns, unique=unique)
+        rel.add_index(index, columns)
+        if getattr(self.settings, "idx", False):
+            key_idx = [rel.schema.attnum(col) for col in columns]
+            rel.set_idx_routine(
+                name, self.bee_module.get_idx(relation, name, key_idx)
+            )
+        sections = rel.sections_list()
+        key_idx = [rel.schema.attnum(col) for col in columns]
+        for tid, raw in rel.heap.scan():
+            values, _isnull = rel.layout.decode(
+                raw, sections[rel.layout.read_bee_id(raw)] if sections else None
+            )
+            index.insert(tuple(values[i] for i in key_idx), tid)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a relation: catalog, storage, buffer pages, and its bees."""
+        self.catalog.drop_relation(name)
+
+    def _on_drop(self, name: str, _schema) -> None:
+        self._relations.pop(name, None)
+        self.buffer_pool.invalidate_relation(name)
+        self.bee_module.drop_relation_bee(name)
+
+    def reannotate(self, name: str, annotate: Sequence[str]) -> Relation:
+        """Change a relation's annotations and rebuild its storage.
+
+        This is the bee-reconstruction path: the relation bee is
+        regenerated for the new layout and every tuple is re-encoded.
+        """
+        rel = self.relation(name)
+        rows = self.read_all(name)
+        schema = rel.schema
+        self.catalog.annotations.clear(name)
+        if annotate:
+            self.catalog.annotations.annotate(name, *annotate)
+        bee_attrs = tuple(annotate) if self.settings.tuple_bees else ()
+        layout = TupleLayout(schema, bee_attrs)
+        heap = HeapFile(name, self.ledger, self.buffer_pool)
+        self.buffer_pool.invalidate_relation(name)
+        bee = None
+        if self.settings.gcl or self.settings.scl or bee_attrs:
+            bee = self.bee_module.reconstruct_relation_bee(layout)
+        new_rel = Relation(
+            schema,
+            layout,
+            heap,
+            GenericDeformer(layout, self.ledger),
+            GenericFiller(layout, self.ledger),
+            bee,
+        )
+        index_specs = [
+            (index.name, index.key_columns, index.kind, index.unique)
+            for index in rel.indexes.values()
+        ]
+        self._relations[name] = new_rel
+        self.copy_from(name, rows)
+        for idx_name, key_columns, kind, unique in index_specs:
+            self.create_index(name, idx_name, key_columns, kind, unique)
+        self.catalog.alter_relation(schema)
+        return new_rel
+
+    # -- DML --------------------------------------------------------------------
+
+    def insert(self, relation: str, values: Sequence):
+        """Insert one row; returns its TID."""
+        return dml.insert_row(self, relation, values)
+
+    def copy_from(self, relation: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load rows (the COPY path); returns the row count."""
+        return dml.copy_from(self, relation, rows)
+
+    def delete_where(self, relation: str, predicate: Callable) -> int:
+        """Delete rows whose values-list satisfies *predicate*."""
+        return dml.delete_rows(self, relation, predicate)
+
+    def update_where(
+        self, relation: str, predicate: Callable, updater: Callable
+    ) -> int:
+        """Update rows matching *predicate* via *updater*."""
+        return dml.update_rows(self, relation, predicate, updater)
+
+    def update_by_tid(self, relation: str, tid, new_values: Sequence):
+        """Index-driven single-row update."""
+        return dml.update_by_tid(self, relation, tid, new_values)
+
+    def delete_by_tid(self, relation: str, tid) -> None:
+        """Index-driven single-row delete."""
+        dml.delete_by_tid(self, relation, tid)
+
+    def vacuum(self, name: str) -> dict:
+        """Compact a relation's heap: rewrite live tuples into fresh pages
+        and rebuild its indexes (dead line pointers are never reclaimed
+        otherwise, as in PostgreSQL without VACUUM).
+
+        Returns ``{"pages_before", "pages_after", "tuples"}``.
+        """
+        from repro.cost import constants as _C
+
+        rel = self.relation(name)
+        pages_before = rel.heap.page_count
+        live: list[bytes] = []
+        for page in rel.heap.pages:
+            for _slot, raw in page.live_tuples():
+                live.append(raw)
+        self.buffer_pool.invalidate_relation(name)
+        fresh = HeapFile(name, self.ledger, self.buffer_pool)
+        sections = rel.sections_list()
+        tid_values = []
+        for raw in live:
+            self.ledger.charge_fn("vacuum", _C.VACUUM_PER_TUPLE)
+            tid = fresh.insert(raw)
+            bee_values = (
+                sections[rel.layout.read_bee_id(raw)] if sections else None
+            )
+            values, isnull = rel.layout.decode(raw, bee_values)
+            for i, null in enumerate(isnull):
+                if null:
+                    values[i] = None
+            tid_values.append((tid, values))
+        rel.heap = fresh
+        for index_name, index in rel.indexes.items():
+            fresh_index = build_index(
+                index.kind, index_name, name, index.key_columns,
+                unique=index.unique,
+            )
+            key_idx = rel._index_keys[index_name]
+            for tid, values in tid_values:
+                fresh_index.insert(tuple(values[i] for i in key_idx), tid)
+            rel.indexes[index_name] = fresh_index
+        return {
+            "pages_before": pages_before,
+            "pages_after": rel.heap.page_count,
+            "tuples": len(live),
+        }
+
+    # -- query ------------------------------------------------------------------
+
+    def execute(self, plan: PlanNode, emit: bool = True) -> list[tuple]:
+        """Run a plan and return result rows."""
+        return _execute(self, plan, emit=emit)
+
+    def sql(self, statement: str):
+        """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
+
+        Returns a :class:`repro.sql.SQLResult`; SELECT results are in
+        ``result.rows``.  CREATE TABLE supports the paper's ``ANNOTATE``
+        DDL clause for tuple-bee attributes.
+        """
+        from repro.sql.session import execute_sql
+
+        return execute_sql(self, statement)
+
+    def relation(self, name: str) -> Relation:
+        """Runtime relation state; raises KeyError for unknown names."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} does not exist") from None
+
+    def read_all(self, name: str) -> list[list]:
+        """All rows of a relation via the reference decoder (no charges)."""
+        rel = self.relation(name)
+        sections = rel.sections_list()
+        rows = []
+        for page in rel.heap.pages:
+            for _slot, raw in page.live_tuples():
+                bee_values = (
+                    sections[rel.layout.read_bee_id(raw)] if sections else None
+                )
+                values, isnull = rel.layout.decode(raw, bee_values)
+                for i, null in enumerate(isnull):
+                    if null:
+                        values[i] = None
+                rows.append(values)
+        return rows
+
+    # -- cache & measurement ------------------------------------------------------
+
+    def warm_cache(self) -> None:
+        """Make every page of every relation buffer-resident (Fig. 4 state)."""
+        for name, rel in self._relations.items():
+            self.buffer_pool.warm(name, rel.heap.page_count)
+
+    def cold_cache(self) -> None:
+        """Empty the buffer pool (Fig. 5 state)."""
+        self.buffer_pool.clear()
+
+    def measure(self, fn: Callable[[], object]) -> MeasuredRun:
+        """Run *fn* and price its ledger delta with the time model."""
+        before = self.ledger.snapshot()
+        result = fn()
+        delta = self.ledger.delta_since(before)
+        return MeasuredRun(
+            result=result,
+            instructions=delta.total,
+            seq_pages_read=delta.seq_pages_read,
+            rand_pages_read=delta.rand_pages_read,
+            cpu_seconds=self.time_model.cpu_seconds(delta),
+            io_seconds=self.time_model.io_seconds(delta),
+        )
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Convenience pass-through to the ledger."""
+        return self.ledger.snapshot()
+
+    def table_names(self) -> list[str]:
+        return list(self._relations)

@@ -1,0 +1,1 @@
+"""Query engine: slots, expressions, executor nodes, DML, bulk loading."""

@@ -1,0 +1,118 @@
+"""Aggregate functions and their per-group accumulation state."""
+
+from __future__ import annotations
+
+from repro.engine.expr import Expr
+
+
+class AggSpec:
+    """One aggregate in a target list: ``func(expr)`` with options.
+
+    Args:
+        func: one of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+        arg: argument expression, or None for ``count(*)``.
+        distinct: evaluate over distinct argument values only.
+        name: output column name.
+    """
+
+    FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __init__(
+        self,
+        func: str,
+        arg: Expr | None = None,
+        distinct: bool = False,
+        name: str = "",
+    ) -> None:
+        if func not in self.FUNCS:
+            raise ValueError(f"unknown aggregate {func!r}")
+        if func != "count" and arg is None:
+            raise ValueError(f"{func}() requires an argument expression")
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+        self.name = name or f"{func}"
+
+    def make_state(self) -> "AggState":
+        """Create a fresh accumulator for one group."""
+        if self.distinct:
+            return _DistinctState(self.func)
+        return _PlainState(self.func)
+
+    def __repr__(self) -> str:
+        inner = "*" if self.arg is None else repr(self.arg)
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"AggSpec({self.func}({distinct}{inner}) AS {self.name})"
+
+
+class AggState:
+    """Accumulator protocol: ``update(value)`` then ``result()``."""
+
+    def update(self, value) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class _PlainState(AggState):
+    __slots__ = ("func", "count", "total", "extreme")
+
+    def __init__(self, func: str) -> None:
+        self.func = func
+        self.count = 0
+        self.total = 0
+        self.extreme = None
+
+    def update(self, value) -> None:
+        if self.func == "count":
+            # count(*) passes a sentinel; count(expr) skips NULLs upstream.
+            self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        elif self.func == "min":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif self.func == "max":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        return self.extreme
+
+
+class _DistinctState(AggState):
+    __slots__ = ("func", "seen")
+
+    def __init__(self, func: str) -> None:
+        self.func = func
+        self.seen: set = set()
+
+    def update(self, value) -> None:
+        if value is not None:
+            self.seen.add(value)
+
+    def result(self):
+        if self.func == "count":
+            return len(self.seen)
+        if not self.seen:
+            return None
+        if self.func == "sum":
+            return sum(self.seen)
+        if self.func == "avg":
+            return sum(self.seen) / len(self.seen)
+        if self.func == "min":
+            return min(self.seen)
+        return max(self.seen)

@@ -1,0 +1,133 @@
+"""Generic tuple deform/fill — the code paths micro-specialization replaces.
+
+``slot_deform_tuple`` mirrors the paper's Listing 1: a per-attribute loop
+whose every iteration re-checks attribute metadata (cached offset? varlena?
+alignment?), charging virtual instructions for each branch actually taken.
+``heap_fill_tuple`` is the symmetric generic tuple-construction path.
+
+Per-relation per-tuple costs are precomputed from the layout (the branch
+pattern is identical for every NULL-free tuple of a relation), so the hot
+path charges a single constant; tuples containing NULLs take a slower,
+per-attribute-charged path, exactly as the real code goes ``slow`` once a
+NULL is seen.
+"""
+
+from __future__ import annotations
+
+from repro.cost import constants as C
+from repro.storage.layout import INFOMASK_HAS_NULLS, TupleLayout
+
+
+def generic_deform_cost(layout: TupleLayout) -> int:
+    """Virtual instructions for one NULL-free generic deform of *layout*.
+
+    Follows Listing 1's control flow: per attribute, loop overhead, an
+    (optional) null-bitmap test, then the cached-offset / varlena /
+    post-varlena-alignment path, then the fetch.  Bee-resident attributes
+    cost a data-section lookup in the generic engine.
+    """
+    cost = C.DEFORM_PROLOGUE
+    null_check = C.DEFORM_NULL_CHECK if layout.stored_nullable else 0
+    seen_varlena = False
+    for attr in layout.stored_attrs:
+        cost += C.DEFORM_LOOP + null_check + C.DEFORM_FETCH
+        if attr.attlen == -1:
+            cost += C.DEFORM_VARLENA
+            seen_varlena = True
+        elif seen_varlena:
+            cost += C.DEFORM_FIXED_ALIGN
+        else:
+            cost += C.DEFORM_CACHED_OFFSET
+    cost += C.DEFORM_BEE_LOOKUP * len(layout.bee_attrs)
+    return cost
+
+
+def generic_deform_null_cost(layout: TupleLayout, isnull: list[bool]) -> int:
+    """Deform cost for a tuple that contains NULLs (the ``slow`` path)."""
+    cost = C.DEFORM_PROLOGUE
+    slow = False
+    for i, attr in enumerate(layout.stored_attrs):
+        cost += C.DEFORM_LOOP + C.DEFORM_NULL_CHECK
+        if isnull[attr.attnum]:
+            cost += C.DEFORM_NULL_TAKEN
+            slow = True
+            continue
+        cost += C.DEFORM_FETCH
+        if attr.attlen == -1:
+            cost += C.DEFORM_VARLENA
+            slow = True
+        elif slow:
+            cost += C.DEFORM_FIXED_ALIGN
+        else:
+            cost += C.DEFORM_CACHED_OFFSET
+    cost += C.DEFORM_BEE_LOOKUP * len(layout.bee_attrs)
+    return cost
+
+
+def generic_fill_cost(layout: TupleLayout) -> int:
+    """Virtual instructions for one NULL-free generic ``heap_fill_tuple``."""
+    cost = C.FILL_PROLOGUE
+    null_check = C.FILL_NULL_CHECK if layout.stored_nullable else 0
+    for attr in layout.stored_attrs:
+        cost += C.FILL_LOOP + null_check + C.FILL_FETCH
+        if attr.attlen == -1:
+            cost += C.FILL_VARLENA
+        else:
+            cost += C.FILL_FIXED
+    return cost
+
+
+class GenericDeformer:
+    """The stock ``slot_deform_tuple``: branchy reference decode + charge.
+
+    ``datasections`` maps beeID -> value tuple for tuple-bee relations; the
+    stock engine still reads those through a charged indirection.
+    """
+
+    function_name = "slot_deform_tuple"
+
+    def __init__(self, layout: TupleLayout, ledger) -> None:
+        self.layout = layout
+        self.ledger = ledger
+        self._nonull_cost = generic_deform_cost(layout)
+
+    def __call__(self, raw: bytes, datasections) -> list:
+        """Deform *raw* into a schema-ordered values list (None = NULL)."""
+        layout = self.layout
+        if layout.has_beeid:
+            bee_values = datasections[layout.read_bee_id(raw)]
+        else:
+            bee_values = None
+        values, isnull = layout.decode(raw, bee_values)
+        if raw[0] & INFOMASK_HAS_NULLS:
+            cost = generic_deform_null_cost(layout, isnull)
+            for i, null in enumerate(isnull):
+                if null:
+                    values[i] = None
+        else:
+            cost = self._nonull_cost
+        self.ledger.charge_fn(self.function_name, cost)
+        return values
+
+
+class GenericFiller:
+    """The stock ``heap_fill_tuple``: generic encode + per-attr charging."""
+
+    function_name = "heap_fill_tuple"
+
+    def __init__(self, layout: TupleLayout, ledger) -> None:
+        self.layout = layout
+        self.ledger = ledger
+        self._nonull_cost = generic_fill_cost(layout)
+
+    def __call__(self, values: list, bee_id: int = 0) -> bytes:
+        """Encode a schema-ordered values list (None = NULL) to bytes."""
+        isnull = [value is None for value in values]
+        if any(isnull):
+            # NULLs shorten the data copied but the branch work remains.
+            cost = self._nonull_cost
+        else:
+            cost = self._nonull_cost
+            isnull = None
+        self.ledger.charge_fn(self.function_name, cost)
+        return self.layout.encode(values, isnull, bee_id)

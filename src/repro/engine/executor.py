@@ -1,0 +1,32 @@
+"""Top-level plan execution: drive the node tree, price row emission."""
+
+from __future__ import annotations
+
+from repro.cost import constants as C
+from repro.engine.nodes import ExecContext, PlanNode
+
+
+def execute(db, plan: PlanNode, emit: bool = True) -> list[tuple]:
+    """Run *plan* against *db* and return the result rows as tuples.
+
+    When *emit* is true (the default — a client received the rows), each
+    output row is charged the printtup-style emission cost; internal
+    subplan executions pass ``emit=False``.
+    """
+    ctx = ExecContext(db)
+    charge = ctx.ledger.charge
+    width = 0
+    results = []
+    for row in plan.rows(ctx):
+        if not width:
+            width = len(row)
+        charge(C.EXECUTOR_PER_ROW)
+        if emit:
+            charge(C.EMIT_ROW_BASE + C.EMIT_ROW_PER_COLUMN * len(row))
+        results.append(tuple(row))
+    return results
+
+
+def explain(plan: PlanNode) -> str:
+    """Render the plan tree (EXPLAIN analog)."""
+    return plan.explain()

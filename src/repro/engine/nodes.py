@@ -1,0 +1,335 @@
+"""Volcano-style executor nodes: scans, filter, project, sort, limit.
+
+Every node exposes ``columns`` (its output row descriptor, fixed at plan
+construction) and ``rows(ctx)`` (a generator of flat value lists).  Costs
+are charged per row into the context's ledger; nodes that micro-specialize
+(Filter via EVP, scans via GCL) pick their implementation when iteration
+starts, based on the database's :class:`repro.bees.BeeSettings`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.cost import constants as C
+from repro.engine.expr import Expr, bind
+
+Row = list
+
+
+class ExecContext:
+    """Per-execution state handed to every node."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.ledger = db.ledger
+        self.settings = db.settings
+        self.bees = db.bee_module
+
+
+class PlanNode:
+    """Base class for executor nodes."""
+
+    columns: list[str]
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def node_label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Pretty-print the plan tree (EXPLAIN analog)."""
+        lines = ["  " * indent + "-> " + self.node_label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class SeqScan(PlanNode):
+    """Sequential heap scan; deforms via GCL bee or generic path."""
+
+    def __init__(self, relation: str) -> None:
+        self.relation = relation
+        self.columns: list[str] = []
+        self._schema = None
+
+    def bind_schema(self, schema) -> None:
+        """Resolve output columns once the catalog is available."""
+        self._schema = schema
+        self.columns = schema.column_names()
+
+    def node_label(self) -> str:
+        return f"SeqScan({self.relation})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        rel = ctx.db.relation(self.relation)
+        if not self.columns:
+            self.bind_schema(rel.schema)
+        sections = rel.sections_list()
+        if ctx.settings.gcl and rel.bee is not None:
+            deform = rel.bee.gcl.fn
+        else:
+            deform = rel.generic_deformer
+        per_row = C.SEQSCAN_NEXT + C.SLOT_STORE + C.NODE_OVERHEAD
+        charge = ctx.ledger.charge
+        for _tid, raw in rel.heap.scan():
+            charge(per_row)
+            yield deform(raw, sections)
+
+
+class IndexScan(PlanNode):
+    """Index lookup (point or range) followed by heap fetches."""
+
+    def __init__(
+        self,
+        relation: str,
+        index: str,
+        equal: tuple | None = None,
+        low: tuple | None = None,
+        high: tuple | None = None,
+    ) -> None:
+        if equal is None and low is None and high is None:
+            raise ValueError("IndexScan needs an equality key or a range")
+        self.relation = relation
+        self.index = index
+        self.equal = equal
+        self.low = low
+        self.high = high
+        self.columns: list[str] = []
+
+    def node_label(self) -> str:
+        key = self.equal if self.equal is not None else (self.low, self.high)
+        return f"IndexScan({self.relation}.{self.index} {key})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        rel = ctx.db.relation(self.relation)
+        if not self.columns:
+            self.columns = rel.schema.column_names()
+        index = rel.indexes[self.index]
+        if self.equal is not None:
+            tids = index.lookup(self.equal)
+        else:
+            tids = index.range_lookup(self.low, self.high)
+        sections = rel.sections_list()
+        if ctx.settings.gcl and rel.bee is not None:
+            deform = rel.bee.gcl.fn
+        else:
+            deform = rel.generic_deformer
+        per_row = C.INDEXSCAN_NEXT + C.SLOT_STORE + C.NODE_OVERHEAD
+        charge = ctx.ledger.charge
+        for tid in tids:
+            charge(per_row)
+            raw = rel.heap.fetch(tid, sequential=False)
+            yield deform(raw, sections)
+
+
+class Filter(PlanNode):
+    """Qualification node; uses the EVP query bee when enabled."""
+
+    def __init__(
+        self, child: PlanNode, qual: Expr, not_null: bool = False
+    ) -> None:
+        self.child = child
+        self.qual = bind(qual, child.columns)
+        self.not_null = not_null
+        self.columns = list(child.columns)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Filter({self.qual!r})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        charge = ctx.ledger.charge
+        overhead = C.NODE_OVERHEAD
+        if ctx.settings.evp:
+            routine = ctx.bees.get_evp(self.qual, self.not_null)
+            predicate = routine.fn   # charges its own (specialized) cost
+            for row in self.child.rows(ctx):
+                charge(overhead)
+                if predicate(row) is True:
+                    yield row
+        else:
+            qual = self.qual
+            cost = qual.generic_cost + overhead
+            evaluate = qual.evaluate
+            for row in self.child.rows(ctx):
+                charge(cost)
+                if evaluate(row) is True:
+                    yield row
+
+
+class Project(PlanNode):
+    """Target-list evaluation (generic in both systems, per the paper)."""
+
+    def __init__(
+        self, child: PlanNode, exprs: list[Expr], names: list[str]
+    ) -> None:
+        if len(exprs) != len(names):
+            raise ValueError("Project needs one name per expression")
+        self.child = child
+        self.exprs = [bind(expr, child.columns) for expr in exprs]
+        self.columns = list(names)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        charge = ctx.ledger.charge
+        exprs = self.exprs
+        cost = (
+            C.NODE_OVERHEAD
+            + C.PROJECT_PER_COLUMN * len(exprs)
+            + sum(expr.generic_cost for expr in exprs)
+        )
+        for row in self.child.rows(ctx):
+            charge(cost)
+            yield [expr.evaluate(row) for expr in exprs]
+
+
+class ColumnSelect(PlanNode):
+    """Cheap projection by column name (no expression evaluation)."""
+
+    def __init__(self, child: PlanNode, names: list[str]) -> None:
+        self.child = child
+        self._indexes = [child.columns.index(name) for name in names]
+        self.columns = list(names)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        charge = ctx.ledger.charge
+        indexes = self._indexes
+        cost = C.NODE_OVERHEAD + C.PROJECT_PER_COLUMN * len(indexes)
+        for row in self.child.rows(ctx):
+            charge(cost)
+            yield [row[i] for i in indexes]
+
+
+class Rename(PlanNode):
+    """Relabels columns (table aliases for self-joins); zero-cost."""
+
+    def __init__(self, child: PlanNode, prefix: str) -> None:
+        self.child = child
+        self.prefix = prefix
+        self.columns = [f"{prefix}.{name}" for name in child.columns]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Rename({self.prefix})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        return self.child.rows(ctx)
+
+
+class Sort(PlanNode):
+    """In-memory sort, multi-key with per-key direction."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: list[tuple[Expr, bool]],
+        limit: int | None = None,
+    ) -> None:
+        self.child = child
+        self.keys = [(bind(expr, child.columns), desc) for expr, desc in keys]
+        self.limit = limit
+        self.columns = list(child.columns)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        rows = list(self.child.rows(ctx))
+        n = len(rows)
+        key_cost = sum(expr.generic_cost for expr, _desc in self.keys)
+        comparisons = int(n * math.log2(n)) if n > 1 else 0
+        ctx.ledger.charge_fn(
+            "tuplesort",
+            n * (C.SORT_PER_ROW + key_cost) + comparisons * C.SORT_COMPARE,
+        )
+        # Stable multi-pass sort: apply keys from least to most significant.
+        # NULLs sort last ascending / first descending (PostgreSQL default).
+        def null_safe(expr: Expr):
+            def key(row: Row):
+                value = expr.evaluate(row)
+                return (value is None, value)
+
+            return key
+
+        for expr, desc in reversed(self.keys):
+            rows.sort(key=null_safe(expr), reverse=desc)
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        yield from rows
+
+
+class Limit(PlanNode):
+    """Stop after *n* rows."""
+
+    def __init__(self, child: PlanNode, n: int) -> None:
+        if n < 0:
+            raise ValueError("LIMIT must be non-negative")
+        self.child = child
+        self.n = n
+        self.columns = list(child.columns)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Limit({self.n})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        if self.n == 0:
+            return
+        emitted = 0
+        for row in self.child.rows(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.n:
+                return
+
+
+class Materialize(PlanNode):
+    """Caches the child's output for repeated iteration."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.columns = list(child.columns)
+        self._cache: list[Row] | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.rows(ctx))
+            ctx.ledger.charge(C.MATERIALIZE_ROW * len(self._cache))
+        yield from self._cache
+
+
+class ValuesNode(PlanNode):
+    """Constant rows (useful for tests and decorrelated subplans)."""
+
+    def __init__(self, columns: list[str], rows: list[Row]) -> None:
+        self.columns = list(columns)
+        self._rows = [list(row) for row in rows]
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        yield from self._rows

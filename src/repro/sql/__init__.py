@@ -1,0 +1,18 @@
+"""SQL front-end: tokenizer, parser, naive planner, and session API."""
+
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import PlanningError, plan_select, schema_from_create
+from repro.sql.session import SQLResult, execute_sql
+
+__all__ = [
+    "PlanningError",
+    "SQLResult",
+    "SQLSyntaxError",
+    "Token",
+    "execute_sql",
+    "parse",
+    "plan_select",
+    "schema_from_create",
+    "tokenize",
+]

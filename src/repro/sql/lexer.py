@@ -1,0 +1,108 @@
+"""SQL tokenizer for the front-end subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+    "HAVING", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
+    "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "ON", "ASC", "DESC",
+    "CREATE", "TABLE", "PRIMARY", "KEY", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "EXISTS", "EXPLAIN", "VACUUM",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "DATE", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "ANNOTATE", "DROP",
+}
+
+SYMBOLS = [
+    "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
+    "/", ".", ";",
+]
+
+
+class SQLSyntaxError(ValueError):
+    """Raised on malformed SQL text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'kw', 'ident', 'number', 'string',
+    'symbol', or 'eof'."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}:{self.value})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL *text* into tokens; raises SQLSyntaxError on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(
+                        f"unterminated string literal at {i}"
+                    )
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":      # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow a trailing qualifier dot like "t.col".
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("kw", upper, i))
+            else:
+                tokens.append(Token("ident", word.lower(), i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

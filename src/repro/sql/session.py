@@ -1,0 +1,99 @@
+"""SQL entry point: parse, plan, execute against a Database."""
+
+from __future__ import annotations
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.planner import lower_expr, plan_select, schema_from_create
+
+
+class SQLResult:
+    """Result of one SQL statement: rows (for SELECT) plus a status tag."""
+
+    def __init__(self, status: str, rows: list[tuple] | None = None,
+                 columns: list[str] | None = None) -> None:
+        self.status = status
+        self.rows = rows if rows is not None else []
+        self.columns = columns or []
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"SQLResult({self.status}, {len(self.rows)} rows)"
+
+
+def execute_sql(db, sql: str) -> SQLResult:
+    """Execute one SQL statement against *db*.
+
+    SELECT returns rows; CREATE TABLE (with the paper's ``ANNOTATE``
+    clause), INSERT, and DROP TABLE return status-only results.
+    """
+    stmt = parse(sql)
+    if isinstance(stmt, ast.SelectStmt):
+        plan = plan_select(db, stmt)
+        rows = db.execute(plan)
+        return SQLResult(f"SELECT {len(rows)}", rows, list(plan.columns))
+    if isinstance(stmt, ast.CreateTableStmt):
+        schema = schema_from_create(stmt)
+        db.create_table(schema, annotate=stmt.annotate)
+        return SQLResult("CREATE TABLE")
+    if isinstance(stmt, ast.InsertStmt):
+        for row in stmt.rows:
+            db.insert(stmt.table, row)
+        return SQLResult(f"INSERT {len(stmt.rows)}")
+    if isinstance(stmt, ast.DropTableStmt):
+        db.drop_table(stmt.name)
+        return SQLResult("DROP TABLE")
+    if isinstance(stmt, ast.DeleteStmt):
+        predicate = _row_predicate(db, stmt.table, stmt.where)
+        count = db.delete_where(stmt.table, predicate)
+        return SQLResult(f"DELETE {count}")
+    if isinstance(stmt, ast.UpdateStmt):
+        schema = db.relation(stmt.table).schema
+        columns = schema.column_names()
+        assignments = [
+            (schema.attnum(column), _bound_expr(db, stmt.table, expr))
+            for column, expr in stmt.assignments
+        ]
+        predicate = _row_predicate(db, stmt.table, stmt.where)
+
+        def updater(values: list) -> list:
+            new_values = list(values)
+            for attnum, expr in assignments:
+                new_values[attnum] = expr.evaluate(values)
+            return new_values
+
+        count = db.update_where(stmt.table, predicate, updater)
+        return SQLResult(f"UPDATE {count}")
+    if isinstance(stmt, ast.VacuumStmt):
+        report = db.vacuum(stmt.table)
+        return SQLResult(
+            f"VACUUM {report['pages_before']} -> {report['pages_after']} pages"
+        )
+    if isinstance(stmt, ast.ExplainStmt):
+        from repro.engine.executor import explain
+
+        plan = plan_select(db, stmt.select)
+        lines = explain(plan).splitlines()
+        return SQLResult("EXPLAIN", [(line,) for line in lines], ["plan"])
+    raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+def _bound_expr(db, table: str, expr_ast):
+    """Lower and bind an expression against a relation's schema columns."""
+    from repro.engine.expr import bind
+
+    columns = db.relation(table).schema.column_names()
+    return bind(lower_expr(expr_ast, columns), columns)
+
+
+def _row_predicate(db, table: str, where):
+    """A values-list callable for UPDATE/DELETE WHERE clauses."""
+    if where is None:
+        return lambda _values: True
+    bound = _bound_expr(db, table, where)
+    return lambda values: bound.evaluate(values) is True

@@ -1,0 +1,33 @@
+"""Storage manager: tuple layout, slotted pages, heap files, buffer pool."""
+
+from repro.storage.buffer import DEFAULT_CAPACITY_PAGES, BufferPool
+from repro.storage.heapfile import TID, HeapFile
+from repro.storage.index import (
+    BTreeIndex,
+    DuplicateKeyError,
+    HashIndex,
+    build_index,
+)
+from repro.storage.layout import (
+    INFOMASK_HAS_BEEID,
+    INFOMASK_HAS_NULLS,
+    TupleLayout,
+)
+from repro.storage.page import PAGE_SIZE, HeapPage, PageFullError
+
+__all__ = [
+    "BTreeIndex",
+    "BufferPool",
+    "DEFAULT_CAPACITY_PAGES",
+    "DuplicateKeyError",
+    "HashIndex",
+    "HeapFile",
+    "HeapPage",
+    "INFOMASK_HAS_BEEID",
+    "INFOMASK_HAS_NULLS",
+    "PAGE_SIZE",
+    "PageFullError",
+    "TID",
+    "TupleLayout",
+    "build_index",
+]

@@ -1,0 +1,71 @@
+"""Buffer pool: simulated page residency with LRU replacement.
+
+Heap pages live in Python memory regardless; the buffer pool only decides
+whether an access counts as a *hit* (free) or a *miss* (charged to the
+ledger's simulated I/O counters).  The warm-cache experiments (Fig. 4)
+pre-warm every page; the cold-cache experiments (Fig. 5) start empty, so
+relations shrunk by tuple bees read fewer pages and win on I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cost.ledger import Ledger
+
+DEFAULT_CAPACITY_PAGES = 16384  # 128 MB of 8KB pages
+
+
+class BufferPool:
+    """Tracks which ``(relation, pageno)`` pages are resident, LRU-evicted."""
+
+    def __init__(
+        self, ledger: Ledger, capacity_pages: int = DEFAULT_CAPACITY_PAGES
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs capacity of at least one page")
+        self.ledger = ledger
+        self.capacity_pages = capacity_pages
+        self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+
+    def access(self, relation: str, pageno: int, sequential: bool = True) -> bool:
+        """Record an access; returns True on hit, False on (charged) miss."""
+        key = (relation, pageno)
+        resident = self._resident
+        if key in resident:
+            resident.move_to_end(key)
+            self.ledger.hit_page()
+            return True
+        self.ledger.read_page(sequential=sequential)
+        resident[key] = None
+        if len(resident) > self.capacity_pages:
+            resident.popitem(last=False)
+        return False
+
+    def install(self, relation: str, pageno: int) -> None:
+        """Make a page resident without charging I/O (e.g. a fresh page)."""
+        key = (relation, pageno)
+        self._resident[key] = None
+        self._resident.move_to_end(key)
+        if len(self._resident) > self.capacity_pages:
+            self._resident.popitem(last=False)
+
+    def invalidate_relation(self, relation: str) -> None:
+        """Drop every resident page of *relation* (relation dropped)."""
+        stale = [key for key in self._resident if key[0] == relation]
+        for key in stale:
+            del self._resident[key]
+
+    def clear(self) -> None:
+        """Empty the pool — the cold-cache starting state."""
+        self._resident.clear()
+
+    def warm(self, relation: str, page_count: int) -> None:
+        """Mark pages ``0..page_count-1`` of *relation* resident (no I/O)."""
+        for pageno in range(page_count):
+            self.install(relation, pageno)
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of currently resident pages."""
+        return len(self._resident)

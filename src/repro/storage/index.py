@@ -1,0 +1,159 @@
+"""Secondary indexes: hash (equality) and B-tree-style (ordered) indexes.
+
+TPC-C transactions are point/range lookups; without indexes the Python
+executor would need full scans per transaction.  Both index kinds map key
+tuples to heap TIDs and are maintained by the database on insert, update,
+and delete.  Ordered lookups use ``bisect`` over a sorted key list — the
+asymptotics of a B+-tree without the node machinery (charged like one).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.storage.heapfile import TID
+
+
+class DuplicateKeyError(Exception):
+    """Raised on inserting a duplicate key into a unique index."""
+
+
+class HashIndex:
+    """Equality-only index: key tuple -> list of TIDs."""
+
+    kind = "hash"
+
+    def __init__(
+        self, name: str, relation: str, key_columns: tuple[str, ...],
+        unique: bool = False,
+    ) -> None:
+        self.name = name
+        self.relation = relation
+        self.key_columns = key_columns
+        self.unique = unique
+        self._buckets: dict[tuple, list[TID]] = defaultdict(list)
+
+    def insert(self, key: tuple, tid: TID) -> None:
+        """Add an entry; enforces uniqueness when configured."""
+        bucket = self._buckets[key]
+        if self.unique and bucket:
+            raise DuplicateKeyError(
+                f"duplicate key {key!r} in unique index {self.name!r}"
+            )
+        bucket.append(tid)
+
+    def delete(self, key: tuple, tid: TID) -> None:
+        """Remove one entry (missing entries are ignored)."""
+        bucket = self._buckets.get(key)
+        if bucket and tid in bucket:
+            bucket.remove(tid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple) -> list[TID]:
+        """All TIDs for *key* (empty list when absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class BTreeIndex:
+    """Ordered index supporting point and range lookups."""
+
+    kind = "btree"
+
+    def __init__(
+        self, name: str, relation: str, key_columns: tuple[str, ...],
+        unique: bool = False,
+    ) -> None:
+        self.name = name
+        self.relation = relation
+        self.key_columns = key_columns
+        self.unique = unique
+        self._keys: list[tuple] = []          # sorted (key..., seq) entries
+        self._tids: dict[tuple, TID] = {}
+        self._seq = 0
+
+    def insert(self, key: tuple, tid: TID) -> None:
+        """Add an entry; enforces uniqueness when configured."""
+        if self.unique:
+            lo = bisect_left(self._keys, (key,) if False else key + (-1,))
+            if lo < len(self._keys) and self._keys[lo][:-1] == key:
+                raise DuplicateKeyError(
+                    f"duplicate key {key!r} in unique index {self.name!r}"
+                )
+        entry = key + (self._seq,)
+        self._seq += 1
+        insort(self._keys, entry)
+        self._tids[entry] = tid
+
+    def delete(self, key: tuple, tid: TID) -> None:
+        """Remove the entry for ``(key, tid)`` if present."""
+        lo = bisect_left(self._keys, key + (-1,))
+        while lo < len(self._keys) and self._keys[lo][:-1] == key:
+            entry = self._keys[lo]
+            if self._tids.get(entry) == tid:
+                del self._keys[lo]
+                del self._tids[entry]
+                return
+            lo += 1
+
+    def lookup(self, key: tuple) -> list[TID]:
+        """All TIDs whose full key equals *key*."""
+        return [tid for _entry, tid in self.range_entries(key, key)]
+
+    def range_entries(
+        self, low: tuple | None, high: tuple | None
+    ) -> Iterator[tuple[tuple, TID]]:
+        """Yield ``(key, tid)`` for low <= key <= high, in key order.
+
+        Either bound may be None (unbounded).  Bounds compare against the
+        key prefix of matching arity, so a 1-tuple bound works against a
+        2-column index.
+        """
+        keys = self._keys
+        start = 0 if low is None else bisect_left(keys, low + (-1,) * 0)
+        if low is not None:
+            start = bisect_left(keys, low)
+        for i in range(start, len(keys)):
+            entry = keys[i]
+            key = entry[:-1]
+            if high is not None and key[: len(high)] > high:
+                break
+            if low is not None and key[: len(low)] < low:
+                continue
+            yield key, self._tids[entry]
+
+    def range_lookup(
+        self, low: tuple | None, high: tuple | None
+    ) -> list[TID]:
+        """TIDs for keys within [low, high] (inclusive, prefix-compared)."""
+        return [tid for _key, tid in self.range_entries(low, high)]
+
+    def min_key(self) -> tuple | None:
+        """Smallest key, or None when the index is empty."""
+        return self._keys[0][:-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def build_index(
+    kind: str,
+    name: str,
+    relation: str,
+    key_columns: Iterable[str],
+    unique: bool = False,
+) -> HashIndex | BTreeIndex:
+    """Factory used by :meth:`repro.db.Database.create_index`."""
+    key_tuple = tuple(key_columns)
+    if not key_tuple:
+        raise ValueError("an index needs at least one key column")
+    if kind == "hash":
+        return HashIndex(name, relation, key_tuple, unique=unique)
+    if kind == "btree":
+        return BTreeIndex(name, relation, key_tuple, unique=unique)
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,232 @@
+"""Physical tuple layout: aligned encode/decode with tuple-bee holes.
+
+The on-"disk" tuple format mirrors PostgreSQL's heap tuple:
+
+* header byte 0: infomask (``HAS_NULLS``, ``HAS_BEEID`` flags),
+* header byte 1: ``hoff`` — offset of the data area,
+* optional 2-byte little-endian beeID (tuple-bee relations),
+* optional null bitmap (one bit per *stored* attribute),
+* data area, starting at ``hoff`` (8-byte aligned), attributes laid out in
+  order with per-type alignment; varlena values are a 4-byte length prefix
+  plus payload; NULL values occupy no space.
+
+A :class:`TupleLayout` is built per relation per database.  When tuple bees
+are enabled for the relation, annotated attributes are *not stored* in the
+tuple at all — their values live in the bee's data section and the stored
+beeID selects which (the paper's Section IV-A storage saving, the source of
+the cold-cache I/O win in Fig. 5).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.catalog.schema import RelationSchema
+from repro.catalog.types import align_offset
+
+INFOMASK_HAS_NULLS = 0x01
+INFOMASK_HAS_BEEID = 0x02
+
+_BEEID_STRUCT = struct.Struct("<H")
+_VARLEN_STRUCT = struct.Struct("<i")
+
+# struct packers per scalar format character
+_PACK = {fmt: struct.Struct("<" + fmt) for fmt in ("i", "q", "d", "B")}
+
+
+class TupleLayout:
+    """Encoder/decoder for one relation's physical tuples.
+
+    Args:
+        schema: the relation schema.
+        bee_attrs: names of attributes hoisted into tuple-bee data sections
+            (empty for stock databases and non-annotated relations).
+    """
+
+    def __init__(
+        self, schema: RelationSchema, bee_attrs: tuple[str, ...] = ()
+    ) -> None:
+        unknown = [name for name in bee_attrs if name not in schema]
+        if unknown:
+            raise ValueError(
+                f"bee attributes {unknown} not in relation {schema.name!r}"
+            )
+        self.schema = schema
+        self.bee_attrs = tuple(bee_attrs)
+        self._bee_set = frozenset(bee_attrs)
+        self.stored_attrs = [
+            attr for attr in schema.attributes if attr.name not in self._bee_set
+        ]
+        self.has_beeid = bool(bee_attrs)
+        self.stored_nullable = any(attr.nullable for attr in self.stored_attrs)
+        # Map bee attr name -> position within the data-section value tuple.
+        self.bee_slot = {name: i for i, name in enumerate(self.bee_attrs)}
+        # Cacheable offsets within the *stored* data area.
+        self._stored_offsets = self._compute_stored_offsets()
+        self._bitmap_bytes = (len(self.stored_attrs) + 7) // 8
+
+    def _compute_stored_offsets(self) -> list[int]:
+        """Fixed data-area offsets for stored attrs (-1 when not cacheable)."""
+        offsets = []
+        offset = 0
+        known = True
+        for attr in self.stored_attrs:
+            if known:
+                offset = align_offset(offset, attr.attalign)
+                offsets.append(offset)
+                if attr.attlen >= 0:
+                    offset += attr.attlen
+                else:
+                    known = False
+            else:
+                offsets.append(-1)
+        return offsets
+
+    def stored_offset(self, stored_index: int) -> int:
+        """Cacheable data-area offset of the i-th stored attr, or -1."""
+        return self._stored_offsets[stored_index]
+
+    def header_size(self, tuple_has_nulls: bool) -> int:
+        """Aligned header length (``hoff``) for a tuple."""
+        size = 2
+        if self.has_beeid:
+            size += 2
+        if tuple_has_nulls:
+            size += self._bitmap_bytes
+        return align_offset(size, 8)
+
+    # -- encode ----------------------------------------------------------------
+
+    def encode(
+        self,
+        values: list,
+        isnull: list[bool] | None = None,
+        bee_id: int = 0,
+    ) -> bytes:
+        """Serialize schema-ordered *values* into tuple bytes.
+
+        Bee-resident attributes are skipped (their values are identified by
+        *bee_id*).  ``isnull[i]`` marks NULLs; NULL values occupy no storage.
+        """
+        attrs = self.stored_attrs
+        if isnull is None:
+            stored_nulls = [False] * len(attrs)
+            tuple_has_nulls = False
+        else:
+            stored_nulls = [isnull[attr.attnum] for attr in attrs]
+            tuple_has_nulls = any(stored_nulls)
+        hoff = self.header_size(tuple_has_nulls)
+        out = bytearray(hoff)
+        infomask = 0
+        pos = 2
+        if self.has_beeid:
+            infomask |= INFOMASK_HAS_BEEID
+            _BEEID_STRUCT.pack_into(out, pos, bee_id)
+            pos += 2
+        if tuple_has_nulls:
+            infomask |= INFOMASK_HAS_NULLS
+            for i, is_null in enumerate(stored_nulls):
+                if is_null:
+                    out[pos + (i >> 3)] |= 1 << (i & 7)
+        out[0] = infomask
+        out[1] = hoff
+
+        offset = 0
+        for i, attr in enumerate(attrs):
+            if tuple_has_nulls and stored_nulls[i]:
+                continue
+            value = values[attr.attnum]
+            sql_type = attr.sql_type
+            aligned = align_offset(offset, attr.attalign)
+            if aligned > offset:
+                out.extend(b"\x00" * (aligned - offset))
+                offset = aligned
+            if sql_type.struct_fmt:
+                out.extend(_PACK[sql_type.struct_fmt].pack(value))
+                offset += sql_type.attlen
+            elif sql_type.attlen >= 0:  # CHAR(n)
+                raw = value.encode() if isinstance(value, str) else bytes(value)
+                if len(raw) > sql_type.attlen:
+                    raise ValueError(
+                        f"value too long for {attr.name} "
+                        f"({len(raw)} > {sql_type.attlen})"
+                    )
+                out.extend(raw.ljust(sql_type.attlen, b" "))
+                offset += sql_type.attlen
+            else:  # varlena
+                raw = value.encode() if isinstance(value, str) else bytes(value)
+                out.extend(_VARLEN_STRUCT.pack(len(raw)))
+                out.extend(raw)
+                offset += 4 + len(raw)
+        return bytes(out)
+
+    # -- decode ----------------------------------------------------------------
+
+    def decode(
+        self, raw: bytes, bee_values: tuple | None = None
+    ) -> tuple[list, list[bool]]:
+        """Deserialize tuple bytes into schema-ordered values and null flags.
+
+        *bee_values* supplies the data-section values for bee-resident
+        attributes (in :attr:`bee_attrs` order); pass None for stock tuples.
+        This is the reference decoder — the generic ``slot_deform_tuple``
+        and the generated GCL routines must agree with it bit for bit.
+        """
+        natts = self.schema.natts
+        values: list = [None] * natts
+        isnull = [False] * natts
+        infomask = raw[0]
+        hoff = raw[1]
+        pos = 2
+        if infomask & INFOMASK_HAS_BEEID:
+            pos += 2
+        has_nulls = bool(infomask & INFOMASK_HAS_NULLS)
+        bitmap_start = pos
+
+        offset = hoff
+        for i, attr in enumerate(self.stored_attrs):
+            if has_nulls and raw[bitmap_start + (i >> 3)] & (1 << (i & 7)):
+                isnull[attr.attnum] = True
+                continue
+            sql_type = attr.sql_type
+            offset = align_offset(offset, attr.attalign)
+            if sql_type.struct_fmt:
+                (value,) = _PACK[sql_type.struct_fmt].unpack_from(raw, offset)
+                if sql_type.struct_fmt == "B":
+                    value = bool(value)
+                offset += sql_type.attlen
+            elif sql_type.attlen >= 0:
+                # CHAR(n): trailing pad spaces are insignificant in SQL.
+                value = raw[offset : offset + sql_type.attlen].decode().rstrip(" ")
+                offset += sql_type.attlen
+            else:
+                (length,) = _VARLEN_STRUCT.unpack_from(raw, offset)
+                value = raw[offset + 4 : offset + 4 + length].decode()
+                offset += 4 + length
+            values[attr.attnum] = value
+
+        if self.bee_attrs:
+            if bee_values is None:
+                raise ValueError(
+                    f"tuple of {self.schema.name!r} needs data-section values"
+                )
+            for name, slot in self.bee_slot.items():
+                values[self.schema.attnum(name)] = bee_values[slot]
+        return values, isnull
+
+    def read_bee_id(self, raw: bytes) -> int:
+        """Extract the stored beeID (valid only for tuple-bee layouts)."""
+        if not raw[0] & INFOMASK_HAS_BEEID:
+            raise ValueError("tuple has no beeID")
+        return _BEEID_STRUCT.unpack_from(raw, 2)[0]
+
+    def bee_key(self, values: list) -> tuple:
+        """Extract the data-section key (annotated values) from a row."""
+        schema = self.schema
+        return tuple(values[schema.attnum(name)] for name in self.bee_attrs)
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleLayout({self.schema.name}, stored={len(self.stored_attrs)}, "
+            f"bee={list(self.bee_attrs)})"
+        )

@@ -1,0 +1,1 @@
+"""Benchmark workloads: TPC-H (analytics + bulk load) and TPC-C (OLTP)."""

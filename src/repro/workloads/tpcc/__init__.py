@@ -1,0 +1,20 @@
+"""TPC-C workload: schema, loader, the five transactions, throughput driver."""
+
+from repro.workloads.tpcc.loader import TPCCConfig, build_tpcc_database, load_tpcc
+from repro.workloads.tpcc.runner import MIXES, TPCCResult, run_mix, transaction_schedule
+from repro.workloads.tpcc.schema import ALL_SCHEMAS, INDEXES
+from repro.workloads.tpcc.transactions import TRANSACTION_TYPES, TransactionContext
+
+__all__ = [
+    "ALL_SCHEMAS",
+    "INDEXES",
+    "MIXES",
+    "TPCCConfig",
+    "TPCCResult",
+    "TRANSACTION_TYPES",
+    "TransactionContext",
+    "build_tpcc_database",
+    "load_tpcc",
+    "run_mix",
+    "transaction_schedule",
+]

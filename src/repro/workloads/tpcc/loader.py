@@ -1,0 +1,167 @@
+"""TPC-C initial database population (the BenchmarkSQL loader substitute).
+
+Row counts follow the spec's per-warehouse cardinalities, scaled down by
+``items_per_warehouse`` / ``customers_per_district`` so the pure-Python
+engine stays responsive; throughput comparisons are ratio-based and the
+scale cancels out.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bees.settings import BeeSettings
+from repro.catalog.types import date_to_days
+from repro.db import Database
+from repro.workloads.tpcc.schema import ALL_SCHEMAS, INDEXES
+
+import datetime
+
+_TODAY = date_to_days(datetime.date(2011, 8, 1))
+
+# C-Last name syllables from the spec.
+_SYLLABLES = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION",
+    "EING",
+]
+
+
+def c_last(number: int) -> str:
+    """Spec rule: customer last name from three syllables of *number*."""
+    return (
+        _SYLLABLES[(number // 100) % 10]
+        + _SYLLABLES[(number // 10) % 10]
+        + _SYLLABLES[number % 10]
+    )
+
+
+class TPCCConfig:
+    """Scale parameters for one TPC-C database."""
+
+    def __init__(
+        self,
+        warehouses: int = 2,
+        districts_per_warehouse: int = 10,
+        customers_per_district: int = 120,
+        items: int = 1000,
+        seed: int = 20120402,
+    ) -> None:
+        if warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        self.warehouses = warehouses
+        self.districts = districts_per_warehouse
+        self.customers = customers_per_district
+        self.items = items
+        self.seed = seed
+
+
+def _rand_text(rng: random.Random, low: int, high: int) -> str:
+    length = rng.randint(low, high)
+    return "".join(
+        rng.choice("abcdefghijklmnopqrstuvwxyz ") for _ in range(length)
+    ).strip() or "x"
+
+
+def load_tpcc(db: Database, config: TPCCConfig) -> None:
+    """Create the nine tables, load initial rows, and build indexes."""
+    for name, schema_fn in ALL_SCHEMAS.items():
+        db.create_table(schema_fn())
+    rng = random.Random(config.seed)
+
+    for w_id in range(1, config.warehouses + 1):
+        db.insert("warehouse", [
+            w_id, f"WH{w_id}", _rand_text(rng, 10, 20), _rand_text(rng, 10, 20),
+            "AZ", "123456789", round(rng.uniform(0.0, 0.2), 4), 300000.0,
+        ])
+        for d_id in range(1, config.districts + 1):
+            db.insert("district", [
+                d_id, w_id, f"D{d_id}", _rand_text(rng, 10, 20),
+                _rand_text(rng, 10, 20), "AZ", "123456789",
+                round(rng.uniform(0.0, 0.2), 4), 30000.0,
+                config.customers + 1,
+            ])
+
+    items = []
+    for i_id in range(1, config.items + 1):
+        data = _rand_text(rng, 26, 50)
+        if rng.random() < 0.1:
+            data = "ORIGINAL" + data[8:]
+        items.append([
+            i_id, rng.randint(1, 10_000), f"item-{i_id}",
+            round(rng.uniform(1.0, 100.0), 2), data[:50],
+        ])
+    db.copy_from("item", items)
+
+    for w_id in range(1, config.warehouses + 1):
+        stock_rows = []
+        for i_id in range(1, config.items + 1):
+            data = _rand_text(rng, 26, 50)
+            if rng.random() < 0.1:
+                data = "ORIGINAL" + data[8:]
+            stock_rows.append([
+                i_id, w_id, rng.randint(10, 100),
+                _rand_text(rng, 24, 24)[:24].ljust(24)[:24],
+                0.0, 0, 0, data[:50],
+            ])
+        db.copy_from("stock", stock_rows)
+
+    order_id = 0
+    for w_id in range(1, config.warehouses + 1):
+        for d_id in range(1, config.districts + 1):
+            customers = []
+            for c_id in range(1, config.customers + 1):
+                last = c_last(
+                    c_id - 1 if c_id <= 1000 else rng.randint(0, 999)
+                )
+                credit = "BC" if rng.random() < 0.1 else "GC"
+                customers.append([
+                    c_id, d_id, w_id, _rand_text(rng, 8, 16), "OE", last,
+                    _rand_text(rng, 10, 20), _rand_text(rng, 10, 20), "AZ",
+                    "123456789", "0123456789012345", _TODAY, credit,
+                    50000.0, round(rng.uniform(0.0, 0.5), 4), -10.0, 10.0,
+                    1, 0, _rand_text(rng, 30, 60),
+                ])
+            db.copy_from("tpcc_customer", customers)
+
+            # Initial orders: one per customer, the last 30% undelivered.
+            order_rows, line_rows, new_orders = [], [], []
+            c_ids = list(range(1, config.customers + 1))
+            rng.shuffle(c_ids)
+            for o_id, c_id in enumerate(c_ids, start=1):
+                order_id += 1
+                delivered = o_id <= int(config.customers * 0.7)
+                ol_cnt = rng.randint(5, 15)
+                order_rows.append([
+                    o_id, d_id, w_id, c_id, _TODAY,
+                    rng.randint(1, 10) if delivered else None,
+                    ol_cnt, 1,
+                ])
+                for number in range(1, ol_cnt + 1):
+                    line_rows.append([
+                        o_id, d_id, w_id, number,
+                        rng.randint(1, config.items), w_id,
+                        _TODAY if delivered else None,
+                        5,
+                        0.0 if delivered else round(rng.uniform(0.01, 9999.99), 2),
+                        _rand_text(rng, 24, 24)[:24].ljust(24)[:24],
+                    ])
+                if not delivered:
+                    new_orders.append([o_id, d_id, w_id])
+            db.copy_from("oorder", order_rows)
+            db.copy_from("order_line", line_rows)
+            db.copy_from("new_order", new_orders)
+
+    for name, relation, columns, kind, unique in INDEXES:
+        db.create_index(relation, name, columns, kind=kind, unique=unique)
+
+
+def build_tpcc_database(
+    settings: BeeSettings, config: TPCCConfig | None = None
+) -> Database:
+    """A loaded TPC-C database with the given bee settings."""
+    config = config or TPCCConfig()
+    db = Database(settings)
+    load_tpcc(db, config)
+    db.warm_cache()
+    db.ledger.reset()
+    return db

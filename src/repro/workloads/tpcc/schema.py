@@ -1,0 +1,208 @@
+"""TPC-C schema: the nine relations, with OLTP primary keys.
+
+Column sets follow the TPC-C specification (v5.x); ``o_carrier_id`` and
+``ol_delivery_d`` are nullable (they are filled in by Delivery), which
+keeps the engine's NULL paths exercised under OLTP load.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    DATE,
+    INT4,
+    NUMERIC,
+    RelationSchema,
+    char,
+    make_schema,
+    varchar,
+)
+
+
+def warehouse_schema() -> RelationSchema:
+    return make_schema(
+        "warehouse",
+        [
+            ("w_id", INT4),
+            ("w_name", varchar(10)),
+            ("w_street_1", varchar(20)),
+            ("w_city", varchar(20)),
+            ("w_state", char(2)),
+            ("w_zip", char(9)),
+            ("w_tax", NUMERIC),
+            ("w_ytd", NUMERIC),
+        ],
+        ("w_id",),
+    )
+
+
+def district_schema() -> RelationSchema:
+    return make_schema(
+        "district",
+        [
+            ("d_id", INT4),
+            ("d_w_id", INT4),
+            ("d_name", varchar(10)),
+            ("d_street_1", varchar(20)),
+            ("d_city", varchar(20)),
+            ("d_state", char(2)),
+            ("d_zip", char(9)),
+            ("d_tax", NUMERIC),
+            ("d_ytd", NUMERIC),
+            ("d_next_o_id", INT4),
+        ],
+        ("d_w_id", "d_id"),
+    )
+
+
+def customer_schema() -> RelationSchema:
+    return make_schema(
+        "tpcc_customer",
+        [
+            ("c_id", INT4),
+            ("c_d_id", INT4),
+            ("c_w_id", INT4),
+            ("c_first", varchar(16)),
+            ("c_middle", char(2)),
+            ("c_last", varchar(16)),
+            ("c_street_1", varchar(20)),
+            ("c_city", varchar(20)),
+            ("c_state", char(2)),
+            ("c_zip", char(9)),
+            ("c_phone", char(16)),
+            ("c_since", DATE),
+            ("c_credit", char(2)),
+            ("c_credit_lim", NUMERIC),
+            ("c_discount", NUMERIC),
+            ("c_balance", NUMERIC),
+            ("c_ytd_payment", NUMERIC),
+            ("c_payment_cnt", INT4),
+            ("c_delivery_cnt", INT4),
+            ("c_data", varchar(500)),
+        ],
+        ("c_w_id", "c_d_id", "c_id"),
+    )
+
+
+def history_schema() -> RelationSchema:
+    return make_schema(
+        "history",
+        [
+            ("h_c_id", INT4),
+            ("h_c_d_id", INT4),
+            ("h_c_w_id", INT4),
+            ("h_d_id", INT4),
+            ("h_w_id", INT4),
+            ("h_date", DATE),
+            ("h_amount", NUMERIC),
+            ("h_data", varchar(24)),
+        ],
+    )
+
+
+def new_order_schema() -> RelationSchema:
+    return make_schema(
+        "new_order",
+        [
+            ("no_o_id", INT4),
+            ("no_d_id", INT4),
+            ("no_w_id", INT4),
+        ],
+        ("no_w_id", "no_d_id", "no_o_id"),
+    )
+
+
+def oorder_schema() -> RelationSchema:
+    return make_schema(
+        "oorder",
+        [
+            ("o_id", INT4),
+            ("o_d_id", INT4),
+            ("o_w_id", INT4),
+            ("o_c_id", INT4),
+            ("o_entry_d", DATE),
+            ("o_carrier_id", INT4, True),
+            ("o_ol_cnt", INT4),
+            ("o_all_local", INT4),
+        ],
+        ("o_w_id", "o_d_id", "o_id"),
+    )
+
+
+def order_line_schema() -> RelationSchema:
+    return make_schema(
+        "order_line",
+        [
+            ("ol_o_id", INT4),
+            ("ol_d_id", INT4),
+            ("ol_w_id", INT4),
+            ("ol_number", INT4),
+            ("ol_i_id", INT4),
+            ("ol_supply_w_id", INT4),
+            ("ol_delivery_d", DATE, True),
+            ("ol_quantity", INT4),
+            ("ol_amount", NUMERIC),
+            ("ol_dist_info", char(24)),
+        ],
+        ("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+    )
+
+
+def item_schema() -> RelationSchema:
+    return make_schema(
+        "item",
+        [
+            ("i_id", INT4),
+            ("i_im_id", INT4),
+            ("i_name", varchar(24)),
+            ("i_price", NUMERIC),
+            ("i_data", varchar(50)),
+        ],
+        ("i_id",),
+    )
+
+
+def stock_schema() -> RelationSchema:
+    return make_schema(
+        "stock",
+        [
+            ("s_i_id", INT4),
+            ("s_w_id", INT4),
+            ("s_quantity", INT4),
+            ("s_dist_01", char(24)),
+            ("s_ytd", NUMERIC),
+            ("s_order_cnt", INT4),
+            ("s_remote_cnt", INT4),
+            ("s_data", varchar(50)),
+        ],
+        ("s_w_id", "s_i_id"),
+    )
+
+
+ALL_SCHEMAS = {
+    "warehouse": warehouse_schema,
+    "district": district_schema,
+    "tpcc_customer": customer_schema,
+    "history": history_schema,
+    "new_order": new_order_schema,
+    "oorder": oorder_schema,
+    "order_line": order_line_schema,
+    "item": item_schema,
+    "stock": stock_schema,
+}
+
+# (index name, relation, key columns, kind, unique)
+INDEXES = [
+    ("warehouse_pk", "warehouse", ("w_id",), "hash", True),
+    ("district_pk", "district", ("d_w_id", "d_id"), "hash", True),
+    ("customer_pk", "tpcc_customer", ("c_w_id", "c_d_id", "c_id"), "hash", True),
+    ("customer_last", "tpcc_customer", ("c_w_id", "c_d_id", "c_last"), "hash", False),
+    ("new_order_pk", "new_order", ("no_w_id", "no_d_id", "no_o_id"), "btree", True),
+    ("oorder_pk", "oorder", ("o_w_id", "o_d_id", "o_id"), "btree", True),
+    ("oorder_cust", "oorder", ("o_w_id", "o_d_id", "o_c_id", "o_id"), "btree", False),
+    ("order_line_pk", "order_line",
+     ("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"), "btree", True),
+    ("order_line_order", "order_line",
+     ("ol_w_id", "ol_d_id", "ol_o_id"), "btree", False),
+    ("item_pk", "item", ("i_id",), "hash", True),
+    ("stock_pk", "stock", ("s_w_id", "s_i_id"), "hash", True),
+]

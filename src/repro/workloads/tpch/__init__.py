@@ -1,0 +1,24 @@
+"""TPC-H workload: schema, dbgen substitute, and the 22 queries."""
+
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import (
+    build_pair,
+    build_tpch_database,
+    create_tables,
+    generate_rows,
+    load_rows,
+)
+from repro.workloads.tpch.queries import QUERIES
+from repro.workloads.tpch.schema import ALL_SCHEMAS, ANNOTATIONS
+
+__all__ = [
+    "ALL_SCHEMAS",
+    "ANNOTATIONS",
+    "QUERIES",
+    "TPCHGenerator",
+    "build_pair",
+    "build_tpch_database",
+    "create_tables",
+    "generate_rows",
+    "load_rows",
+]

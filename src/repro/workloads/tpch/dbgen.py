@@ -1,0 +1,265 @@
+"""Deterministic TPC-H data generator (the DBGEN substitute).
+
+Follows the TPC-H specification's row counts, value domains, and
+correlations (order/ship/commit/receipt date chains, return-flag rules,
+brand/type/container vocabularies) with a seeded PRNG so every run — and
+both the stock and bee-enabled databases — sees identical data.  Scale
+factor 1.0 matches the paper (1 GB); the experiments default to a small
+fraction since the reported metrics are scale-invariant percentages.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Iterator
+
+from repro.catalog.types import date_to_days
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# (nation name, region index) — the spec's fixed 25-nation table.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+_WORDS = [
+    "packages", "deposits", "requests", "accounts", "instructions", "foxes",
+    "ideas", "theodolites", "pinto", "beans", "platelets", "dependencies",
+    "excuses", "asymptotes", "courts", "dolphins", "multipliers", "sauternes",
+    "warthogs", "frets", "dinos", "attainments", "somas", "realms", "braids",
+    "hockey", "players", "frays", "warhorses", "dugouts", "notornis", "epitaphs",
+    "pearls", "instructions", "dependencies", "sentiments", "special", "express",
+    "furiously", "carefully", "quickly", "blithely", "slyly", "regular",
+    "final", "ironic", "even", "bold", "silent", "pending", "unusual",
+]
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+CURRENT_DATE = date_to_days(datetime.date(1995, 6, 17))
+
+_START_DAYS = date_to_days(START_DATE)
+_ORDER_SPAN = (END_DATE - START_DATE).days - 151
+
+
+def _comment(rng: random.Random, max_len: int) -> str:
+    """Random filler text, never exceeding *max_len* characters."""
+    words = []
+    length = 0
+    target = rng.randint(max(4, max_len // 3), max_len)
+    while True:
+        word = _WORDS[rng.randrange(len(_WORDS))]
+        if length + len(word) + (1 if words else 0) > target:
+            break
+        words.append(word)
+        length += len(word) + (1 if length else 0)
+        if length >= target - 4:
+            break
+    return " ".join(words) if words else "fin"
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (
+        f"{nationkey + 10}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+class TPCHGenerator:
+    """Generates every TPC-H relation at a given scale factor."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 20120401) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be positive")
+        self.sf = scale_factor
+        self.seed = seed
+        self.n_supplier = max(10, int(10_000 * scale_factor))
+        self.n_customer = max(30, int(150_000 * scale_factor))
+        self.n_part = max(20, int(200_000 * scale_factor))
+        self.n_orders = max(50, int(1_500_000 * scale_factor))
+
+    def _rng(self, table: str) -> random.Random:
+        return random.Random(f"{self.seed}:{table}")
+
+    # -- fixed tables -------------------------------------------------------------
+
+    def region(self) -> Iterator[list]:
+        rng = self._rng("region")
+        for key, name in enumerate(REGIONS):
+            yield [key, name, _comment(rng, 120)]
+
+    def nation(self) -> Iterator[list]:
+        rng = self._rng("nation")
+        for key, (name, region) in enumerate(NATIONS):
+            yield [key, name, region, _comment(rng, 120)]
+
+    # -- scaled tables --------------------------------------------------------------
+
+    def supplier(self) -> Iterator[list]:
+        rng = self._rng("supplier")
+        for key in range(1, self.n_supplier + 1):
+            nationkey = rng.randrange(25)
+            comment = _comment(rng, 63)
+            # The spec plants "Customer...Complaints" in ~5 per 10k suppliers.
+            if rng.random() < 0.0005:
+                comment = "Customer Complaints " + comment
+            yield [
+                key,
+                f"Supplier#{key:09d}",
+                _comment(rng, 30),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                comment[:101],
+            ]
+
+    def customer(self) -> Iterator[list]:
+        rng = self._rng("customer")
+        for key in range(1, self.n_customer + 1):
+            nationkey = rng.randrange(25)
+            yield [
+                key,
+                f"Customer#{key:09d}",
+                _comment(rng, 30),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                SEGMENTS[rng.randrange(5)],
+                _comment(rng, 110),
+            ]
+
+    def part(self) -> Iterator[list]:
+        rng = self._rng("part")
+        for key in range(1, self.n_part + 1):
+            mfgr = rng.randint(1, 5)
+            brand = mfgr * 10 + rng.randint(1, 5)
+            name = " ".join(
+                rng.sample(COLORS, 5)
+            )
+            p_type = (
+                f"{TYPE_SYLLABLE_1[rng.randrange(6)]} "
+                f"{TYPE_SYLLABLE_2[rng.randrange(5)]} "
+                f"{TYPE_SYLLABLE_3[rng.randrange(5)]}"
+            )
+            container = (
+                f"{CONTAINER_1[rng.randrange(5)]} "
+                f"{CONTAINER_2[rng.randrange(8)]}"
+            )
+            retail = round(
+                90000 + (key / 10.0) % 20001 + 100 * (key % 1000), 2
+            ) / 100.0
+            yield [
+                key,
+                name[:55],
+                f"Manufacturer#{mfgr}",
+                f"Brand#{brand}",
+                p_type,
+                rng.randint(1, 50),
+                container,
+                round(retail, 2),
+                _comment(rng, 20),
+            ]
+
+    def partsupp(self) -> Iterator[list]:
+        rng = self._rng("partsupp")
+        n_supp = self.n_supplier
+        for partkey in range(1, self.n_part + 1):
+            for i in range(4):
+                suppkey = (
+                    (partkey + (i * ((n_supp // 4) + (partkey - 1) // n_supp)))
+                    % n_supp
+                ) + 1
+                yield [
+                    partkey,
+                    suppkey,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    _comment(rng, 120),
+                ]
+
+    def orders_and_lineitem(self) -> tuple[list[list], list[list]]:
+        """Generate orders and their line items together (correlated)."""
+        rng = self._rng("orders")
+        orders: list[list] = []
+        items: list[list] = []
+        for orderkey in range(1, self.n_orders + 1):
+            custkey = rng.randint(1, self.n_customer)
+            orderdate = _START_DAYS + rng.randrange(_ORDER_SPAN)
+            n_items = rng.randint(1, 7)
+            total = 0.0
+            statuses = []
+            for linenumber in range(1, n_items + 1):
+                partkey = rng.randint(1, self.n_part)
+                suppkey = rng.randint(1, self.n_supplier)
+                quantity = float(rng.randint(1, 50))
+                extended = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                discount = round(rng.randint(0, 10) / 100.0, 2)
+                tax = round(rng.randint(0, 8) / 100.0, 2)
+                shipdate = orderdate + rng.randint(1, 121)
+                commitdate = orderdate + rng.randint(30, 90)
+                receiptdate = shipdate + rng.randint(1, 30)
+                if receiptdate <= CURRENT_DATE:
+                    returnflag = "R" if rng.random() < 0.5 else "A"
+                else:
+                    returnflag = "N"
+                linestatus = "O" if shipdate > CURRENT_DATE else "F"
+                statuses.append(linestatus)
+                total += extended * (1 + tax) * (1 - discount)
+                items.append([
+                    orderkey, partkey, suppkey, linenumber,
+                    quantity, extended, discount, tax,
+                    returnflag, linestatus,
+                    shipdate, commitdate, receiptdate,
+                    SHIP_INSTRUCTS[rng.randrange(4)],
+                    SHIP_MODES[rng.randrange(7)],
+                    _comment(rng, 40),
+                ])
+            if all(status == "F" for status in statuses):
+                orderstatus = "F"
+            elif all(status == "O" for status in statuses):
+                orderstatus = "O"
+            else:
+                orderstatus = "P"
+            comment = _comment(rng, 60)
+            if rng.random() < 0.01:
+                comment = "special requests " + comment
+            orders.append([
+                orderkey, custkey, orderstatus, round(total, 2), orderdate,
+                PRIORITIES[rng.randrange(5)],
+                f"Clerk#{rng.randint(1, max(1, int(1000 * self.sf))):09d}",
+                0,
+                comment[:79],
+            ])
+        return orders, items

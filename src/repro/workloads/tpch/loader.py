@@ -1,0 +1,74 @@
+"""Build (stock or bee-enabled) databases loaded with TPC-H data."""
+
+from __future__ import annotations
+
+from repro.bees.settings import BeeSettings
+from repro.db import Database
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.schema import ALL_SCHEMAS, ANNOTATIONS
+
+LOAD_ORDER = [
+    "region", "nation", "supplier", "customer", "part", "partsupp",
+    "orders", "lineitem",
+]
+
+
+def create_tables(db: Database, annotate: bool = True) -> None:
+    """Create the eight TPC-H relations (with DDL annotations)."""
+    for name in LOAD_ORDER:
+        annotations = ANNOTATIONS.get(name, ()) if annotate else ()
+        db.create_table(ALL_SCHEMAS[name](), annotate=annotations)
+
+
+def generate_rows(
+    generator: TPCHGenerator,
+) -> dict[str, list[list]]:
+    """Materialize every relation's rows once (shared across databases)."""
+    orders, lineitem = generator.orders_and_lineitem()
+    return {
+        "region": list(generator.region()),
+        "nation": list(generator.nation()),
+        "supplier": list(generator.supplier()),
+        "customer": list(generator.customer()),
+        "part": list(generator.part()),
+        "partsupp": list(generator.partsupp()),
+        "orders": orders,
+        "lineitem": lineitem,
+    }
+
+
+def load_rows(db: Database, rows: dict[str, list[list]]) -> None:
+    """COPY all generated rows into *db* (tables must exist)."""
+    for name in LOAD_ORDER:
+        db.copy_from(name, rows[name])
+
+
+def build_tpch_database(
+    settings: BeeSettings,
+    scale_factor: float = 0.01,
+    seed: int = 20120401,
+    rows: dict[str, list[list]] | None = None,
+    annotate: bool = True,
+) -> Database:
+    """A ready-to-query TPC-H database with the given bee settings."""
+    db = Database(settings)
+    create_tables(db, annotate=annotate)
+    if rows is None:
+        rows = generate_rows(TPCHGenerator(scale_factor, seed))
+    load_rows(db, rows)
+    db.ledger.reset()   # loading costs are not part of query experiments
+    return db
+
+
+def build_pair(
+    scale_factor: float = 0.01,
+    seed: int = 20120401,
+    bee_settings: BeeSettings | None = None,
+) -> tuple[Database, Database, dict[str, list[list]]]:
+    """(stock, bee-enabled, rows) sharing one generated dataset."""
+    rows = generate_rows(TPCHGenerator(scale_factor, seed))
+    stock = build_tpch_database(BeeSettings.stock(), rows=rows)
+    bees = build_tpch_database(
+        bee_settings or BeeSettings.all_bees(), rows=rows
+    )
+    return stock, bees, rows

@@ -1,0 +1,965 @@
+"""All 22 TPC-H queries as hand-built executor plans.
+
+Each ``qNN(db)`` function constructs a fresh plan tree against *db* and
+returns the result rows.  Plans are written the way a decorrelating planner
+would produce them (subqueries become aggregate subplans joined back in),
+and both the stock and bee-enabled databases run the *same* plan shape —
+mirroring the paper's methodology of pinning identical query plans across
+the two systems (Section VI-A).  Parameters default to the TPC-H
+validation values.
+
+Correlated subqueries (q2, q11, q15, q17, q18, q20, q21, q22) are
+decorrelated into aggregate + join plans; scalar subqueries run first as
+internal plans (``emit=False``) and are spliced in as constants, the
+InitPlan mechanism.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.catalog.types import date_to_days
+from repro.engine.agg import HashAgg
+from repro.engine.aggregates import AggSpec
+from repro.engine.expr import (
+    And,
+    Arith,
+    Between,
+    Case,
+    Cmp,
+    Col,
+    Const,
+    Func,
+    InList,
+    Like,
+    Not,
+    Or,
+)
+from repro.engine.joins import HashJoin
+from repro.engine.nodes import (
+    ColumnSelect,
+    Filter,
+    Limit,
+    Materialize,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+)
+
+
+def d(year: int, month: int, day: int) -> int:
+    """A date literal in stored form (days since epoch)."""
+    return date_to_days(datetime.date(year, month, day))
+
+
+def scan(db, relation: str) -> SeqScan:
+    """A SeqScan with its output columns bound from the catalog."""
+    node = SeqScan(relation)
+    node.bind_schema(db.relation(relation).schema)
+    return node
+
+
+def _revenue() -> Arith:
+    """l_extendedprice * (1 - l_discount) — the recurring revenue term."""
+    return Arith(
+        "*", Col("l_extendedprice"), Arith("-", Const(1), Col("l_discount"))
+    )
+
+
+def q01(db, delta_days: int = 90):
+    """Q1 Pricing Summary Report."""
+    cutoff = d(1998, 12, 1) - delta_days
+    filtered = Filter(
+        scan(db, "lineitem"),
+        Cmp("<=", Col("l_shipdate"), Const(cutoff)),
+        not_null=True,
+    )
+    agg = HashAgg(
+        filtered,
+        [(Col("l_returnflag"), "l_returnflag"), (Col("l_linestatus"), "l_linestatus")],
+        [
+            AggSpec("sum", Col("l_quantity"), name="sum_qty"),
+            AggSpec("sum", Col("l_extendedprice"), name="sum_base_price"),
+            AggSpec("sum", _revenue(), name="sum_disc_price"),
+            AggSpec(
+                "sum",
+                Arith("*", _revenue(), Arith("+", Const(1), Col("l_tax"))),
+                name="sum_charge",
+            ),
+            AggSpec("avg", Col("l_quantity"), name="avg_qty"),
+            AggSpec("avg", Col("l_extendedprice"), name="avg_price"),
+            AggSpec("avg", Col("l_discount"), name="avg_disc"),
+            AggSpec("count", name="count_order"),
+        ],
+    )
+    plan = Sort(
+        agg, [(Col("l_returnflag"), False), (Col("l_linestatus"), False)]
+    )
+    return db.execute(plan)
+
+
+def q02(db, size: int = 15, type_suffix: str = "BRASS", region: str = "EUROPE"):
+    """Q2 Minimum Cost Supplier."""
+    regions = Filter(
+        scan(db, "region"), Cmp("=", Col("r_name"), Const(region)), not_null=True
+    )
+    nations = HashJoin(
+        scan(db, "nation"), regions, ["n_regionkey"], ["r_regionkey"]
+    )
+    suppliers = HashJoin(
+        scan(db, "supplier"), nations, ["s_nationkey"], ["n_nationkey"]
+    )
+    eur = Materialize(
+        HashJoin(scan(db, "partsupp"), suppliers, ["ps_suppkey"], ["s_suppkey"])
+    )
+    min_cost = HashAgg(
+        eur,
+        [(Col("ps_partkey"), "mc_partkey")],
+        [AggSpec("min", Col("ps_supplycost"), name="mc_cost")],
+    )
+    parts = Filter(
+        scan(db, "part"),
+        And(
+            Cmp("=", Col("p_size"), Const(size)),
+            Like(Col("p_type"), f"%{type_suffix}"),
+        ),
+        not_null=True,
+    )
+    joined = HashJoin(parts, eur, ["p_partkey"], ["ps_partkey"])
+    best = HashJoin(
+        joined,
+        min_cost,
+        ["p_partkey", "ps_supplycost"],
+        ["mc_partkey", "mc_cost"],
+    )
+    out = ColumnSelect(
+        best,
+        [
+            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+            "s_address", "s_phone", "s_comment",
+        ],
+    )
+    plan = Limit(
+        Sort(
+            out,
+            [
+                (Col("s_acctbal"), True),
+                (Col("n_name"), False),
+                (Col("s_name"), False),
+                (Col("p_partkey"), False),
+            ],
+        ),
+        100,
+    )
+    return db.execute(plan)
+
+
+def q03(db, segment: str = "BUILDING", date: int | None = None):
+    """Q3 Shipping Priority."""
+    date = d(1995, 3, 15) if date is None else date
+    customers = Filter(
+        scan(db, "customer"),
+        Cmp("=", Col("c_mktsegment"), Const(segment)),
+        not_null=True,
+    )
+    orders = Filter(
+        scan(db, "orders"), Cmp("<", Col("o_orderdate"), Const(date)),
+        not_null=True,
+    )
+    items = Filter(
+        scan(db, "lineitem"), Cmp(">", Col("l_shipdate"), Const(date)),
+        not_null=True,
+    )
+    co = HashJoin(orders, customers, ["o_custkey"], ["c_custkey"])
+    col = HashJoin(items, co, ["l_orderkey"], ["o_orderkey"])
+    agg = HashAgg(
+        col,
+        [
+            (Col("l_orderkey"), "l_orderkey"),
+            (Col("o_orderdate"), "o_orderdate"),
+            (Col("o_shippriority"), "o_shippriority"),
+        ],
+        [AggSpec("sum", _revenue(), name="revenue")],
+    )
+    out = ColumnSelect(
+        agg, ["l_orderkey", "revenue", "o_orderdate", "o_shippriority"]
+    )
+    plan = Limit(
+        Sort(out, [(Col("revenue"), True), (Col("o_orderdate"), False)]), 10
+    )
+    return db.execute(plan)
+
+
+def q04(db, date: int | None = None):
+    """Q4 Order Priority Checking."""
+    date = d(1993, 7, 1) if date is None else date
+    orders = Filter(
+        scan(db, "orders"),
+        Between(Col("o_orderdate"), date, date + 91),
+        not_null=True,
+    )
+    late_items = Filter(
+        scan(db, "lineitem"),
+        Cmp("<", Col("l_commitdate"), Col("l_receiptdate")),
+        not_null=True,
+    )
+    semi = HashJoin(
+        orders, late_items, ["o_orderkey"], ["l_orderkey"], join_type="semi"
+    )
+    agg = HashAgg(
+        semi,
+        [(Col("o_orderpriority"), "o_orderpriority")],
+        [AggSpec("count", name="order_count")],
+    )
+    plan = Sort(agg, [(Col("o_orderpriority"), False)])
+    return db.execute(plan)
+
+
+def q05(db, region: str = "ASIA", date: int | None = None):
+    """Q5 Local Supplier Volume."""
+    date = d(1994, 1, 1) if date is None else date
+    regions = Filter(
+        scan(db, "region"), Cmp("=", Col("r_name"), Const(region)), not_null=True
+    )
+    nations = HashJoin(
+        scan(db, "nation"), regions, ["n_regionkey"], ["r_regionkey"]
+    )
+    orders = Filter(
+        scan(db, "orders"),
+        Between(Col("o_orderdate"), date, date + 364),
+        not_null=True,
+    )
+    co = HashJoin(orders, scan(db, "customer"), ["o_custkey"], ["c_custkey"])
+    col = HashJoin(scan(db, "lineitem"), co, ["l_orderkey"], ["o_orderkey"])
+    supp = HashJoin(
+        col,
+        scan(db, "supplier"),
+        ["l_suppkey", "c_nationkey"],
+        ["s_suppkey", "s_nationkey"],
+    )
+    full = HashJoin(supp, nations, ["s_nationkey"], ["n_nationkey"])
+    agg = HashAgg(
+        full,
+        [(Col("n_name"), "n_name")],
+        [AggSpec("sum", _revenue(), name="revenue")],
+    )
+    plan = Sort(agg, [(Col("revenue"), True)])
+    return db.execute(plan)
+
+
+def q06(db, date: int | None = None, discount: float = 0.06, quantity: int = 24):
+    """Q6 Forecasting Revenue Change."""
+    date = d(1994, 1, 1) if date is None else date
+    filtered = Filter(
+        scan(db, "lineitem"),
+        And(
+            Between(Col("l_shipdate"), date, date + 364),
+            Between(
+                Col("l_discount"),
+                round(discount - 0.01, 2),
+                round(discount + 0.01, 2),
+            ),
+            Cmp("<", Col("l_quantity"), Const(quantity)),
+        ),
+        not_null=True,
+    )
+    agg = HashAgg(
+        filtered,
+        [],
+        [
+            AggSpec(
+                "sum",
+                Arith("*", Col("l_extendedprice"), Col("l_discount")),
+                name="revenue",
+            )
+        ],
+    )
+    return db.execute(agg)
+
+
+def q07(db, nation1: str = "FRANCE", nation2: str = "GERMANY"):
+    """Q7 Volume Shipping."""
+    items = Filter(
+        scan(db, "lineitem"),
+        Between(Col("l_shipdate"), d(1995, 1, 1), d(1996, 12, 31)),
+        not_null=True,
+    )
+    lio = HashJoin(items, scan(db, "orders"), ["l_orderkey"], ["o_orderkey"])
+    lioc = HashJoin(lio, scan(db, "customer"), ["o_custkey"], ["c_custkey"])
+    n2 = Rename(scan(db, "nation"), "n2")
+    with_n2 = HashJoin(lioc, n2, ["c_nationkey"], ["n2.n_nationkey"])
+    with_s = HashJoin(
+        with_n2, scan(db, "supplier"), ["l_suppkey"], ["s_suppkey"]
+    )
+    n1 = Rename(scan(db, "nation"), "n1")
+    pair_qual = Or(
+        And(
+            Cmp("=", Col("n1.n_name"), Const(nation1)),
+            Cmp("=", Col("n2.n_name"), Const(nation2)),
+        ),
+        And(
+            Cmp("=", Col("n1.n_name"), Const(nation2)),
+            Cmp("=", Col("n2.n_name"), Const(nation1)),
+        ),
+    )
+    full = HashJoin(
+        with_s,
+        n1,
+        ["s_nationkey"],
+        ["n1.n_nationkey"],
+        extra_qual=pair_qual,
+        not_null=True,
+    )
+    agg = HashAgg(
+        full,
+        [
+            (Col("n1.n_name"), "supp_nation"),
+            (Col("n2.n_name"), "cust_nation"),
+            (Func("extract_year", Col("l_shipdate")), "l_year"),
+        ],
+        [AggSpec("sum", _revenue(), name="revenue")],
+    )
+    plan = Sort(
+        agg,
+        [
+            (Col("supp_nation"), False),
+            (Col("cust_nation"), False),
+            (Col("l_year"), False),
+        ],
+    )
+    return db.execute(plan)
+
+
+def q08(
+    db,
+    nation: str = "BRAZIL",
+    region: str = "AMERICA",
+    p_type: str = "ECONOMY ANODIZED STEEL",
+):
+    """Q8 National Market Share."""
+    parts = Filter(
+        scan(db, "part"), Cmp("=", Col("p_type"), Const(p_type)), not_null=True
+    )
+    items = HashJoin(scan(db, "lineitem"), parts, ["l_partkey"], ["p_partkey"])
+    orders = Filter(
+        scan(db, "orders"),
+        Between(Col("o_orderdate"), d(1995, 1, 1), d(1996, 12, 31)),
+        not_null=True,
+    )
+    lio = HashJoin(items, orders, ["l_orderkey"], ["o_orderkey"])
+    lioc = HashJoin(lio, scan(db, "customer"), ["o_custkey"], ["c_custkey"])
+    n1 = Rename(scan(db, "nation"), "n1")
+    with_n1 = HashJoin(lioc, n1, ["c_nationkey"], ["n1.n_nationkey"])
+    regions = Filter(
+        scan(db, "region"), Cmp("=", Col("r_name"), Const(region)), not_null=True
+    )
+    in_region = HashJoin(
+        with_n1, regions, ["n1.n_regionkey"], ["r_regionkey"]
+    )
+    with_s = HashJoin(
+        in_region, scan(db, "supplier"), ["l_suppkey"], ["s_suppkey"]
+    )
+    n2 = Rename(scan(db, "nation"), "n2")
+    full = HashJoin(with_s, n2, ["s_nationkey"], ["n2.n_nationkey"])
+    volume = _revenue()
+    national = Case(
+        [(Cmp("=", Col("n2.n_name"), Const(nation)), _revenue())], Const(0.0)
+    )
+    agg = HashAgg(
+        full,
+        [(Func("extract_year", Col("o_orderdate")), "o_year")],
+        [
+            AggSpec("sum", national, name="national_volume"),
+            AggSpec("sum", volume, name="total_volume"),
+        ],
+    )
+    share = Project(
+        agg,
+        [
+            Col("o_year"),
+            Arith("/", Col("national_volume"), Col("total_volume")),
+        ],
+        ["o_year", "mkt_share"],
+    )
+    plan = Sort(share, [(Col("o_year"), False)])
+    return db.execute(plan)
+
+
+def q09(db, color: str = "green"):
+    """Q9 Product Type Profit Measure."""
+    parts = Filter(
+        scan(db, "part"), Like(Col("p_name"), f"%{color}%"), not_null=True
+    )
+    items = HashJoin(scan(db, "lineitem"), parts, ["l_partkey"], ["p_partkey"])
+    with_ps = HashJoin(
+        items,
+        scan(db, "partsupp"),
+        ["l_suppkey", "l_partkey"],
+        ["ps_suppkey", "ps_partkey"],
+    )
+    with_s = HashJoin(
+        with_ps, scan(db, "supplier"), ["l_suppkey"], ["s_suppkey"]
+    )
+    with_o = HashJoin(with_s, scan(db, "orders"), ["l_orderkey"], ["o_orderkey"])
+    full = HashJoin(with_o, scan(db, "nation"), ["s_nationkey"], ["n_nationkey"])
+    profit = Arith(
+        "-",
+        _revenue(),
+        Arith("*", Col("ps_supplycost"), Col("l_quantity")),
+    )
+    agg = HashAgg(
+        full,
+        [
+            (Col("n_name"), "nation"),
+            (Func("extract_year", Col("o_orderdate")), "o_year"),
+        ],
+        [AggSpec("sum", profit, name="sum_profit")],
+    )
+    plan = Sort(agg, [(Col("nation"), False), (Col("o_year"), True)])
+    return db.execute(plan)
+
+
+def q10(db, date: int | None = None):
+    """Q10 Returned Item Reporting."""
+    date = d(1993, 10, 1) if date is None else date
+    orders = Filter(
+        scan(db, "orders"),
+        Between(Col("o_orderdate"), date, date + 89),
+        not_null=True,
+    )
+    returned = Filter(
+        scan(db, "lineitem"),
+        Cmp("=", Col("l_returnflag"), Const("R")),
+        not_null=True,
+    )
+    lio = HashJoin(returned, orders, ["l_orderkey"], ["o_orderkey"])
+    lioc = HashJoin(lio, scan(db, "customer"), ["o_custkey"], ["c_custkey"])
+    full = HashJoin(lioc, scan(db, "nation"), ["c_nationkey"], ["n_nationkey"])
+    agg = HashAgg(
+        full,
+        [
+            (Col("c_custkey"), "c_custkey"),
+            (Col("c_name"), "c_name"),
+            (Col("c_acctbal"), "c_acctbal"),
+            (Col("c_phone"), "c_phone"),
+            (Col("n_name"), "n_name"),
+            (Col("c_address"), "c_address"),
+            (Col("c_comment"), "c_comment"),
+        ],
+        [AggSpec("sum", _revenue(), name="revenue")],
+    )
+    plan = Limit(Sort(agg, [(Col("revenue"), True)]), 20)
+    return db.execute(plan)
+
+
+def q11(db, nation: str = "GERMANY", fraction: float | None = None):
+    """Q11 Important Stock Identification."""
+    if fraction is None:
+        # The spec scales the cut-off with 1/SF; infer SF from supplier count.
+        sf = db.relation("supplier").heap.live_count / 10_000
+        fraction = 0.0001 / max(sf, 1e-9)
+    nations = Filter(
+        scan(db, "nation"), Cmp("=", Col("n_name"), Const(nation)), not_null=True
+    )
+    supp = HashJoin(
+        scan(db, "supplier"), nations, ["s_nationkey"], ["n_nationkey"]
+    )
+    ps = Materialize(
+        HashJoin(scan(db, "partsupp"), supp, ["ps_suppkey"], ["s_suppkey"])
+    )
+    value = Arith("*", Col("ps_supplycost"), Col("ps_availqty"))
+    total_rows = db.execute(
+        HashAgg(ps, [], [AggSpec("sum", value, name="total")]), emit=False
+    )
+    total = total_rows[0][0] or 0.0
+    per_part = HashAgg(
+        ps,
+        [(Col("ps_partkey"), "ps_partkey")],
+        [
+            AggSpec(
+                "sum",
+                Arith("*", Col("ps_supplycost"), Col("ps_availqty")),
+                name="value",
+            )
+        ],
+    )
+    filtered = Filter(
+        per_part,
+        Cmp(">", Col("value"), Const(total * fraction)),
+        not_null=True,
+    )
+    plan = Sort(filtered, [(Col("value"), True)])
+    return db.execute(plan)
+
+
+def q12(db, mode1: str = "MAIL", mode2: str = "SHIP", date: int | None = None):
+    """Q12 Shipping Modes and Order Priority."""
+    date = d(1994, 1, 1) if date is None else date
+    items = Filter(
+        scan(db, "lineitem"),
+        And(
+            InList(Col("l_shipmode"), [mode1, mode2]),
+            Cmp("<", Col("l_commitdate"), Col("l_receiptdate")),
+            Cmp("<", Col("l_shipdate"), Col("l_commitdate")),
+            Between(Col("l_receiptdate"), date, date + 364),
+        ),
+        not_null=True,
+    )
+    joined = HashJoin(items, scan(db, "orders"), ["l_orderkey"], ["o_orderkey"])
+    high = Case(
+        [
+            (
+                InList(Col("o_orderpriority"), ["1-URGENT", "2-HIGH"]),
+                Const(1),
+            )
+        ],
+        Const(0),
+    )
+    low = Case(
+        [
+            (
+                Not(InList(Col("o_orderpriority"), ["1-URGENT", "2-HIGH"])),
+                Const(1),
+            )
+        ],
+        Const(0),
+    )
+    agg = HashAgg(
+        joined,
+        [(Col("l_shipmode"), "l_shipmode")],
+        [
+            AggSpec("sum", high, name="high_line_count"),
+            AggSpec("sum", low, name="low_line_count"),
+        ],
+    )
+    plan = Sort(agg, [(Col("l_shipmode"), False)])
+    return db.execute(plan)
+
+
+def q13(db, word1: str = "special", word2: str = "requests"):
+    """Q13 Customer Distribution."""
+    joined = HashJoin(
+        scan(db, "customer"),
+        scan(db, "orders"),
+        ["c_custkey"],
+        ["o_custkey"],
+        join_type="left",
+        extra_qual=Not(Like(Col("o_comment"), f"%{word1}%{word2}%")),
+        not_null=True,
+    )
+    per_customer = HashAgg(
+        joined,
+        [(Col("c_custkey"), "c_custkey")],
+        [AggSpec("count", Col("o_orderkey"), name="c_count")],
+    )
+    distribution = HashAgg(
+        per_customer,
+        [(Col("c_count"), "c_count")],
+        [AggSpec("count", name="custdist")],
+    )
+    plan = Sort(
+        distribution, [(Col("custdist"), True), (Col("c_count"), True)]
+    )
+    return db.execute(plan)
+
+
+def q14(db, date: int | None = None):
+    """Q14 Promotion Effect."""
+    date = d(1995, 9, 1) if date is None else date
+    items = Filter(
+        scan(db, "lineitem"),
+        Between(Col("l_shipdate"), date, date + 29),
+        not_null=True,
+    )
+    joined = HashJoin(items, scan(db, "part"), ["l_partkey"], ["p_partkey"])
+    promo = Case(
+        [(Like(Col("p_type"), "PROMO%"), _revenue())], Const(0.0)
+    )
+    agg = HashAgg(
+        joined,
+        [],
+        [
+            AggSpec("sum", promo, name="promo_revenue"),
+            AggSpec("sum", _revenue(), name="total_revenue"),
+        ],
+    )
+    out = Project(
+        agg,
+        [
+            Arith(
+                "/",
+                Arith("*", Const(100.0), Col("promo_revenue")),
+                Col("total_revenue"),
+            )
+        ],
+        ["promo_revenue"],
+    )
+    return db.execute(out)
+
+
+def q15(db, date: int | None = None):
+    """Q15 Top Supplier (revenue view + max subquery)."""
+    date = d(1996, 1, 1) if date is None else date
+    items = Filter(
+        scan(db, "lineitem"),
+        Between(Col("l_shipdate"), date, date + 89),
+        not_null=True,
+    )
+    revenue_view = Materialize(
+        HashAgg(
+            items,
+            [(Col("l_suppkey"), "supplier_no")],
+            [AggSpec("sum", _revenue(), name="total_revenue")],
+        )
+    )
+    max_rows = db.execute(
+        HashAgg(
+            revenue_view, [], [AggSpec("max", Col("total_revenue"), name="m")]
+        ),
+        emit=False,
+    )
+    max_revenue = max_rows[0][0]
+    best = Filter(
+        revenue_view,
+        Cmp("=", Col("total_revenue"), Const(max_revenue)),
+        not_null=True,
+    )
+    joined = HashJoin(
+        scan(db, "supplier"), best, ["s_suppkey"], ["supplier_no"]
+    )
+    out = ColumnSelect(
+        joined, ["s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"]
+    )
+    plan = Sort(out, [(Col("s_suppkey"), False)])
+    return db.execute(plan)
+
+
+def q16(
+    db,
+    brand: str = "Brand#45",
+    type_prefix: str = "MEDIUM POLISHED",
+    sizes: tuple = (49, 14, 23, 45, 19, 3, 36, 9),
+):
+    """Q16 Parts/Supplier Relationship."""
+    parts = Filter(
+        scan(db, "part"),
+        And(
+            Cmp("<>", Col("p_brand"), Const(brand)),
+            Like(Col("p_type"), f"{type_prefix}%", negate=True),
+            InList(Col("p_size"), list(sizes)),
+        ),
+        not_null=True,
+    )
+    ps = HashJoin(scan(db, "partsupp"), parts, ["ps_partkey"], ["p_partkey"])
+    complainers = Filter(
+        scan(db, "supplier"),
+        Like(Col("s_comment"), "%Customer%Complaints%"),
+        not_null=True,
+    )
+    clean = HashJoin(
+        ps, complainers, ["ps_suppkey"], ["s_suppkey"], join_type="anti"
+    )
+    agg = HashAgg(
+        clean,
+        [
+            (Col("p_brand"), "p_brand"),
+            (Col("p_type"), "p_type"),
+            (Col("p_size"), "p_size"),
+        ],
+        [AggSpec("count", Col("ps_suppkey"), distinct=True, name="supplier_cnt")],
+    )
+    plan = Sort(
+        agg,
+        [
+            (Col("supplier_cnt"), True),
+            (Col("p_brand"), False),
+            (Col("p_type"), False),
+            (Col("p_size"), False),
+        ],
+    )
+    return db.execute(plan)
+
+
+def q17(db, brand: str = "Brand#23", container: str = "MED BOX"):
+    """Q17 Small-Quantity-Order Revenue."""
+    avg_qty = HashAgg(
+        scan(db, "lineitem"),
+        [(Col("l_partkey"), "aq_partkey")],
+        [AggSpec("avg", Col("l_quantity"), name="aq_avg")],
+    )
+    parts = Filter(
+        scan(db, "part"),
+        And(
+            Cmp("=", Col("p_brand"), Const(brand)),
+            Cmp("=", Col("p_container"), Const(container)),
+        ),
+        not_null=True,
+    )
+    items = HashJoin(scan(db, "lineitem"), parts, ["l_partkey"], ["p_partkey"])
+    with_avg = HashJoin(items, avg_qty, ["l_partkey"], ["aq_partkey"])
+    small = Filter(
+        with_avg,
+        Cmp(
+            "<",
+            Col("l_quantity"),
+            Arith("*", Const(0.2), Col("aq_avg")),
+        ),
+        not_null=True,
+    )
+    agg = HashAgg(
+        small, [], [AggSpec("sum", Col("l_extendedprice"), name="total")]
+    )
+    out = Project(
+        agg,
+        [Arith("/", Col("total"), Const(7.0))],
+        ["avg_yearly"],
+    )
+    return db.execute(out)
+
+
+def q18(db, quantity: int = 300):
+    """Q18 Large Volume Customer."""
+    big = Filter(
+        HashAgg(
+            scan(db, "lineitem"),
+            [(Col("l_orderkey"), "big_orderkey")],
+            [AggSpec("sum", Col("l_quantity"), name="big_qty")],
+        ),
+        Cmp(">", Col("big_qty"), Const(float(quantity))),
+        not_null=True,
+    )
+    orders = HashJoin(
+        scan(db, "orders"), big, ["o_orderkey"], ["big_orderkey"],
+        join_type="semi",
+    )
+    with_c = HashJoin(
+        orders, scan(db, "customer"), ["o_custkey"], ["c_custkey"]
+    )
+    with_l = HashJoin(
+        with_c, scan(db, "lineitem"), ["o_orderkey"], ["l_orderkey"]
+    )
+    agg = HashAgg(
+        with_l,
+        [
+            (Col("c_name"), "c_name"),
+            (Col("c_custkey"), "c_custkey"),
+            (Col("o_orderkey"), "o_orderkey"),
+            (Col("o_orderdate"), "o_orderdate"),
+            (Col("o_totalprice"), "o_totalprice"),
+        ],
+        [AggSpec("sum", Col("l_quantity"), name="sum_qty")],
+    )
+    plan = Limit(
+        Sort(agg, [(Col("o_totalprice"), True), (Col("o_orderdate"), False)]),
+        100,
+    )
+    return db.execute(plan)
+
+
+def q19(
+    db,
+    brand1: str = "Brand#12",
+    brand2: str = "Brand#23",
+    brand3: str = "Brand#34",
+    qty1: int = 1,
+    qty2: int = 10,
+    qty3: int = 20,
+):
+    """Q19 Discounted Revenue (three OR'd brackets as one join qual)."""
+    items = Filter(
+        scan(db, "lineitem"),
+        And(
+            InList(Col("l_shipmode"), ["AIR", "REG AIR"]),
+            Cmp("=", Col("l_shipinstruct"), Const("DELIVER IN PERSON")),
+        ),
+        not_null=True,
+    )
+    bracket1 = And(
+        Cmp("=", Col("p_brand"), Const(brand1)),
+        InList(Col("p_container"), ["SM CASE", "SM BOX", "SM PACK", "SM PKG"]),
+        Between(Col("l_quantity"), float(qty1), float(qty1 + 10)),
+        Between(Col("p_size"), 1, 5),
+    )
+    bracket2 = And(
+        Cmp("=", Col("p_brand"), Const(brand2)),
+        InList(
+            Col("p_container"), ["MED BAG", "MED BOX", "MED PKG", "MED PACK"]
+        ),
+        Between(Col("l_quantity"), float(qty2), float(qty2 + 10)),
+        Between(Col("p_size"), 1, 10),
+    )
+    bracket3 = And(
+        Cmp("=", Col("p_brand"), Const(brand3)),
+        InList(Col("p_container"), ["LG CASE", "LG BOX", "LG PACK", "LG PKG"]),
+        Between(Col("l_quantity"), float(qty3), float(qty3 + 10)),
+        Between(Col("p_size"), 1, 15),
+    )
+    joined = HashJoin(
+        items,
+        scan(db, "part"),
+        ["l_partkey"],
+        ["p_partkey"],
+        extra_qual=Or(bracket1, bracket2, bracket3),
+        not_null=True,
+    )
+    agg = HashAgg(joined, [], [AggSpec("sum", _revenue(), name="revenue")])
+    return db.execute(agg)
+
+
+def q20(db, color: str = "forest", date: int | None = None, nation: str = "CANADA"):
+    """Q20 Potential Part Promotion."""
+    date = d(1994, 1, 1) if date is None else date
+    shipped = Filter(
+        scan(db, "lineitem"),
+        Between(Col("l_shipdate"), date, date + 364),
+        not_null=True,
+    )
+    qty = HashAgg(
+        shipped,
+        [(Col("l_partkey"), "q_partkey"), (Col("l_suppkey"), "q_suppkey")],
+        [AggSpec("sum", Col("l_quantity"), name="q_sum")],
+    )
+    forest_parts = Filter(
+        scan(db, "part"), Like(Col("p_name"), f"{color}%"), not_null=True
+    )
+    ps = HashJoin(
+        scan(db, "partsupp"),
+        forest_parts,
+        ["ps_partkey"],
+        ["p_partkey"],
+        join_type="semi",
+    )
+    qualifying = Filter(
+        HashJoin(
+            ps, qty, ["ps_partkey", "ps_suppkey"], ["q_partkey", "q_suppkey"]
+        ),
+        Cmp(
+            ">",
+            Col("ps_availqty"),
+            Arith("*", Const(0.5), Col("q_sum")),
+        ),
+        not_null=True,
+    )
+    nations = Filter(
+        scan(db, "nation"), Cmp("=", Col("n_name"), Const(nation)), not_null=True
+    )
+    suppliers = HashJoin(
+        scan(db, "supplier"), nations, ["s_nationkey"], ["n_nationkey"]
+    )
+    chosen = HashJoin(
+        suppliers, qualifying, ["s_suppkey"], ["ps_suppkey"], join_type="semi"
+    )
+    out = ColumnSelect(chosen, ["s_name", "s_address"])
+    plan = Sort(out, [(Col("s_name"), False)])
+    return db.execute(plan)
+
+
+def q21(db, nation: str = "SAUDI ARABIA"):
+    """Q21 Suppliers Who Kept Orders Waiting."""
+    l1 = Filter(
+        scan(db, "lineitem"),
+        Cmp(">", Col("l_receiptdate"), Col("l_commitdate")),
+        not_null=True,
+    )
+    f_orders = Filter(
+        scan(db, "orders"),
+        Cmp("=", Col("o_orderstatus"), Const("F")),
+        not_null=True,
+    )
+    l1o = HashJoin(l1, f_orders, ["l_orderkey"], ["o_orderkey"])
+    nations = Filter(
+        scan(db, "nation"), Cmp("=", Col("n_name"), Const(nation)), not_null=True
+    )
+    suppliers = HashJoin(
+        scan(db, "supplier"), nations, ["s_nationkey"], ["n_nationkey"]
+    )
+    l1os = HashJoin(l1o, suppliers, ["l_suppkey"], ["s_suppkey"])
+    l2 = Rename(scan(db, "lineitem"), "l2")
+    with_other = HashJoin(
+        l1os,
+        l2,
+        ["l_orderkey"],
+        ["l2.l_orderkey"],
+        join_type="semi",
+        extra_qual=Cmp("<>", Col("l2.l_suppkey"), Col("l_suppkey")),
+        not_null=True,
+    )
+    l3 = Rename(
+        Filter(
+            scan(db, "lineitem"),
+            Cmp(">", Col("l_receiptdate"), Col("l_commitdate")),
+            not_null=True,
+        ),
+        "l3",
+    )
+    waiting = HashJoin(
+        with_other,
+        l3,
+        ["l_orderkey"],
+        ["l3.l_orderkey"],
+        join_type="anti",
+        extra_qual=Cmp("<>", Col("l3.l_suppkey"), Col("l_suppkey")),
+        not_null=True,
+    )
+    agg = HashAgg(
+        waiting,
+        [(Col("s_name"), "s_name")],
+        [AggSpec("count", name="numwait")],
+    )
+    plan = Limit(
+        Sort(agg, [(Col("numwait"), True), (Col("s_name"), False)]), 100
+    )
+    return db.execute(plan)
+
+
+def q22(
+    db,
+    codes: tuple = ("13", "31", "23", "29", "30", "18", "17"),
+):
+    """Q22 Global Sales Opportunity."""
+    code_expr = Func("substr", Col("c_phone"), Const(1), Const(2))
+    in_codes = Filter(
+        scan(db, "customer"), InList(code_expr, list(codes)), not_null=True
+    )
+    avg_rows = db.execute(
+        HashAgg(
+            Filter(
+                in_codes,
+                Cmp(">", Col("c_acctbal"), Const(0.0)),
+                not_null=True,
+            ),
+            [],
+            [AggSpec("avg", Col("c_acctbal"), name="a")],
+        ),
+        emit=False,
+    )
+    avg_bal = avg_rows[0][0] or 0.0
+    rich = Filter(
+        Filter(
+            scan(db, "customer"), InList(code_expr, list(codes)), not_null=True
+        ),
+        Cmp(">", Col("c_acctbal"), Const(avg_bal)),
+        not_null=True,
+    )
+    no_orders = HashJoin(
+        rich, scan(db, "orders"), ["c_custkey"], ["o_custkey"],
+        join_type="anti",
+    )
+    agg = HashAgg(
+        no_orders,
+        [(Func("substr", Col("c_phone"), Const(1), Const(2)), "cntrycode")],
+        [
+            AggSpec("count", name="numcust"),
+            AggSpec("sum", Col("c_acctbal"), name="totacctbal"),
+        ],
+    )
+    plan = Sort(agg, [(Col("cntrycode"), False)])
+    return db.execute(plan)
+
+
+QUERIES = {
+    1: q01, 2: q02, 3: q03, 4: q04, 5: q05, 6: q06, 7: q07, 8: q08,
+    9: q09, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16,
+    17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}

@@ -1,0 +1,80 @@
+"""Shared fixtures: small schemas and loaded databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.catalog import DATE, INT4, INT8, NUMERIC, char, make_schema, varchar
+from repro.db import Database
+
+
+@pytest.fixture
+def orders_schema():
+    """The TPC-H orders schema — the paper's running example."""
+    return make_schema(
+        "orders",
+        [
+            ("o_orderkey", INT4),
+            ("o_custkey", INT4),
+            ("o_orderstatus", char(1)),
+            ("o_totalprice", NUMERIC),
+            ("o_orderdate", DATE),
+            ("o_orderpriority", char(15)),
+            ("o_clerk", char(15)),
+            ("o_shippriority", INT4),
+            ("o_comment", varchar(79)),
+        ],
+        ("o_orderkey",),
+    )
+
+
+@pytest.fixture
+def orders_row():
+    return [
+        1, 370, "O", 172799.49, 9497, "5-LOW", "Clerk#000000951", 0,
+        "final deposits sleep furiously",
+    ]
+
+
+@pytest.fixture
+def mixed_schema():
+    """A schema exercising every type kind, including nullables."""
+    return make_schema(
+        "mixed",
+        [
+            ("a", varchar(10)),
+            ("b", INT8),
+            ("c", char(3)),
+            ("d", varchar(8), True),
+            ("e", INT4, True),
+            ("f", NUMERIC),
+        ],
+    )
+
+
+def _populate(db: Database, orders_schema, n: int = 50) -> Database:
+    db.create_table(orders_schema, annotate=("o_orderstatus", "o_orderpriority"))
+    statuses = ["O", "F", "P"]
+    priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+    rows = [
+        [
+            i, i % 7, statuses[i % 3], 100.0 + 10.0 * i, 9000 + i,
+            priorities[i % 5], f"Clerk#{i:09d}", 0, f"comment number {i}",
+        ]
+        for i in range(1, n + 1)
+    ]
+    db.copy_from("orders", rows)
+    return db
+
+
+@pytest.fixture
+def stock_db(orders_schema):
+    """A stock database with 50 orders rows."""
+    return _populate(Database(BeeSettings.stock()), orders_schema)
+
+
+@pytest.fixture
+def bees_db(orders_schema):
+    """A fully bee-enabled database with the same 50 orders rows."""
+    return _populate(Database(BeeSettings.all_bees()), orders_schema)

@@ -1,0 +1,142 @@
+"""Tests for the experiment harness and report rendering."""
+
+import pytest
+
+from repro.bench.reporting import bar_chart, improvement, table
+from repro.bench.tpcc_experiments import MixComparison, run_tpcc_comparison
+from repro.bench.tpch_experiments import (
+    QueryComparison,
+    SuiteResult,
+    build_suite_pair,
+    compare_queries,
+    run_ablation,
+)
+from repro.workloads.tpcc.loader import TPCCConfig
+from repro.workloads.tpcc.runner import TPCCResult
+
+
+class TestReporting:
+    def test_improvement(self):
+        assert improvement(100, 88) == pytest.approx(12.0)
+        assert improvement(0, 5) == 0.0
+        assert improvement(100, 110) == pytest.approx(-10.0)
+
+    def test_bar_chart(self):
+        chart = bar_chart(["q1", "q2"], [10.0, 20.0], "Title")
+        assert "Title" in chart
+        assert "q1" in chart
+        assert "10.0%" in chart
+        assert chart.count("#") > 0
+
+    def test_bar_chart_mismatched(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0], "t")
+
+    def test_table(self):
+        text = table(["name", "value"], [["x", 1.5], ["yy", 2]])
+        assert "name" in text
+        assert "1.50" in text
+        assert "yy" in text
+
+
+class TestSuiteResult:
+    def _comparison(self, n, stock_s, bees_s):
+        return QueryComparison(
+            query=n,
+            stock_seconds=stock_s,
+            bees_seconds=bees_s,
+            stock_instructions=int(stock_s * 1e9),
+            bees_instructions=int(bees_s * 1e9),
+            results_match=True,
+        )
+
+    def test_avg1_equal_weight(self):
+        suite = SuiteResult({
+            1: self._comparison(1, 10.0, 9.0),     # 10%
+            2: self._comparison(2, 1.0, 0.7),      # 30%
+        })
+        assert suite.avg1("time") == pytest.approx(20.0)
+
+    def test_avg2_time_weighted(self):
+        suite = SuiteResult({
+            1: self._comparison(1, 10.0, 9.0),
+            2: self._comparison(2, 1.0, 0.7),
+        })
+        # (11 - 9.7) / 11 = 11.8%
+        assert suite.avg2("time") == pytest.approx(11.8, abs=0.1)
+
+    def test_all_match(self):
+        good = SuiteResult({1: self._comparison(1, 1.0, 0.9)})
+        assert good.all_match()
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    return build_suite_pair(scale_factor=0.001)
+
+
+class TestCompareQueries:
+    def test_warm_subset(self, small_pair):
+        stock, bees = small_pair
+        suite = compare_queries(stock, bees, queries=[1, 6])
+        assert set(suite.comparisons) == {1, 6}
+        assert suite.all_match()
+        assert suite.avg1("time") > 0
+
+    def test_cold_has_io(self, small_pair):
+        stock, bees = small_pair
+        warm = compare_queries(stock, bees, queries=[9], cold=False)
+        cold = compare_queries(stock, bees, queries=[9], cold=True)
+        assert (
+            cold.comparisons[9].stock_seconds
+            > warm.comparisons[9].stock_seconds
+        )
+
+
+class TestAblation:
+    def test_three_steps_monotone(self):
+        results = run_ablation(scale_factor=0.001, queries=[3, 6])
+        assert set(results) == {"GCL", "GCL+EVP", "GCL+EVP+EVJ"}
+        gcl = results["GCL"].avg1("time")
+        evp = results["GCL+EVP"].avg1("time")
+        assert gcl > 0
+        assert evp >= gcl
+
+
+class TestTPCCComparison:
+    def test_mix_comparison_properties(self):
+        stock = TPCCResult("default", 100, 2.0, {"new_order": 45})
+        bees = TPCCResult("default", 100, 1.8, {"new_order": 45})
+        comparison = MixComparison("default", stock, bees)
+        assert comparison.throughput_improvement == pytest.approx(
+            (100 / 1.8) / (100 / 2.0) * 100 - 100
+        )
+        assert comparison.tpmc_improvement > 0
+
+    def test_zero_throughput_guard(self):
+        zero = TPCCResult("default", 0, 0.0, {})
+        comparison = MixComparison("default", zero, zero)
+        assert comparison.throughput_improvement == 0.0
+
+    def test_run_tpcc_comparison_smoke(self):
+        config = TPCCConfig(warehouses=1, customers_per_district=20, items=60)
+        report = run_tpcc_comparison(
+            config, mixes=["default"], n_transactions=20
+        )
+        assert report["default"].throughput_improvement > 0
+
+
+class TestReportingEmit:
+    def test_emit_writes_results_log(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.reporting import emit
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        emit("hello experiment")
+        log = (tmp_path / "experiments.log").read_text()
+        assert "hello experiment" in log
+
+    def test_emit_survives_unwritable_dir(self, monkeypatch):
+        from repro.bench.reporting import emit
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", "/proc/definitely/nope")
+        emit("still fine")   # must not raise

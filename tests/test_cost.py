@@ -1,0 +1,153 @@
+"""Tests for the ledger, time model, simulated clock, and profiler."""
+
+import pytest
+
+from repro.cost import FunctionProfile, Ledger, SimulatedClock, TimeModel
+from repro.cost import constants as C
+from repro.cost.profiler import profile_report
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        ledger = Ledger()
+        ledger.charge(100)
+        ledger.charge(50)
+        assert ledger.total == 150
+
+    def test_charge_fn_without_profiling(self):
+        ledger = Ledger()
+        ledger.charge_fn("f", 10)
+        assert ledger.total == 10
+        assert ledger.by_function == {}
+
+    def test_charge_fn_with_profiling(self):
+        ledger = Ledger()
+        ledger.profiling = True
+        ledger.charge_fn("f", 10)
+        ledger.charge_fn("f", 5)
+        ledger.charge_fn("g", 1)
+        assert ledger.by_function == {"f": 15, "g": 1}
+
+    def test_io_counters(self):
+        ledger = Ledger()
+        ledger.read_page(sequential=True)
+        ledger.read_page(sequential=False)
+        ledger.hit_page()
+        assert ledger.seq_pages_read == 1
+        assert ledger.rand_pages_read == 1
+        assert ledger.pages_hit == 1
+
+    def test_snapshot_delta(self):
+        ledger = Ledger()
+        ledger.charge(10)
+        snap = ledger.snapshot()
+        ledger.charge(7)
+        ledger.read_page()
+        delta = ledger.delta_since(snap)
+        assert delta.total == 7
+        assert delta.seq_pages_read == 1
+
+    def test_reset(self):
+        ledger = Ledger()
+        ledger.charge(10)
+        ledger.read_page()
+        ledger.reset()
+        assert ledger.total == 0
+        assert ledger.seq_pages_read == 0
+
+
+class TestTimeModel:
+    def test_cpu_seconds(self):
+        model = TimeModel(cpu_hz=1e9, ipc=1.0)
+        ledger = Ledger()
+        ledger.charge(2_000_000_000)
+        assert model.cpu_seconds(ledger) == pytest.approx(2.0)
+
+    def test_io_seconds(self):
+        model = TimeModel(seq_page_s=0.001, rand_page_s=0.01)
+        ledger = Ledger()
+        ledger.read_page(sequential=True)
+        ledger.read_page(sequential=False)
+        assert model.io_seconds(ledger) == pytest.approx(0.011)
+
+    def test_total(self):
+        model = TimeModel(cpu_hz=1e9, ipc=1.0, seq_page_s=0.5)
+        ledger = Ledger()
+        ledger.charge(1_000_000_000)
+        ledger.read_page()
+        assert model.seconds(ledger) == pytest.approx(1.5)
+
+    def test_default_constants(self):
+        model = TimeModel()
+        assert model.cpu_hz == C.CPU_HZ
+        assert model.ipc == C.IPC
+
+
+class TestSimulatedClock:
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now_s == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+    def test_advance_for_delta(self):
+        clock = SimulatedClock(TimeModel(cpu_hz=1e6, ipc=1.0))
+        ledger = Ledger()
+        snap = ledger.snapshot()
+        ledger.charge(1_000_000)
+        seconds = clock.advance_for(ledger.delta_since(snap))
+        assert seconds == pytest.approx(1.0)
+        assert clock.now_s == pytest.approx(1.0)
+
+
+class TestFunctionProfile:
+    def test_scoped_attribution(self):
+        ledger = Ledger()
+        ledger.charge_fn("outside", 99)
+        with FunctionProfile(ledger) as profile:
+            ledger.charge_fn("inside", 42)
+            ledger.charge(8)
+        assert profile.counts == {"inside": 42}
+        assert profile.total == 50
+        assert profile.instructions_for("inside") == 42
+        assert profile.instructions_for("outside") == 0
+        assert ledger.profiling is False
+
+    def test_nested_profiles_restore_state(self):
+        ledger = Ledger()
+        with FunctionProfile(ledger):
+            with FunctionProfile(ledger) as inner:
+                ledger.charge_fn("f", 1)
+            assert ledger.profiling is True
+            assert inner.counts == {"f": 1}
+        assert ledger.profiling is False
+
+    def test_report_format(self):
+        report = profile_report({"f": 80, "g": 10}, 100)
+        assert "f" in report
+        assert "80.0%" in report
+        assert "<unattributed>" in report
+        assert "TOTAL" in report
+
+    def test_report_empty(self):
+        report = profile_report({}, 0)
+        assert "TOTAL" in report
+
+
+class TestConstantsSanity:
+    def test_specialized_always_cheaper(self):
+        assert C.GCL_FIXED < C.DEFORM_LOOP + C.DEFORM_CACHED_OFFSET + C.DEFORM_FETCH
+        assert C.SCL_FIXED < C.FILL_LOOP + C.FILL_FIXED + C.FILL_FETCH
+        assert C.EVP_NODE < C.EXPR_NODE_DISPATCH
+        assert C.EVJ_DISPATCH < C.JOIN_GENERIC_DISPATCH
+        assert C.EVJ_COMPARE < C.EXPR_COMPARISON
+
+    def test_io_slower_than_cpu_work(self):
+        # One random page read should cost more time than 10k instructions.
+        model = TimeModel()
+        assert C.RAND_PAGE_READ_S > 10_000 / (C.CPU_HZ * C.IPC)
+        assert model.rand_page_s > model.seq_page_s

@@ -1,0 +1,96 @@
+"""Calibration pins: the reproduction's numbers sit in the paper's bands.
+
+These tests tie the cost model to the paper's reported measurements:
+
+* Section II: generic deform ~340 instr/tuple on orders, GCL ~146,
+  whole-query reduction ~8.5%, stock total ~2300 instr/tuple.
+* Fig. 4/6 averages in band.
+* Fig. 8: orders bulk load improvement around 8-13%.
+
+They use a tiny scale factor (percentages are scale-invariant).
+"""
+
+import pytest
+
+from repro.bench.tpch_experiments import (
+    build_suite_pair,
+    bulk_loading,
+    case_study,
+    compare_queries,
+)
+
+SF = 0.001
+
+
+@pytest.fixture(scope="module")
+def case():
+    return case_study(scale_factor=SF)
+
+
+class TestCaseStudyCalibration:
+    def test_generic_deform_per_tuple(self, case):
+        assert case["stock"]["deform_per_tuple"] == pytest.approx(340, abs=40)
+
+    def test_gcl_per_tuple(self, case):
+        assert case["bees"]["deform_per_tuple"] == pytest.approx(146, abs=25)
+
+    def test_whole_query_reduction(self, case):
+        assert case["instruction_improvement"] == pytest.approx(8.5, abs=2.0)
+
+    def test_stock_total_per_tuple(self, case):
+        # Paper: 3.447B instructions over 1.5M tuples ~ 2300 per tuple.
+        per_tuple = case["stock"]["instructions"] / case["rows"]
+        assert per_tuple == pytest.approx(2300, rel=0.2)
+
+    def test_time_tracks_instructions_warm(self, case):
+        assert case["time_improvement"] == pytest.approx(
+            case["instruction_improvement"], abs=1.0
+        )
+
+
+@pytest.fixture(scope="module")
+def quick_suite():
+    stock, bees = build_suite_pair(scale_factor=SF)
+    return compare_queries(stock, bees, queries=[1, 3, 6, 12, 14])
+
+
+class TestSuiteCalibration:
+    def test_all_queries_improve(self, quick_suite):
+        for comparison in quick_suite.comparisons.values():
+            assert comparison.time_improvement > 0
+
+    def test_q6_is_predicate_heavy_winner(self, quick_suite):
+        q6 = quick_suite.comparisons[6].time_improvement
+        q1 = quick_suite.comparisons[1].time_improvement
+        assert q6 > q1, "q6 (predicates) should beat q1 (aggregation)"
+
+    def test_improvements_in_paper_band(self, quick_suite):
+        for comparison in quick_suite.comparisons.values():
+            assert 0.5 <= comparison.time_improvement <= 41.0
+
+    def test_results_identical(self, quick_suite):
+        assert quick_suite.all_match()
+
+
+class TestBulkCalibration:
+    @pytest.fixture(scope="class")
+    def bulk(self):
+        return bulk_loading(scale_factor=SF, small_relation_rows=3000)
+
+    def test_orders_improvement_band(self, bulk):
+        assert bulk["orders"]["time_improvement"] == pytest.approx(
+            8.3, abs=5.0
+        )
+
+    def test_all_relations_improve(self, bulk):
+        for name, entry in bulk.items():
+            assert entry["time_improvement"] > 0, name
+
+    def test_fill_routine_ratio(self, bulk):
+        orders = bulk["orders"]
+        ratio = (
+            orders["stock"]["fill_instructions"]
+            / orders["bees"]["fill_instructions"]
+        )
+        # Paper: 4.6B / 2.4B = 1.92x.
+        assert 1.3 <= ratio <= 4.5

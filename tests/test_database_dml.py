@@ -1,0 +1,256 @@
+"""Tests for the Database facade and DML paths (both bee modes)."""
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.catalog import INT4, char, make_schema, varchar
+from repro.db import Database
+
+
+@pytest.fixture(params=["stock", "bees"])
+def db(request, orders_schema):
+    settings = (
+        BeeSettings.stock() if request.param == "stock"
+        else BeeSettings.all_bees()
+    )
+    database = Database(settings)
+    database.create_table(orders_schema, annotate=("o_orderstatus",))
+    return database
+
+
+ROW = [1, 5, "O", 99.5, 9000, "2-HIGH", "Clerk#1", 0, "hello world"]
+
+
+class TestInsertRead:
+    def test_insert_and_read_all(self, db):
+        db.insert("orders", ROW)
+        assert db.read_all("orders") == [ROW]
+
+    def test_copy_from(self, db):
+        rows = [list(ROW) for _ in range(20)]
+        for i, row in enumerate(rows):
+            row[0] = i
+        assert db.copy_from("orders", rows) == 20
+        assert len(db.read_all("orders")) == 20
+
+    def test_wrong_arity_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.insert("orders", [1, 2, 3])
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(KeyError):
+            db.insert("ghost", ROW)
+        with pytest.raises(KeyError):
+            db.relation("ghost")
+
+
+class TestUpdateDelete:
+    def test_update_where(self, db):
+        db.insert("orders", ROW)
+        other = list(ROW)
+        other[0] = 2
+        other[2] = "F"
+        db.insert("orders", other)
+
+        def bump(values):
+            values[3] += 1.0
+            return values
+
+        n = db.update_where("orders", lambda v: v[2] == "O", bump)
+        assert n == 1
+        rows = {r[0]: r for r in db.read_all("orders")}
+        assert rows[1][3] == pytest.approx(100.5)
+        assert rows[2][3] == pytest.approx(99.5)
+
+    def test_delete_where(self, db):
+        for i in range(5):
+            row = list(ROW)
+            row[0] = i
+            db.insert("orders", row)
+        n = db.delete_where("orders", lambda v: v[0] % 2 == 0)
+        assert n == 3
+        assert sorted(r[0] for r in db.read_all("orders")) == [1, 3]
+
+    def test_update_by_tid(self, db):
+        tid = db.insert("orders", ROW)
+        new_row = list(ROW)
+        new_row[3] = 1000.0
+        db.update_by_tid("orders", tid, new_row)
+        assert db.read_all("orders")[0][3] == pytest.approx(1000.0)
+
+    def test_delete_by_tid(self, db):
+        tid = db.insert("orders", ROW)
+        db.delete_by_tid("orders", tid)
+        assert db.read_all("orders") == []
+
+
+class TestIndexMaintenance:
+    def test_index_backfill_and_lookup(self, db):
+        for i in range(10):
+            row = list(ROW)
+            row[0] = i
+            db.insert("orders", row)
+        db.create_index("orders", "orders_pk", ["o_orderkey"], unique=True)
+        rel = db.relation("orders")
+        assert len(rel.indexes["orders_pk"].lookup((7,))) == 1
+
+    def test_index_maintained_on_insert(self, db):
+        db.create_index("orders", "orders_pk", ["o_orderkey"], unique=True)
+        db.insert("orders", ROW)
+        rel = db.relation("orders")
+        assert len(rel.indexes["orders_pk"].lookup((1,))) == 1
+
+    def test_index_maintained_on_update(self, db):
+        db.create_index("orders", "by_status", ["o_orderstatus"])
+        tid = db.insert("orders", ROW)
+        new_row = list(ROW)
+        new_row[2] = "F"
+        db.update_by_tid("orders", tid, new_row)
+        rel = db.relation("orders")
+        assert rel.indexes["by_status"].lookup(("O",)) == []
+        assert len(rel.indexes["by_status"].lookup(("F",))) == 1
+
+
+class TestDropAndReannotate:
+    def test_drop_table(self, db):
+        db.insert("orders", ROW)
+        db.drop_table("orders")
+        with pytest.raises(KeyError):
+            db.relation("orders")
+        assert "orders" not in db.catalog
+
+    def test_drop_collects_bees(self, orders_schema):
+        database = Database(BeeSettings.all_bees())
+        database.create_table(orders_schema, annotate=("o_orderstatus",))
+        assert database.bee_module.relation_bee("orders") is not None
+        database.drop_table("orders")
+        assert database.bee_module.relation_bee("orders") is None
+        assert database.bee_module.statistics()["collected_relation_bees"] == 1
+
+    def test_reannotate_rebuilds(self, orders_schema):
+        database = Database(BeeSettings.all_bees())
+        database.create_table(orders_schema, annotate=("o_orderstatus",))
+        database.create_index("orders", "pk", ["o_orderkey"], unique=True)
+        for i in range(8):
+            row = list(ROW)
+            row[0] = i
+            database.insert("orders", row)
+        before = database.read_all("orders")
+        database.reannotate(
+            "orders", ("o_orderstatus", "o_orderpriority")
+        )
+        after = database.read_all("orders")
+        assert sorted(before) == sorted(after)
+        # New layout hoists both attributes.
+        assert database.relation("orders").layout.bee_attrs == (
+            "o_orderstatus", "o_orderpriority",
+        )
+        # Index survived the rebuild.
+        assert len(
+            database.relation("orders").indexes["pk"].lookup((3,))
+        ) == 1
+
+    def test_reannotate_to_none(self, orders_schema):
+        database = Database(BeeSettings.all_bees())
+        database.create_table(orders_schema, annotate=("o_orderstatus",))
+        database.insert("orders", ROW)
+        database.reannotate("orders", ())
+        assert database.relation("orders").layout.bee_attrs == ()
+        assert database.read_all("orders") == [ROW]
+
+
+class TestMeasure:
+    def test_measure_prices_work(self, db):
+        run = db.measure(lambda: db.copy_from("orders", [ROW]))
+        assert run.instructions > 0
+        assert run.seconds > 0
+        assert run.result == 1
+
+    def test_warm_and_cold_cache(self, db):
+        db.copy_from(
+            "orders",
+            [[i] + ROW[1:] for i in range(200)],
+        )
+        db.cold_cache()
+        cold = db.measure(lambda: db.read_all("orders"))
+        # read_all bypasses the buffer pool; use a real scan for I/O.
+        from repro.engine.nodes import SeqScan
+
+        node = SeqScan("orders")
+        node.bind_schema(db.relation("orders").schema)
+        db.cold_cache()
+        cold = db.measure(lambda: db.execute(node))
+        db.warm_cache()
+        warm = db.measure(lambda: db.execute(node))
+        assert cold.seq_pages_read > 0
+        assert warm.seq_pages_read == 0
+        assert cold.io_seconds > warm.io_seconds
+
+
+class TestStorageShrink:
+    def test_tuple_bees_shrink_relation(self, orders_schema):
+        rows = [
+            [i, 5, "OF P"[i % 3], 9.5, 9000, "2-HIGH", "c", 0, "x" * 40]
+            for i in range(2000)
+        ]
+        stock = Database(BeeSettings.stock())
+        stock.create_table(
+            orders_schema, annotate=("o_orderstatus", "o_orderpriority")
+        )
+        stock.copy_from("orders", rows)
+        bees = Database(BeeSettings.all_bees())
+        bees.create_table(
+            orders_schema, annotate=("o_orderstatus", "o_orderpriority")
+        )
+        bees.copy_from("orders", rows)
+        assert (
+            bees.relation("orders").heap.page_count
+            < stock.relation("orders").heap.page_count
+        )
+
+
+class TestVacuum:
+    def test_reclaims_pages(self, orders_schema):
+        db = Database(BeeSettings.all_bees())
+        db.create_table(orders_schema, annotate=("o_orderstatus",))
+        rows = [[i] + ROW[1:] for i in range(2000)]
+        db.copy_from("orders", rows)
+        db.delete_where("orders", lambda v: v[0] % 4 != 0)
+        before = db.relation("orders").heap.page_count
+        report = db.vacuum("orders")
+        assert report["pages_after"] < before
+        assert report["tuples"] == 500
+        assert db.relation("orders").heap.page_count == report["pages_after"]
+
+    def test_preserves_data_and_indexes(self, orders_schema):
+        db = Database(BeeSettings.all_bees())
+        db.create_table(orders_schema, annotate=("o_orderstatus",))
+        db.create_index("orders", "pk", ["o_orderkey"], unique=True)
+        rows = [[i] + ROW[1:] for i in range(200)]
+        db.copy_from("orders", rows)
+        db.delete_where("orders", lambda v: v[0] < 100)
+        expected = sorted(map(tuple, db.read_all("orders")))
+        db.vacuum("orders")
+        assert sorted(map(tuple, db.read_all("orders"))) == expected
+        rel = db.relation("orders")
+        assert len(rel.indexes["pk"].lookup((150,))) == 1
+        assert rel.indexes["pk"].lookup((50,)) == []
+        # Fetch through the rebuilt index works (TIDs were remapped).
+        tid = rel.indexes["pk"].lookup((150,))[0]
+        assert rel.heap.fetch(tid)
+
+    def test_sql_vacuum(self, orders_schema):
+        db = Database(BeeSettings.stock())
+        db.create_table(orders_schema)
+        db.copy_from("orders", [[i] + ROW[1:] for i in range(500)])
+        db.delete_where("orders", lambda v: v[0] % 2 == 0)
+        result = db.sql("VACUUM orders")
+        assert result.status.startswith("VACUUM")
+        assert db.sql("SELECT count(*) FROM orders").rows == [(250,)]
+
+    def test_vacuum_charges_work(self, orders_schema):
+        db = Database(BeeSettings.stock())
+        db.create_table(orders_schema)
+        db.copy_from("orders", [[i] + ROW[1:] for i in range(50)])
+        run = db.measure(lambda: db.vacuum("orders"))
+        assert run.instructions > 0

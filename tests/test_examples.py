@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs cleanly and says what it should."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "improvement:" in out
+    assert "GCL_trades" in out            # generated code was printed
+    assert "identical results" in out
+
+
+def test_tpch_analytics_runs():
+    out = _run("tpch_analytics.py", "0.001")
+    assert "Section II case study" in out
+    assert "paper ~340" in out
+    assert "Avg1" in out
+
+
+def test_tpcc_throughput_runs():
+    out = _run("tpcc_throughput.py")
+    assert "TPC-C throughput" in out
+    assert "tpmC" in out
+
+
+def test_bee_inspection_runs():
+    out = _run("bee_inspection.py")
+    assert "RELATION BEE" in out
+    assert "QUERY BEE" in out
+    assert "TUPLE BEES" in out
+    assert "PLACEMENT OPTIMIZER" in out
+    assert "BEE COLLECTOR" in out
+
+
+def test_columnar_analytics_runs():
+    out = _run("columnar_analytics.py", "0.001")
+    assert "same answer" in out
+    assert "architectural specialization" in out
+    assert "CDL" in out

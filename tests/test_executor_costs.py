@@ -1,0 +1,125 @@
+"""Invariants of the cost accounting across the executor."""
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.cost import constants as C
+from repro.db import Database
+from repro.engine import expr as E
+from repro.engine.executor import execute
+from repro.engine.nodes import ColumnSelect, Filter, Limit, SeqScan, Sort, ValuesNode
+
+
+def scan(db):
+    node = SeqScan("orders")
+    node.bind_schema(db.relation("orders").schema)
+    return node
+
+
+class TestEmitCharging:
+    def test_emit_false_is_cheaper(self, stock_db):
+        run_emit = stock_db.measure(lambda: execute(stock_db, scan(stock_db)))
+        run_internal = stock_db.measure(
+            lambda: execute(stock_db, scan(stock_db), emit=False)
+        )
+        assert run_emit.result == run_internal.result
+        expected_gap = 50 * (
+            C.EMIT_ROW_BASE + C.EMIT_ROW_PER_COLUMN * 9
+        )
+        assert run_emit.instructions - run_internal.instructions == expected_gap
+
+    def test_emit_scales_with_columns(self, stock_db):
+        wide = stock_db.measure(lambda: execute(stock_db, scan(stock_db)))
+        narrow = stock_db.measure(
+            lambda: execute(
+                stock_db, ColumnSelect(scan(stock_db), ["o_orderkey"])
+            )
+        )
+        # Narrow output emits 1 column instead of 9 per row.
+        assert narrow.instructions < wide.instructions
+
+
+class TestPerRowCharges:
+    def test_scan_cost_linear_in_rows(self, stock_db):
+        full = stock_db.measure(
+            lambda: execute(stock_db, scan(stock_db), emit=False)
+        )
+        half = stock_db.measure(
+            lambda: execute(
+                stock_db, Limit(scan(stock_db), 25), emit=False
+            )
+        )
+        # Limit stops the pipeline early: roughly half the scan work
+        # (page-granular costs make it inexact).
+        assert half.instructions < 0.7 * full.instructions
+
+    def test_filter_adds_predicate_cost(self, stock_db):
+        qual = E.Cmp(">", E.Col("o_totalprice"), E.Const(0.0))
+        bare = stock_db.measure(
+            lambda: execute(stock_db, scan(stock_db), emit=False)
+        )
+        filtered = stock_db.measure(
+            lambda: execute(
+                stock_db, Filter(scan(stock_db), qual), emit=False
+            )
+        )
+        assert filtered.instructions > bare.instructions
+
+    def test_sort_charges_nlogn(self, stock_db):
+        small = ValuesNode(["x"], [[i] for i in range(10)])
+        big = ValuesNode(["x"], [[i] for i in range(1000)])
+        run_small = stock_db.measure(
+            lambda: execute(
+                stock_db, Sort(small, [(E.Col("x"), False)]), emit=False
+            )
+        )
+        run_big = stock_db.measure(
+            lambda: execute(
+                stock_db, Sort(big, [(E.Col("x"), False)]), emit=False
+            )
+        )
+        # 100x rows -> more than 100x sort cost (the log factor).
+        assert run_big.instructions > 100 * run_small.instructions
+
+
+class TestModeInvariants:
+    def test_bee_db_never_charges_more_on_reads(
+        self, stock_db, bees_db
+    ):
+        plans = [
+            lambda db: execute(db, scan(db), emit=False),
+            lambda db: execute(
+                db,
+                Filter(
+                    scan(db),
+                    E.Cmp("=", E.Col("o_orderstatus"), E.Const("O")),
+                    not_null=True,
+                ),
+                emit=False,
+            ),
+        ]
+        for plan in plans:
+            stock_run = stock_db.measure(lambda: plan(stock_db))
+            bees_run = bees_db.measure(lambda: plan(bees_db))
+            assert bees_run.result == stock_run.result
+            assert bees_run.instructions < stock_run.instructions
+
+    def test_specialized_costs_are_positive(self, bees_db):
+        """Bee routines must still charge something (no free lunches)."""
+        before = bees_db.ledger.total
+        execute(bees_db, scan(bees_db), emit=False)
+        assert bees_db.ledger.total > before
+
+    def test_identical_charges_are_deterministic(self, orders_schema):
+        def build():
+            db = Database(BeeSettings.all_bees())
+            db.create_table(orders_schema, annotate=("o_orderstatus",))
+            db.copy_from("orders", [
+                [i, 1, "O", 1.0, 9000, "2-HIGH", "c", 0, "x"]
+                for i in range(40)
+            ])
+            return db.measure(
+                lambda: execute(db, scan(db), emit=False)
+            ).instructions
+
+        assert build() == build()

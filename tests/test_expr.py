@@ -1,0 +1,220 @@
+"""Tests for the expression interpreter: semantics, 3VL, binding, costs."""
+
+import pytest
+
+from repro.engine import expr as E
+
+
+def ev(expression, row=()):
+    return expression.evaluate(list(row))
+
+
+class TestConstCol:
+    def test_const(self):
+        assert ev(E.Const(42)) == 42
+        assert ev(E.Const(None)) is None
+
+    def test_col(self):
+        col = E.Col("x", index=1)
+        assert ev(col, [10, 20]) == 20
+
+    def test_bind_resolves_names(self):
+        expression = E.Cmp("=", E.Col("b"), E.Const(5))
+        E.bind(expression, ["a", "b"])
+        assert ev(expression, [0, 5]) is True
+        assert E.is_bound(expression)
+
+    def test_bind_unknown_column(self):
+        with pytest.raises(E.BindError):
+            E.bind(E.Col("ghost"), ["a", "b"])
+
+    def test_is_bound_false_initially(self):
+        assert not E.is_bound(E.Col("x"))
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True), ("=", 1, 2, False),
+            ("<>", 1, 2, True), ("<>", 2, 2, False),
+            ("<", 1, 2, True), ("<=", 2, 2, True),
+            (">", 3, 2, True), (">=", 1, 2, False),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        assert ev(E.Cmp(op, E.Const(left), E.Const(right))) is expected
+
+    def test_null_propagates(self):
+        assert ev(E.Cmp("=", E.Const(None), E.Const(1))) is None
+        assert ev(E.Cmp("<", E.Const(1), E.Const(None))) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            E.Cmp("~~", E.Const(1), E.Const(2))
+
+    def test_string_comparison(self):
+        assert ev(E.Cmp("<", E.Const("apple"), E.Const("banana"))) is True
+
+
+class TestArith:
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 7), ("-", 3), ("*", 10), ("/", 2.5)]
+    )
+    def test_operators(self, op, expected):
+        assert ev(E.Arith(op, E.Const(5), E.Const(2))) == expected
+
+    def test_null_propagates(self):
+        assert ev(E.Arith("+", E.Const(None), E.Const(1))) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            E.Arith("%", E.Const(1), E.Const(2))
+
+
+class TestThreeValuedLogic:
+    T, F, N = E.Const(True), E.Const(False), E.Const(None)
+
+    def test_and_kleene(self):
+        assert ev(E.And(self.T, self.T)) is True
+        assert ev(E.And(self.T, self.F)) is False
+        assert ev(E.And(self.T, self.N)) is None
+        assert ev(E.And(self.F, self.N)) is False   # False dominates
+        assert ev(E.And(self.N, self.N)) is None
+
+    def test_or_kleene(self):
+        assert ev(E.Or(self.F, self.F)) is False
+        assert ev(E.Or(self.F, self.T)) is True
+        assert ev(E.Or(self.F, self.N)) is None
+        assert ev(E.Or(self.T, self.N)) is True     # True dominates
+        assert ev(E.Or(self.N, self.N)) is None
+
+    def test_not(self):
+        assert ev(E.Not(self.T)) is False
+        assert ev(E.Not(self.F)) is True
+        assert ev(E.Not(self.N)) is None
+
+    def test_empty_bool_rejected(self):
+        with pytest.raises(ValueError):
+            E.And()
+        with pytest.raises(ValueError):
+            E.Or()
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "abd", False),
+            ("a%", "abcdef", True),
+            ("%BRASS", "LARGE BRASS", True),
+            ("%green%", "dim green smoke", True),
+            ("a_c", "abc", True),
+            ("a_c", "abbc", False),
+            ("%special%requests%", "no special deposits requests here", True),
+            ("100%", "100%", True),        # literal after escape-free %
+        ],
+    )
+    def test_patterns(self, pattern, value, expected):
+        assert ev(E.Like(E.Const(value), pattern)) is expected
+
+    def test_negate(self):
+        assert ev(E.Like(E.Const("xyz"), "a%", negate=True)) is True
+
+    def test_null(self):
+        assert ev(E.Like(E.Const(None), "a%")) is None
+
+    def test_regex_chars_escaped(self):
+        assert ev(E.Like(E.Const("a.c"), "a.c")) is True
+        assert ev(E.Like(E.Const("abc"), "a.c")) is False
+
+
+class TestOtherNodes:
+    def test_in_list(self):
+        expression = E.InList(E.Const("MAIL"), ["MAIL", "SHIP"])
+        assert ev(expression) is True
+        assert ev(E.InList(E.Const("AIR"), ["MAIL", "SHIP"])) is False
+        assert ev(E.InList(E.Const(None), ["MAIL"])) is None
+
+    def test_between(self):
+        assert ev(E.Between(E.Const(5), 1, 10)) is True
+        assert ev(E.Between(E.Const(0), 1, 10)) is False
+        assert ev(E.Between(E.Const(1), 1, 10)) is True   # inclusive
+        assert ev(E.Between(E.Const(None), 1, 10)) is None
+
+    def test_case(self):
+        expression = E.Case(
+            [
+                (E.Cmp(">", E.Col("x", 0), E.Const(10)), E.Const("big")),
+                (E.Cmp(">", E.Col("x", 0), E.Const(5)), E.Const("mid")),
+            ],
+            E.Const("small"),
+        )
+        assert ev(expression, [20]) == "big"
+        assert ev(expression, [7]) == "mid"
+        assert ev(expression, [1]) == "small"
+
+    def test_case_requires_arm(self):
+        with pytest.raises(ValueError):
+            E.Case([], E.Const(0))
+
+    def test_is_null(self):
+        assert ev(E.IsNull(E.Const(None))) is True
+        assert ev(E.IsNull(E.Const(1))) is False
+        assert ev(E.IsNull(E.Const(None), negate=True)) is False
+
+    def test_func_extract_year(self):
+        import datetime
+        from repro.catalog.types import date_to_days
+
+        days = date_to_days(datetime.date(1997, 6, 15))
+        assert ev(E.Func("extract_year", E.Const(days))) == 1997
+        assert ev(E.Func("extract_month", E.Const(days))) == 6
+
+    def test_func_substr(self):
+        expression = E.Func(
+            "substr", E.Const("13-456"), E.Const(1), E.Const(2)
+        )
+        assert ev(expression) == "13"
+
+    def test_func_null_propagates(self):
+        assert ev(E.Func("length", E.Const(None))) is None
+
+    def test_unknown_func(self):
+        with pytest.raises(ValueError):
+            E.Func("md5", E.Const("x"))
+
+
+class TestCosts:
+    def test_every_node_has_positive_costs(self):
+        nodes = [
+            E.Const(1),
+            E.Col("x", 0),
+            E.Cmp("=", E.Col("x", 0), E.Const(1)),
+            E.Arith("+", E.Const(1), E.Const(2)),
+            E.And(E.Const(True), E.Const(True)),
+            E.Or(E.Const(False), E.Const(True)),
+            E.Not(E.Const(True)),
+            E.Like(E.Const("a"), "a%"),
+            E.InList(E.Const(1), [1, 2]),
+            E.Between(E.Const(1), 0, 2),
+            E.IsNull(E.Const(None)),
+            E.Func("length", E.Const("x")),
+        ]
+        for node in nodes:
+            assert node.generic_cost > 0
+            assert node.evp_cost > 0
+
+    def test_evp_always_cheaper_than_generic(self):
+        expression = E.And(
+            E.Between(E.Col("a", 0), 1, 10),
+            E.Like(E.Col("b", 1), "%x%"),
+            E.Cmp("<", E.Col("c", 2), E.Const(5)),
+        )
+        assert expression.evp_cost < expression.generic_cost
+
+    def test_cost_grows_with_tree(self):
+        small = E.Cmp("=", E.Col("a", 0), E.Const(1))
+        big = E.And(small, E.Cmp("<", E.Col("b", 1), E.Const(2)))
+        assert big.generic_cost > small.generic_cost

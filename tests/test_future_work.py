@@ -1,0 +1,278 @@
+"""Tests for the Section VIII future-work extensions: the AGG routine and
+the WAL-backed stable bee cache (including crash/recovery injection)."""
+
+import pytest
+
+from repro.bees.cache import BeeCache
+from repro.bees.maker import BeeMaker
+from repro.bees.routines.agg import generate_agg, generic_transition_cost
+from repro.bees.settings import BeeSettings
+from repro.bees.walcache import (
+    BeeCacheWAL,
+    StableBeeCache,
+    WALCorruptionError,
+)
+from repro.cost import Ledger
+from repro.db import Database
+from repro.engine import expr as E
+from repro.engine.agg import HashAgg
+from repro.engine.aggregates import AggSpec
+from repro.engine.executor import execute
+from repro.engine.nodes import ValuesNode
+from repro.storage import TupleLayout
+
+
+class TestAggRoutine:
+    def _specs(self, columns):
+        revenue = E.bind(
+            E.Arith("*", E.Col("p"), E.Arith("-", E.Const(1), E.Col("d"))),
+            columns,
+        )
+        return [
+            AggSpec("sum", revenue, name="rev"),
+            AggSpec("count", name="n"),
+            AggSpec("avg", E.bind(E.Col("p"), columns), name="avg_p"),
+            AggSpec("count", E.bind(E.Col("d"), columns), name="nd"),
+        ]
+
+    def test_generated_matches_generic(self):
+        columns = ["p", "d"]
+        specs = self._specs(columns)
+        routine = generate_agg(specs, Ledger(), "AGG_t")
+        rows = [[100.0, 0.1], [200.0, None], [None, 0.2], [50.0, 0.0]]
+        generated = [spec.make_state() for spec in specs]
+        generic = [spec.make_state() for spec in specs]
+        for row in rows:
+            routine.fn(row, generated)
+            for spec, state in zip(specs, generic):
+                if spec.arg is None:
+                    state.update(object())
+                else:
+                    value = spec.arg.evaluate(row)
+                    if value is not None or spec.func != "count":
+                        state.update(value)
+        assert [s.result() for s in generated] == [
+            s.result() for s in generic
+        ]
+
+    def test_cheaper_than_generic(self):
+        specs = self._specs(["p", "d"])
+        routine = generate_agg(specs, Ledger(), "AGG_t")
+        assert routine.cost < generic_transition_cost(specs)
+
+    def test_hashagg_with_agg_routine(self):
+        data = [["a", 1.0, 0.1], ["b", 2.0, 0.2], ["a", 3.0, 0.3]]
+
+        def run(settings):
+            db = Database(settings)
+            node = HashAgg(
+                ValuesNode(["g", "p", "d"], data),
+                [(E.Col("g"), "g")],
+                [
+                    AggSpec(
+                        "sum",
+                        E.Arith("*", E.Col("p"), E.Col("d")),
+                        name="pd",
+                    ),
+                    AggSpec("count", name="n"),
+                ],
+            )
+            before = db.ledger.snapshot()
+            rows = execute(db, node)
+            return sorted(rows), db.ledger.delta_since(before).total
+
+        stock_rows, stock_cost = run(BeeSettings.stock())
+        future_rows, future_cost = run(BeeSettings.future())
+        assert stock_rows == future_rows
+        assert future_cost < stock_cost
+
+    def test_future_settings(self):
+        settings = BeeSettings.future()
+        assert settings.agg
+        assert "AGG" in settings.label()
+        assert not BeeSettings.all_bees().agg   # paper system has no AGG
+
+    def test_q1_gains_from_agg_routine(self):
+        """q1 (aggregation-dominated) should improve further with AGG on."""
+        from repro.workloads.tpch.loader import (
+            build_tpch_database,
+            generate_rows,
+        )
+        from repro.workloads.tpch.dbgen import TPCHGenerator
+        from repro.workloads.tpch.queries import q01
+
+        rows = generate_rows(TPCHGenerator(0.001))
+        paper = build_tpch_database(BeeSettings.all_bees(), rows=rows)
+        future = build_tpch_database(BeeSettings.future(), rows=rows)
+
+        paper_run = paper.measure(lambda: q01(paper))
+        future_run = future.measure(lambda: q01(future))
+        assert paper_run.result == future_run.result
+        assert future_run.instructions < paper_run.instructions
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return BeeCacheWAL(tmp_path / "test.wal")
+
+
+class TestWAL:
+    def test_committed_records_replayed(self, wal):
+        wal.log_delete("a")
+        wal.commit()
+        wal.log_delete("b")    # uncommitted: undo on recovery
+        records = wal.committed_records()
+        assert [r["relation"] for r in records] == ["a"]
+
+    def test_empty_log(self, wal):
+        assert wal.committed_records() == []
+
+    def test_torn_tail_ignored(self, wal):
+        wal.log_delete("a")
+        wal.commit()
+        with open(wal.path, "a") as handle:
+            handle.write("deadbeef:{\"op\": \"put\", \"rel")   # torn write
+        assert [r["relation"] for r in wal.committed_records()] == ["a"]
+
+    def test_corruption_before_commit_detected(self, wal):
+        wal.log_delete("a")
+        wal.commit()
+        text = wal.path.read_text().replace("delete", "detele")
+        wal.path.write_text(text)
+        with pytest.raises(WALCorruptionError):
+            wal.committed_records()
+
+    def test_truncate(self, wal):
+        wal.log_delete("a")
+        wal.commit()
+        wal.truncate()
+        assert wal.committed_records() == []
+
+
+class TestStableBeeCache:
+    def _bee(self, orders_schema, with_sections=True):
+        maker = BeeMaker(Ledger())
+        attrs = ("o_orderstatus",) if with_sections else ()
+        bee = maker.make_relation_bee(TupleLayout(orders_schema, attrs))
+        return maker, bee
+
+    def test_recover_committed_put(self, orders_schema, tmp_path):
+        maker, bee = self._bee(orders_schema)
+        stable = StableBeeCache(BeeCache(), maker, tmp_path)
+        stable.put(bee)
+        stable.note_section("orders", ("O",))
+        stable.commit()
+
+        layouts = {"orders": bee.layout}
+        recovered = StableBeeCache.recover(tmp_path, BeeMaker(Ledger()), layouts)
+        restored = recovered.cache.get_relation_bee("orders")
+        assert restored is not None
+        assert restored.data_sections.get(0) == ("O",)
+
+    def test_uncommitted_put_rolled_back(self, orders_schema, tmp_path):
+        maker, bee = self._bee(orders_schema)
+        stable = StableBeeCache(BeeCache(), maker, tmp_path)
+        stable.put(bee)               # crash before commit
+        recovered = StableBeeCache.recover(
+            tmp_path, BeeMaker(Ledger()), {"orders": bee.layout}
+        )
+        assert recovered.cache.get_relation_bee("orders") is None
+
+    def test_delete_replayed(self, orders_schema, tmp_path):
+        maker, bee = self._bee(orders_schema)
+        stable = StableBeeCache(BeeCache(), maker, tmp_path)
+        stable.put(bee)
+        stable.commit()
+        stable.delete("orders")
+        stable.commit()
+        recovered = StableBeeCache.recover(
+            tmp_path, BeeMaker(Ledger()), {"orders": bee.layout}
+        )
+        assert recovered.cache.get_relation_bee("orders") is None
+
+    def test_checkpoint_truncates_log(self, orders_schema, tmp_path):
+        maker, bee = self._bee(orders_schema)
+        stable = StableBeeCache(BeeCache(), maker, tmp_path)
+        stable.put(bee)
+        stable.commit()
+        assert stable.checkpoint() == 1
+        assert stable.wal.committed_records() == []
+        # Checkpoint file alone is enough to recover.
+        recovered = StableBeeCache.recover(
+            tmp_path, BeeMaker(Ledger()), {"orders": bee.layout}
+        )
+        assert recovered.cache.get_relation_bee("orders") is not None
+
+    def test_sections_after_checkpoint_survive(self, orders_schema, tmp_path):
+        maker, bee = self._bee(orders_schema)
+        stable = StableBeeCache(BeeCache(), maker, tmp_path)
+        stable.put(bee)
+        stable.commit()
+        stable.checkpoint()
+        bee.data_sections.get_or_create(("P",))
+        stable.note_section("orders", ("P",))
+        stable.commit()
+        recovered = StableBeeCache.recover(
+            tmp_path, BeeMaker(Ledger()), {"orders": bee.layout}
+        )
+        restored = recovered.cache.get_relation_bee("orders")
+        assert ("P",) in restored.sections_list()
+
+
+class TestIdxRoutine:
+    def test_extractor_matches_generic(self):
+        from repro.bees.routines.idx import generate_idx, generic_idx_cost, idx_cost
+
+        routine = generate_idx([3, 1], Ledger(), "IDX_t")
+        values = ["a", "b", "c", "d", "e"]
+        assert routine.fn(values) == ("d", "b")
+        assert routine.cost == idx_cost(2)
+        assert routine.cost < generic_idx_cost(2)
+
+    def test_single_column_returns_tuple(self):
+        from repro.bees.routines.idx import generate_idx
+
+        routine = generate_idx([0], Ledger(), "IDX_t")
+        assert routine.fn([42]) == (42,)
+
+    def test_empty_columns_rejected(self):
+        from repro.bees.routines.idx import generate_idx
+
+        with pytest.raises(ValueError):
+            generate_idx([], Ledger(), "IDX_t")
+
+    def test_indexed_inserts_cheaper_with_idx(self, orders_schema):
+        rows = [
+            [i, 5, "O", 9.9, 100, "2-HIGH", "c", 0, "hi"] for i in range(300)
+        ]
+
+        def load(settings):
+            db = Database(settings)
+            db.create_table(orders_schema)
+            db.create_index("orders", "pk", ["o_orderkey"], unique=True)
+            db.create_index("orders", "by_cust", ["o_custkey", "o_orderkey"])
+            run = db.measure(lambda: db.copy_from("orders", rows))
+            return db, run.instructions
+
+        stock_db, stock_cost = load(BeeSettings.stock())
+        future_db, future_cost = load(BeeSettings.future())
+        assert future_cost < stock_cost
+        assert sorted(map(tuple, stock_db.read_all("orders"))) == sorted(
+            map(tuple, future_db.read_all("orders"))
+        )
+        # Index contents identical too.
+        assert (
+            stock_db.relation("orders").indexes["pk"].lookup((7,))
+            == future_db.relation("orders").indexes["pk"].lookup((7,))
+        )
+
+    def test_tpcc_gains_with_future_settings(self):
+        """New-Order (index-heavy) benefits from IDX + AGG on top."""
+        from repro.workloads.tpcc import TPCCConfig, build_tpcc_database, run_mix
+
+        config = TPCCConfig(warehouses=1, customers_per_district=20, items=80)
+        paper = build_tpcc_database(BeeSettings.all_bees(), config)
+        future = build_tpcc_database(BeeSettings.future(), config)
+        paper_result = run_mix(paper, config, "default", 20, seed=4)
+        future_result = run_mix(future, config, "default", 20, seed=4)
+        assert future_result.tpm_total >= paper_result.tpm_total

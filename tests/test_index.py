@@ -1,0 +1,132 @@
+"""Tests for hash and B-tree indexes, including a hypothesis model check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.heapfile import TID
+from repro.storage.index import (
+    BTreeIndex,
+    DuplicateKeyError,
+    HashIndex,
+    build_index,
+)
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("i", "r", ("k",))
+        index.insert((1,), TID(0, 0))
+        index.insert((1,), TID(0, 1))
+        index.insert((2,), TID(0, 2))
+        assert sorted(index.lookup((1,))) == [TID(0, 0), TID(0, 1)]
+        assert index.lookup((3,)) == []
+        assert len(index) == 3
+
+    def test_unique_violation(self):
+        index = HashIndex("i", "r", ("k",), unique=True)
+        index.insert((1,), TID(0, 0))
+        with pytest.raises(DuplicateKeyError):
+            index.insert((1,), TID(0, 1))
+
+    def test_delete(self):
+        index = HashIndex("i", "r", ("k",))
+        index.insert((1,), TID(0, 0))
+        index.delete((1,), TID(0, 0))
+        assert index.lookup((1,)) == []
+        index.delete((1,), TID(0, 0))   # idempotent
+
+    def test_composite_keys(self):
+        index = HashIndex("i", "r", ("a", "b"))
+        index.insert((1, "x"), TID(0, 0))
+        assert index.lookup((1, "x")) == [TID(0, 0)]
+        assert index.lookup((1, "y")) == []
+
+
+class TestBTreeIndex:
+    def test_point_lookup(self):
+        index = BTreeIndex("i", "r", ("k",))
+        for i in (5, 3, 9, 3):
+            index.insert((i,), TID(0, i))
+        assert len(index.lookup((3,))) == 2
+        assert index.lookup((4,)) == []
+
+    def test_range_lookup_ordered(self):
+        index = BTreeIndex("i", "r", ("k",))
+        for i in (5, 1, 9, 3, 7):
+            index.insert((i,), TID(0, i))
+        tids = index.range_lookup((3,), (7,))
+        assert [t.slot for t in tids] == [3, 5, 7]
+
+    def test_range_unbounded_high(self):
+        index = BTreeIndex("i", "r", ("k",))
+        for i in range(5):
+            index.insert((i,), TID(0, i))
+        assert [t.slot for t in index.range_lookup((3,), None)] == [3, 4]
+
+    def test_prefix_range_on_composite(self):
+        index = BTreeIndex("i", "r", ("a", "b"))
+        index.insert((1, 10), TID(0, 0))
+        index.insert((1, 20), TID(0, 1))
+        index.insert((2, 5), TID(0, 2))
+        tids = index.range_lookup((1,), (1,))
+        assert [t.slot for t in tids] == [0, 1]
+
+    def test_unique_violation(self):
+        index = BTreeIndex("i", "r", ("k",), unique=True)
+        index.insert((1,), TID(0, 0))
+        with pytest.raises(DuplicateKeyError):
+            index.insert((1,), TID(0, 1))
+
+    def test_delete_specific_tid(self):
+        index = BTreeIndex("i", "r", ("k",))
+        index.insert((1,), TID(0, 0))
+        index.insert((1,), TID(0, 1))
+        index.delete((1,), TID(0, 0))
+        assert index.lookup((1,)) == [TID(0, 1)]
+
+    def test_min_key(self):
+        index = BTreeIndex("i", "r", ("k",))
+        assert index.min_key() is None
+        index.insert((9,), TID(0, 0))
+        index.insert((2,), TID(0, 1))
+        assert index.min_key() == (2,)
+
+
+class TestBuildIndex:
+    def test_factory(self):
+        assert build_index("hash", "i", "r", ["k"]).kind == "hash"
+        assert build_index("btree", "i", "r", ["k"]).kind == "btree"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_index("gin", "i", "r", ["k"])
+
+    def test_empty_columns(self):
+        with pytest.raises(ValueError):
+            build_index("hash", "i", "r", [])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 1000)),
+        max_size=60,
+    ),
+    st.tuples(st.integers(0, 20), st.integers(0, 20)),
+)
+def test_btree_matches_naive_model(entries, bounds):
+    """B-tree range results match a brute-force filtered sort."""
+    index = BTreeIndex("i", "r", ("k",))
+    model = []
+    for seq, (key, payload) in enumerate(entries):
+        tid = TID(payload, seq)
+        index.insert((key,), tid)
+        model.append((key, tid))
+    low, high = min(bounds), max(bounds)
+    got = index.range_lookup((low,), (high,))
+    expected = [tid for key, tid in sorted(model, key=lambda e: e[0])
+                if low <= key <= high]
+    assert sorted(got) == sorted(expected)
+    # Order is by key (stable within equal keys by insertion).
+    got_keys = [key for key, _ in index.range_entries((low,), (high,))]
+    assert got_keys == sorted(got_keys)

@@ -1,0 +1,166 @@
+"""End-to-end integration scenarios crossing all subsystems."""
+
+import pytest
+
+from repro import BeeSettings, Database
+from repro.engine.nodes import SeqScan
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import QUERIES
+
+
+@pytest.fixture(scope="module")
+def tpch_rows():
+    return generate_rows(TPCHGenerator(scale_factor=0.001))
+
+
+class TestSQLOverTPCH:
+    """The SQL front-end planning real analytics over generated TPC-H."""
+
+    @pytest.fixture(scope="class")
+    def dbs(self, tpch_rows):
+        stock = build_tpch_database(BeeSettings.stock(), rows=tpch_rows)
+        bees = build_tpch_database(BeeSettings.all_bees(), rows=tpch_rows)
+        return stock, bees
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT count(*) FROM lineitem",
+            "SELECT l_returnflag, l_linestatus, sum(l_quantity) "
+            "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+            "GROUP BY l_returnflag, l_linestatus "
+            "ORDER BY l_returnflag, l_linestatus",
+            "SELECT sum(l_extendedprice * l_discount) AS revenue "
+            "FROM lineitem WHERE l_discount BETWEEN 0.05 AND 0.07 "
+            "AND l_quantity < 24",
+            "SELECT n_name, count(*) FROM supplier "
+            "JOIN nation ON s_nationkey = n_nationkey "
+            "GROUP BY n_name ORDER BY n_name LIMIT 5",
+            "SELECT o_orderpriority, count(*) FROM orders "
+            "WHERE o_orderdate >= DATE '1993-07-01' "
+            "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+            "SELECT c_mktsegment, avg(c_acctbal) FROM customer "
+            "GROUP BY c_mktsegment ORDER BY c_mktsegment",
+        ],
+    )
+    def test_sql_parity(self, dbs, sql):
+        stock, bees = dbs
+        assert stock.sql(sql).rows == bees.sql(sql).rows
+
+    def test_sql_q1_matches_plan_builder(self, dbs):
+        stock, _ = dbs
+        sql_rows = stock.sql(
+            "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS q "
+            "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+            "GROUP BY l_returnflag, l_linestatus "
+            "ORDER BY l_returnflag, l_linestatus"
+        ).rows
+        plan_rows = QUERIES[1](stock)
+        assert [(r[0], r[1]) for r in sql_rows] == [
+            (r[0], r[1]) for r in plan_rows
+        ]
+        for sql_row, plan_row in zip(sql_rows, plan_rows):
+            assert sql_row[2] == pytest.approx(plan_row[2])
+
+
+class TestColdVsWarm:
+    def test_cold_cache_reads_fewer_pages_with_tuple_bees(self, tpch_rows):
+        stock = build_tpch_database(BeeSettings.stock(), rows=tpch_rows)
+        bees = build_tpch_database(BeeSettings.all_bees(), rows=tpch_rows)
+
+        def scan_lineitem(db):
+            node = SeqScan("lineitem")
+            node.bind_schema(db.relation("lineitem").schema)
+            return db.execute(node, emit=False)
+
+        stock.cold_cache()
+        stock_run = stock.measure(lambda: scan_lineitem(stock))
+        bees.cold_cache()
+        bees_run = bees.measure(lambda: scan_lineitem(bees))
+        assert stock_run.result == bees_run.result
+        assert bees_run.seq_pages_read < stock_run.seq_pages_read
+        assert bees_run.io_seconds < stock_run.io_seconds
+
+
+class TestBeePersistenceRoundTrip:
+    def test_database_level_flush_and_restart(self, tmp_path, tpch_rows):
+        first = Database(BeeSettings.all_bees(), bee_cache_dir=tmp_path)
+        from repro.workloads.tpch.loader import create_tables
+
+        create_tables(first)
+        first.copy_from("nation", tpch_rows["nation"])
+        sections_before = len(
+            first.bee_module.relation_bee("nation").data_sections
+        )
+        assert first.bee_module.flush_to_disk() == 8
+
+        second = Database(BeeSettings.all_bees(), bee_cache_dir=tmp_path)
+        create_tables(second)
+        layouts = {
+            name: second.relation(name).layout
+            for name in second.table_names()
+        }
+        assert second.bee_module.load_from_disk(layouts) == 8
+        restored = second.bee_module.relation_bee("nation")
+        assert len(restored.data_sections) == sections_before
+
+
+class TestMixedWorkload:
+    def test_queries_after_modifications(self):
+        """Insert, update, delete, then query — both modes stay in sync."""
+        results = {}
+        for label, settings in (
+            ("stock", BeeSettings.stock()),
+            ("bees", BeeSettings.all_bees()),
+        ):
+            db = Database(settings)
+            db.sql(
+                "CREATE TABLE events (id int NOT NULL, kind char(6) NOT NULL,"
+                " val numeric NOT NULL, ANNOTATE (kind))"
+            )
+            kinds = ["click", "view", "buy"]
+            db.copy_from("events", [
+                [i, kinds[i % 3], float(i)] for i in range(300)
+            ])
+            db.update_where(
+                "events",
+                lambda v: v[1] == "buy",
+                lambda v: [v[0], v[1], v[2] * 2],
+            )
+            db.delete_where("events", lambda v: v[0] % 10 == 0)
+            db.insert("events", [1000, "click", 5.0])
+            results[label] = db.sql(
+                "SELECT kind, count(*), sum(val) FROM events "
+                "GROUP BY kind ORDER BY kind"
+            ).rows
+        assert results["stock"] == results["bees"]
+
+    def test_drop_and_recreate_same_name(self):
+        db = Database(BeeSettings.all_bees())
+        db.sql("CREATE TABLE t (a int NOT NULL, b char(2) NOT NULL, ANNOTATE (b))")
+        db.insert("t", [1, "x"])
+        db.drop_table("t")
+        db.sql("CREATE TABLE t (a int NOT NULL)")   # different shape
+        db.insert("t", [7])
+        assert db.sql("SELECT * FROM t").rows == [(7,)]
+
+
+class TestLedgerInvariants:
+    def test_execution_never_uncharges(self, tpch_rows):
+        db = build_tpch_database(BeeSettings.all_bees(), rows=tpch_rows)
+        last = db.ledger.total
+        for n in (1, 6, 14):
+            QUERIES[n](db)
+            assert db.ledger.total > last
+            last = db.ledger.total
+
+    def test_profiling_does_not_change_totals(self, tpch_rows):
+        from repro.cost.profiler import FunctionProfile
+
+        db1 = build_tpch_database(BeeSettings.all_bees(), rows=tpch_rows)
+        db2 = build_tpch_database(BeeSettings.all_bees(), rows=tpch_rows)
+        run1 = db1.measure(lambda: QUERIES[6](db1))
+        with FunctionProfile(db2.ledger):
+            run2 = db2.measure(lambda: QUERIES[6](db2))
+        assert run1.instructions == run2.instructions

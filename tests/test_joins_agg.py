@@ -1,0 +1,326 @@
+"""Tests for join nodes (all types) and hash aggregation."""
+
+import pytest
+
+from repro.engine import expr as E
+from repro.engine.agg import HashAgg
+from repro.engine.aggregates import AggSpec
+from repro.engine.executor import execute
+from repro.engine.joins import HashJoin, NestLoop
+from repro.engine.nodes import ValuesNode
+
+
+@pytest.fixture
+def left():
+    return ValuesNode(["id", "name"], [
+        [1, "ann"], [2, "bob"], [3, "cyd"], [4, "dee"], [None, "nul"],
+    ])
+
+
+@pytest.fixture
+def right():
+    return ValuesNode(["ref", "score"], [
+        [1, 10], [1, 11], [3, 30], [5, 50], [None, 99],
+    ])
+
+
+class TestHashJoinTypes:
+    def test_inner(self, stock_db, left, right):
+        node = HashJoin(left, right, ["id"], ["ref"])
+        rows = execute(stock_db, node)
+        assert sorted(rows) == [
+            (1, "ann", 1, 10), (1, "ann", 1, 11), (3, "cyd", 3, 30),
+        ]
+
+    def test_left(self, stock_db, left, right):
+        node = HashJoin(left, right, ["id"], ["ref"], join_type="left")
+        rows = execute(stock_db, node)
+        names = {r[1] for r in rows}
+        assert names == {"ann", "bob", "cyd", "dee", "nul"}
+        unmatched = [r for r in rows if r[2] is None]
+        assert {r[1] for r in unmatched} == {"bob", "dee", "nul"}
+
+    def test_semi(self, stock_db, left, right):
+        node = HashJoin(left, right, ["id"], ["ref"], join_type="semi")
+        rows = execute(stock_db, node)
+        assert sorted(r[0] for r in rows) == [1, 3]
+        assert all(len(r) == 2 for r in rows)   # probe columns only
+
+    def test_anti(self, stock_db, left, right):
+        node = HashJoin(left, right, ["id"], ["ref"], join_type="anti")
+        rows = execute(stock_db, node)
+        assert sorted(r[1] for r in rows) == ["bob", "dee", "nul"]
+
+    def test_null_keys_never_match(self, stock_db, left, right):
+        inner = execute(stock_db, HashJoin(left, right, ["id"], ["ref"]))
+        assert not any(r[0] is None for r in inner)
+
+    def test_multi_key(self, stock_db):
+        a = ValuesNode(["x", "y"], [[1, 1], [1, 2], [2, 1]])
+        b = ValuesNode(["u", "v"], [[1, 1], [2, 1]])
+        rows = execute(stock_db, HashJoin(a, b, ["x", "y"], ["u", "v"]))
+        assert sorted(rows) == [(1, 1, 1, 1), (2, 1, 2, 1)]
+
+    def test_extra_qual_inner(self, stock_db, left, right):
+        node = HashJoin(
+            left, right, ["id"], ["ref"],
+            extra_qual=E.Cmp(">", E.Col("score"), E.Const(10)),
+        )
+        rows = execute(stock_db, node)
+        assert sorted(rows) == [(1, "ann", 1, 11), (3, "cyd", 3, 30)]
+
+    def test_extra_qual_anti(self, stock_db, left, right):
+        node = HashJoin(
+            left, right, ["id"], ["ref"], join_type="anti",
+            extra_qual=E.Cmp(">=", E.Col("score"), E.Const(30)),
+        )
+        rows = execute(stock_db, node)
+        # 1 has matches but none with score >= 30 -> survives the anti join.
+        assert sorted(r[1] for r in rows) == ["ann", "bob", "dee", "nul"]
+
+    def test_extra_qual_left_unmatched_on_fail(self, stock_db, left, right):
+        node = HashJoin(
+            left, right, ["id"], ["ref"], join_type="left",
+            extra_qual=E.Cmp(">", E.Col("score"), E.Const(100)),
+        )
+        rows = execute(stock_db, node)
+        assert all(r[2] is None for r in rows)
+
+    def test_validation(self, left, right):
+        with pytest.raises(ValueError):
+            HashJoin(left, right, ["id"], ["ref"], join_type="outer")
+        with pytest.raises(ValueError):
+            HashJoin(left, right, [], [])
+        with pytest.raises(ValueError):
+            HashJoin(left, right, ["id"], ["ref", "score"])
+        with pytest.raises(KeyError):
+            HashJoin(left, right, ["nope"], ["ref"])
+
+    def test_evj_same_results(self, stock_db, bees_db, left, right):
+        for join_type in ("inner", "left", "semi", "anti"):
+            a = execute(
+                stock_db,
+                HashJoin(left, right, ["id"], ["ref"], join_type=join_type),
+            )
+            b = execute(
+                bees_db,
+                HashJoin(left, right, ["id"], ["ref"], join_type=join_type),
+            )
+            assert a == b, join_type
+
+
+class TestNestLoop:
+    def test_inner_with_qual(self, stock_db, left, right):
+        node = NestLoop(
+            left, right, qual=E.Cmp("=", E.Col("id"), E.Col("ref"))
+        )
+        rows = execute(stock_db, node)
+        assert sorted(rows) == [
+            (1, "ann", 1, 10), (1, "ann", 1, 11), (3, "cyd", 3, 30),
+        ]
+
+    def test_cross_join(self, stock_db):
+        a = ValuesNode(["x"], [[1], [2]])
+        b = ValuesNode(["y"], [[10], [20]])
+        rows = execute(stock_db, NestLoop(a, b))
+        assert len(rows) == 4
+
+    def test_non_equi(self, stock_db, left, right):
+        node = NestLoop(
+            left, right, qual=E.Cmp("<", E.Col("id"), E.Col("ref"))
+        )
+        rows = execute(stock_db, node)
+        assert all(r[0] < r[2] for r in rows)
+
+    def test_anti(self, stock_db, left, right):
+        node = NestLoop(
+            left, right, join_type="anti",
+            qual=E.Cmp("=", E.Col("id"), E.Col("ref")),
+        )
+        rows = execute(stock_db, node)
+        assert sorted(r[1] for r in rows) == ["bob", "dee", "nul"]
+
+    def test_left_empty_inner(self, stock_db, left):
+        empty = ValuesNode(["z"], [])
+        rows = execute(stock_db, NestLoop(left, empty, join_type="left"))
+        assert len(rows) == 5
+        assert all(r[2] is None for r in rows)
+
+
+class TestHashAgg:
+    def test_group_by(self, stock_db):
+        data = ValuesNode(["g", "v"], [
+            ["a", 1], ["b", 2], ["a", 3], ["b", 4], ["a", 5],
+        ])
+        node = HashAgg(
+            data,
+            [(E.Col("g"), "g")],
+            [
+                AggSpec("sum", E.Col("v"), name="total"),
+                AggSpec("count", name="n"),
+                AggSpec("min", E.Col("v"), name="lo"),
+                AggSpec("max", E.Col("v"), name="hi"),
+                AggSpec("avg", E.Col("v"), name="mean"),
+            ],
+        )
+        rows = dict((r[0], r[1:]) for r in execute(stock_db, node))
+        assert rows["a"] == (9, 3, 1, 5, 3.0)
+        assert rows["b"] == (6, 2, 2, 4, 3.0)
+
+    def test_grand_aggregate_empty_input(self, stock_db):
+        data = ValuesNode(["v"], [])
+        node = HashAgg(
+            data, [],
+            [
+                AggSpec("count", name="n"),
+                AggSpec("sum", E.Col("v"), name="s"),
+                AggSpec("min", E.Col("v"), name="lo"),
+            ],
+        )
+        assert execute(stock_db, node) == [(0, None, None)]
+
+    def test_group_by_empty_input_no_rows(self, stock_db):
+        data = ValuesNode(["g", "v"], [])
+        node = HashAgg(
+            data, [(E.Col("g"), "g")], [AggSpec("count", name="n")]
+        )
+        assert execute(stock_db, node) == []
+
+    def test_count_expr_skips_nulls(self, stock_db):
+        data = ValuesNode(["v"], [[1], [None], [3], [None]])
+        node = HashAgg(
+            data, [],
+            [
+                AggSpec("count", E.Col("v"), name="non_null"),
+                AggSpec("count", name="star"),
+                AggSpec("sum", E.Col("v"), name="s"),
+            ],
+        )
+        assert execute(stock_db, node) == [(2, 4, 4)]
+
+    def test_count_distinct(self, stock_db):
+        data = ValuesNode(["v"], [[1], [2], [2], [3], [3], [3], [None]])
+        node = HashAgg(
+            data, [],
+            [AggSpec("count", E.Col("v"), distinct=True, name="d")],
+        )
+        assert execute(stock_db, node) == [(3,)]
+
+    def test_agg_expression_argument(self, stock_db):
+        data = ValuesNode(["p", "d"], [[100.0, 0.1], [200.0, 0.5]])
+        revenue = E.Arith(
+            "*", E.Col("p"), E.Arith("-", E.Const(1), E.Col("d"))
+        )
+        node = HashAgg(data, [], [AggSpec("sum", revenue, name="r")])
+        assert execute(stock_db, node)[0][0] == pytest.approx(190.0)
+
+    def test_invalid_agg(self):
+        with pytest.raises(ValueError):
+            AggSpec("median", E.Col("v"))
+        with pytest.raises(ValueError):
+            AggSpec("sum")   # sum needs an argument
+
+    def test_group_key_with_null(self, stock_db):
+        data = ValuesNode(["g"], [["x"], [None], [None]])
+        node = HashAgg(
+            data, [(E.Col("g"), "g")], [AggSpec("count", name="n")]
+        )
+        rows = dict(execute(stock_db, node))
+        assert rows == {"x": 1, None: 2}
+
+
+class TestMergeJoin:
+    def _pairs(self, stock_db, left_rows, right_rows, join_type="inner"):
+        from repro.engine.joins import MergeJoin
+
+        left = ValuesNode(["id", "name"], left_rows)
+        right = ValuesNode(["ref", "score"], right_rows)
+        merge = execute(
+            stock_db,
+            MergeJoin(left, right, "id", "ref", join_type=join_type),
+        )
+        left2 = ValuesNode(["id", "name"], left_rows)
+        right2 = ValuesNode(["ref", "score"], right_rows)
+        hashed = execute(
+            stock_db,
+            HashJoin(left2, right2, ["id"], ["ref"], join_type=join_type),
+        )
+        return sorted(merge, key=repr), sorted(hashed, key=repr)
+
+    def test_inner_matches_hash_join(self, stock_db, left, right):
+        merge, hashed = self._pairs(stock_db, left._rows, right._rows)
+        assert merge == hashed
+
+    def test_left_matches_hash_join(self, stock_db, left, right):
+        merge, hashed = self._pairs(
+            stock_db, left._rows, right._rows, join_type="left"
+        )
+        assert merge == hashed
+
+    def test_duplicates_on_both_sides(self, stock_db):
+        left_rows = [[1, "a"], [1, "b"], [2, "c"], [2, "d"], [3, "e"]]
+        right_rows = [[1, 10], [2, 20], [2, 21], [4, 40]]
+        merge, hashed = self._pairs(stock_db, left_rows, right_rows)
+        assert merge == hashed
+        assert len(merge) == 2 + 4   # 1x1 pairs: 2, 2x2 pairs: 4
+
+    def test_unsorted_inputs(self, stock_db):
+        left_rows = [[3, "c"], [1, "a"], [2, "b"]]
+        right_rows = [[2, 20], [3, 30], [1, 10]]
+        merge, hashed = self._pairs(stock_db, left_rows, right_rows)
+        assert merge == hashed
+
+    def test_null_keys_never_match(self, stock_db):
+        left_rows = [[None, "n"], [1, "a"]]
+        right_rows = [[None, 99], [1, 10]]
+        merge, hashed = self._pairs(stock_db, left_rows, right_rows)
+        assert merge == hashed == [(1, "a", 1, 10)]
+
+    def test_semi_rejected(self, stock_db, left, right):
+        from repro.engine.joins import MergeJoin
+
+        with pytest.raises(ValueError):
+            MergeJoin(left, right, "id", "ref", join_type="semi")
+
+    def test_evj_parity(self, stock_db, bees_db, left, right):
+        from repro.engine.joins import MergeJoin
+
+        plans = []
+        for db in (stock_db, bees_db):
+            node = MergeJoin(
+                ValuesNode(["id", "name"], left._rows),
+                ValuesNode(["ref", "score"], right._rows),
+                "id", "ref",
+            )
+            plans.append(sorted(execute(db, node)))
+        assert plans[0] == plans[1]
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 8), max_size=25),
+    st.lists(st.integers(0, 8), max_size=25),
+)
+def test_merge_join_matches_hash_join_property(left_keys, right_keys):
+    """MergeJoin == HashJoin on arbitrary key multisets."""
+    from repro.bees.settings import BeeSettings
+    from repro.db import Database
+    from repro.engine.joins import MergeJoin
+
+    db = Database(BeeSettings.stock())
+    left_rows = [[key, i] for i, key in enumerate(left_keys)]
+    right_rows = [[key, -i] for i, key in enumerate(right_keys)]
+    merge = execute(db, MergeJoin(
+        ValuesNode(["a", "x"], left_rows),
+        ValuesNode(["b", "y"], right_rows),
+        "a", "b",
+    ))
+    hashed = execute(db, HashJoin(
+        ValuesNode(["a", "x"], left_rows),
+        ValuesNode(["b", "y"], right_rows),
+        ["a"], ["b"],
+    ))
+    assert sorted(merge) == sorted(hashed)

@@ -1,0 +1,180 @@
+"""Tests for scan/filter/project/sort/limit/materialize/rename nodes."""
+
+import pytest
+
+from repro.engine import expr as E
+from repro.engine.executor import execute, explain
+from repro.engine.nodes import (
+    ColumnSelect,
+    Filter,
+    Limit,
+    Materialize,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    ValuesNode,
+)
+
+
+def scan(db, name="orders"):
+    node = SeqScan(name)
+    node.bind_schema(db.relation(name).schema)
+    return node
+
+
+class TestSeqScan:
+    def test_returns_all_rows(self, stock_db):
+        rows = execute(stock_db, scan(stock_db))
+        assert len(rows) == 50
+        assert rows[0][0] == 1
+
+    def test_bee_scan_matches_stock(self, stock_db, bees_db):
+        assert execute(stock_db, scan(stock_db)) == execute(
+            bees_db, scan(bees_db)
+        )
+
+    def test_charges_less_with_gcl(self, stock_db, bees_db):
+        s0 = stock_db.ledger.snapshot()
+        execute(stock_db, scan(stock_db))
+        stock_cost = stock_db.ledger.delta_since(s0).total
+        b0 = bees_db.ledger.snapshot()
+        execute(bees_db, scan(bees_db))
+        bees_cost = bees_db.ledger.delta_since(b0).total
+        assert bees_cost < stock_cost
+
+
+class TestFilter:
+    def test_filters_rows(self, stock_db):
+        node = Filter(
+            scan(stock_db),
+            E.Cmp("=", E.Col("o_orderstatus"), E.Const("O")),
+        )
+        rows = execute(stock_db, node)
+        assert rows
+        assert all(r[2] == "O" for r in rows)
+
+    def test_stock_and_bees_agree(self, stock_db, bees_db):
+        def plan(db):
+            return Filter(
+                scan(db),
+                E.And(
+                    E.Cmp(">", E.Col("o_totalprice"), E.Const(200.0)),
+                    E.Like(E.Col("o_comment"), "%number 2%"),
+                ),
+                not_null=True,
+            )
+
+        assert execute(stock_db, plan(stock_db)) == execute(
+            bees_db, plan(bees_db)
+        )
+
+    def test_unknown_column_fails_at_build(self, stock_db):
+        with pytest.raises(E.BindError):
+            Filter(scan(stock_db), E.Cmp("=", E.Col("ghost"), E.Const(1)))
+
+
+class TestProject:
+    def test_expressions(self, stock_db):
+        node = Project(
+            scan(stock_db),
+            [
+                E.Col("o_orderkey"),
+                E.Arith("*", E.Col("o_totalprice"), E.Const(2.0)),
+            ],
+            ["k", "double_price"],
+        )
+        rows = execute(stock_db, node)
+        assert rows[0] == (1, 220.0)
+        assert node.columns == ["k", "double_price"]
+
+    def test_name_count_mismatch(self, stock_db):
+        with pytest.raises(ValueError):
+            Project(scan(stock_db), [E.Col("o_orderkey")], ["a", "b"])
+
+    def test_column_select(self, stock_db):
+        node = ColumnSelect(scan(stock_db), ["o_comment", "o_orderkey"])
+        rows = execute(stock_db, node)
+        assert rows[0] == ("comment number 1", 1)
+
+
+class TestSort:
+    def test_single_key_desc(self, stock_db):
+        node = Sort(scan(stock_db), [(E.Col("o_totalprice"), True)])
+        rows = execute(stock_db, node)
+        prices = [r[3] for r in rows]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_multi_key(self, stock_db):
+        node = Sort(
+            scan(stock_db),
+            [(E.Col("o_orderstatus"), False), (E.Col("o_orderkey"), True)],
+        )
+        rows = execute(stock_db, node)
+        keys = [(r[2], -r[0]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_sort_limit(self, stock_db):
+        node = Sort(
+            scan(stock_db), [(E.Col("o_orderkey"), True)], limit=3
+        )
+        rows = execute(stock_db, node)
+        assert [r[0] for r in rows] == [50, 49, 48]
+
+    def test_nulls_last_ascending(self, stock_db):
+        values = ValuesNode(["x"], [[3], [None], [1]])
+        rows = execute(stock_db, Sort(values, [(E.Col("x"), False)]))
+        assert rows == [(1,), (3,), (None,)]
+
+
+class TestLimitMaterializeRename:
+    def test_limit(self, stock_db):
+        assert len(execute(stock_db, Limit(scan(stock_db), 7))) == 7
+
+    def test_limit_zero(self, stock_db):
+        assert execute(stock_db, Limit(scan(stock_db), 0)) == []
+
+    def test_limit_negative_rejected(self, stock_db):
+        with pytest.raises(ValueError):
+            Limit(scan(stock_db), -1)
+
+    def test_limit_beyond_input(self, stock_db):
+        assert len(execute(stock_db, Limit(scan(stock_db), 500))) == 50
+
+    def test_materialize_caches(self, stock_db):
+        node = Materialize(scan(stock_db))
+        first = execute(stock_db, node)
+        snapshot = stock_db.ledger.snapshot()
+        second = execute(stock_db, node)
+        assert first == second
+        # Second run does not rescan the heap (no page charges).
+        assert stock_db.ledger.delta_since(snapshot).pages_hit == 0
+
+    def test_rename_prefixes_columns(self, stock_db):
+        node = Rename(scan(stock_db), "o2")
+        assert node.columns[0] == "o2.o_orderkey"
+        rows = execute(stock_db, node)
+        assert len(rows) == 50
+
+    def test_values_node(self, stock_db):
+        node = ValuesNode(["a", "b"], [[1, 2], [3, 4]])
+        assert execute(stock_db, node) == [(1, 2), (3, 4)]
+
+
+class TestExplain:
+    def test_tree_rendering(self, stock_db):
+        plan = Limit(
+            Sort(
+                Filter(
+                    scan(stock_db),
+                    E.Cmp("=", E.Col("o_orderstatus"), E.Const("O")),
+                ),
+                [(E.Col("o_orderkey"), False)],
+            ),
+            5,
+        )
+        text = explain(plan)
+        assert "Limit(5)" in text
+        assert "Sort(1 keys)" in text
+        assert "Filter" in text
+        assert "SeqScan(orders)" in text

@@ -1,0 +1,186 @@
+"""Tests for relation schemas, the catalog, and annotations."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    CatalogError,
+    INT4,
+    INT8,
+    AnnotationSet,
+    char,
+    infer_annotations,
+    make_schema,
+    varchar,
+)
+
+
+class TestSchemaLayout:
+    def test_attnums_sequential(self, orders_schema):
+        for i, attr in enumerate(orders_schema.attributes):
+            assert attr.attnum == i
+
+    def test_cached_offsets_before_varlena(self, orders_schema):
+        # All eight fixed attributes before o_comment have known offsets.
+        for attr in orders_schema.attributes[:8]:
+            assert attr.attcacheoff >= 0
+
+    def test_varlena_itself_is_cacheable(self, orders_schema):
+        assert orders_schema.attribute("o_comment").attcacheoff >= 0
+
+    def test_offsets_respect_alignment(self, orders_schema):
+        for attr in orders_schema.attributes:
+            if attr.attcacheoff >= 0:
+                assert attr.attcacheoff % attr.attalign == 0
+
+    def test_offsets_after_varlena_unknown(self):
+        schema = make_schema(
+            "t", [("a", varchar(10)), ("b", INT4), ("c", char(2))]
+        )
+        assert schema.attribute("a").attcacheoff == 0
+        assert schema.attribute("b").attcacheoff == -1
+        assert schema.attribute("c").attcacheoff == -1
+
+    def test_int8_alignment_gap(self):
+        schema = make_schema("t", [("a", INT4), ("b", INT8)])
+        assert schema.attribute("b").attcacheoff == 8
+
+    def test_natts(self, orders_schema):
+        assert orders_schema.natts == 9
+
+    def test_has_nullable(self):
+        schema = make_schema("t", [("a", INT4), ("b", INT4, True)])
+        assert schema.has_nullable
+        assert not make_schema("t", [("a", INT4)]).has_nullable
+
+    def test_column_lookup(self, orders_schema):
+        assert orders_schema.attnum("o_orderdate") == 4
+        assert "o_comment" in orders_schema
+        assert "nope" not in orders_schema
+        with pytest.raises(KeyError):
+            orders_schema.attribute("nope")
+
+
+class TestSchemaValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema("t", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema("t", [("a", INT4), ("a", INT4)])
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema("t", [("a", INT4)], primary_key=("b",))
+
+
+class TestCatalog:
+    def test_create_and_get(self, orders_schema):
+        catalog = Catalog()
+        relid = catalog.create_relation(orders_schema)
+        assert relid >= 16384
+        assert catalog.get("orders") is orders_schema
+        assert catalog.relid("orders") == relid
+        assert "orders" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_create_rejected(self, orders_schema):
+        catalog = Catalog()
+        catalog.create_relation(orders_schema)
+        with pytest.raises(CatalogError):
+            catalog.create_relation(orders_schema)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("ghost")
+
+    def test_drop(self, orders_schema):
+        catalog = Catalog()
+        catalog.create_relation(orders_schema)
+        catalog.drop_relation("orders")
+        assert "orders" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop_relation("orders")
+
+    def test_alter_unknown_rejected(self, orders_schema):
+        with pytest.raises(CatalogError):
+            Catalog().alter_relation(orders_schema)
+
+    def test_relids_are_distinct(self):
+        catalog = Catalog()
+        a = catalog.create_relation(make_schema("a", [("x", INT4)]))
+        b = catalog.create_relation(make_schema("b", [("x", INT4)]))
+        assert a != b
+
+    def test_listeners_fire(self, orders_schema):
+        catalog = Catalog()
+        events = []
+        for name in ("create", "alter", "drop"):
+            catalog.on(name, lambda n, s, e=name: events.append((e, n)))
+        catalog.create_relation(orders_schema)
+        catalog.alter_relation(orders_schema)
+        catalog.drop_relation("orders")
+        assert events == [
+            ("create", "orders"), ("alter", "orders"), ("drop", "orders"),
+        ]
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog().on("explode", lambda n, s: None)
+
+    def test_drop_clears_annotations(self, orders_schema):
+        catalog = Catalog()
+        catalog.create_relation(orders_schema)
+        catalog.annotations.annotate("orders", "o_orderstatus")
+        catalog.drop_relation("orders")
+        assert not catalog.annotations.is_annotated("orders")
+
+
+class TestAnnotations:
+    def test_annotate_and_query(self):
+        annotations = AnnotationSet()
+        annotations.annotate("orders", "o_orderstatus", "o_orderpriority")
+        assert annotations.annotated_attributes("orders") == (
+            "o_orderstatus", "o_orderpriority",
+        )
+        assert annotations.is_annotated("orders")
+        assert not annotations.is_annotated("lineitem")
+
+    def test_annotation_order_preserved_and_deduped(self):
+        annotations = AnnotationSet()
+        annotations.annotate("t", "b")
+        annotations.annotate("t", "a", "b")
+        assert annotations.annotated_attributes("t") == ("b", "a")
+
+    def test_empty_annotate_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationSet().annotate("t")
+
+    def test_clear(self):
+        annotations = AnnotationSet()
+        annotations.annotate("t", "a")
+        annotations.clear("t")
+        assert annotations.annotated_attributes("t") == ()
+
+
+class TestInference:
+    def test_infers_low_cardinality_char(self, orders_schema):
+        rows = [
+            [i, 0, "OF P"[i % 3], 1.0, 0, "1-URGENT", "clerk", 0, "c"]
+            for i in range(100)
+        ]
+        suggested = infer_annotations(rows, orders_schema)
+        assert "o_orderstatus" in suggested
+        assert "o_orderpriority" in suggested
+        # High-cardinality char column is not suggested.
+        assert "o_clerk" not in [
+            s for s in suggested
+        ] or len({r[6] for r in rows}) <= 16
+
+    def test_empty_rows(self, orders_schema):
+        assert infer_annotations([], orders_schema) == []
+
+    def test_varchar_never_suggested(self, orders_schema):
+        rows = [[i, 0, "O", 1.0, 0, "p", "c", 0, "same"] for i in range(10)]
+        assert "o_comment" not in infer_annotations(rows, orders_schema)

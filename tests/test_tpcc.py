@@ -1,0 +1,210 @@
+"""Tests for the TPC-C workload: loader, transactions, throughput driver."""
+
+import pytest
+
+from repro.bees.settings import BeeSettings
+from repro.workloads.tpcc import (
+    MIXES,
+    TPCCConfig,
+    TransactionContext,
+    build_tpcc_database,
+    run_mix,
+    transaction_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TPCCConfig(warehouses=1, customers_per_district=30, items=120)
+
+
+@pytest.fixture(scope="module")
+def stock_tpcc(config):
+    return build_tpcc_database(BeeSettings.stock(), config)
+
+
+@pytest.fixture(scope="module")
+def bees_tpcc(config):
+    return build_tpcc_database(BeeSettings.all_bees(), config)
+
+
+class TestLoader:
+    def test_row_counts(self, stock_tpcc, config):
+        assert stock_tpcc.relation("warehouse").heap.live_count == 1
+        assert stock_tpcc.relation("district").heap.live_count == 10
+        assert (
+            stock_tpcc.relation("tpcc_customer").heap.live_count
+            == 10 * config.customers
+        )
+        assert stock_tpcc.relation("item").heap.live_count == config.items
+        assert stock_tpcc.relation("stock").heap.live_count == config.items
+
+    def test_initial_orders_one_per_customer(self, stock_tpcc, config):
+        assert (
+            stock_tpcc.relation("oorder").heap.live_count
+            == 10 * config.customers
+        )
+
+    def test_undelivered_orders_queued(self, stock_tpcc, config):
+        new_orders = stock_tpcc.relation("new_order").heap.live_count
+        assert new_orders == 10 * (
+            config.customers - int(config.customers * 0.7)
+        )
+
+    def test_indexes_built(self, stock_tpcc):
+        rel = stock_tpcc.relation("tpcc_customer")
+        assert rel.indexes["customer_pk"].lookup((1, 1, 1))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TPCCConfig(warehouses=0)
+
+
+class TestTransactions:
+    def _ctx(self, db, config):
+        return TransactionContext(db, config, seed=5)
+
+    def test_new_order_inserts(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        orders_before = db.relation("oorder").heap.live_count
+        lines_before = db.relation("order_line").heap.live_count
+        assert ctx.new_order(1) is True
+        assert db.relation("oorder").heap.live_count == orders_before + 1
+        assert db.relation("order_line").heap.live_count > lines_before
+
+    def test_new_order_advances_district_sequence(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        before = [row[9] for row in db.read_all("district")]
+        ctx.new_order(1)
+        after = [row[9] for row in db.read_all("district")]
+        assert sum(after) == sum(before) + 1
+
+    def test_payment_moves_money(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        ytd_before = db.read_all("warehouse")[0][7]
+        history_before = db.relation("history").heap.live_count
+        assert ctx.payment(1) is True
+        assert db.read_all("warehouse")[0][7] > ytd_before
+        assert db.relation("history").heap.live_count == history_before + 1
+
+    def test_delivery_drains_new_orders(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        before = db.relation("new_order").heap.live_count
+        assert ctx.delivery(1) is True
+        after = db.relation("new_order").heap.live_count
+        assert after == before - 10   # one per district
+
+    def test_delivery_sets_carrier_and_dates(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        ctx.delivery(1)
+        # Every order carrying NULL is undelivered; delivered ones have a
+        # carrier; at least 10 more are delivered now.
+        orders = db.read_all("oorder")
+        assert sum(1 for o in orders if o[5] is not None) > 0
+
+    def test_order_status_and_stock_level_read_only(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        counts_before = {
+            name: db.relation(name).heap.live_count
+            for name in ("oorder", "order_line", "tpcc_customer", "stock")
+        }
+        assert ctx.order_status(1) is True
+        assert ctx.stock_level(1) is True
+        for name, count in counts_before.items():
+            assert db.relation(name).heap.live_count == count, name
+
+    def test_transactions_charge_instructions(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = self._ctx(db, config)
+        before = db.ledger.total
+        ctx.new_order(1)
+        assert db.ledger.total > before
+
+
+class TestSchedulesAndMixes:
+    def test_mix_weights_sum_to_one(self):
+        for name, weights in MIXES.items():
+            assert sum(weights.values()) == pytest.approx(1.0), name
+
+    def test_schedule_deterministic(self):
+        a = transaction_schedule("default", 100, seed=3)
+        b = transaction_schedule("default", 100, seed=3)
+        assert a == b
+        assert len(a) == 100
+
+    def test_schedule_respects_weights(self):
+        schedule = transaction_schedule("default", 1000, seed=3)
+        new_orders = schedule.count("new_order")
+        assert 400 <= new_orders <= 500
+
+    def test_query_only_mix_has_no_payment(self):
+        schedule = transaction_schedule("query_only", 500, seed=3)
+        assert "payment" not in schedule
+        assert "delivery" not in schedule
+
+    def test_run_mix_produces_throughput(self, stock_tpcc, config):
+        result = run_mix(stock_tpcc, config, "default", n_transactions=40)
+        assert result.transactions == 40
+        assert result.simulated_minutes > 0
+        assert result.tpm_total > 0
+        assert result.tpmC > 0
+        assert result.counts["new_order"] >= 1
+
+
+class TestBeeParity:
+    def test_same_schedule_same_end_state(self, config):
+        """Stock and bee-enabled databases reach identical logical states."""
+        stock = build_tpcc_database(BeeSettings.stock(), config)
+        bees = build_tpcc_database(BeeSettings.all_bees(), config)
+        run_mix(stock, config, "default", n_transactions=30, seed=11)
+        run_mix(bees, config, "default", n_transactions=30, seed=11)
+        for name in ("warehouse", "district", "tpcc_customer", "stock"):
+            assert sorted(map(tuple, stock.read_all(name))) == sorted(
+                map(tuple, bees.read_all(name))
+            ), name
+
+    def test_bees_run_cheaper(self, config):
+        stock = build_tpcc_database(BeeSettings.stock(), config)
+        bees = build_tpcc_database(BeeSettings.all_bees(), config)
+        stock_result = run_mix(stock, config, "default", 30, seed=11)
+        bees_result = run_mix(bees, config, "default", 30, seed=11)
+        assert bees_result.tpm_total > stock_result.tpm_total
+
+
+class TestSpecFidelity:
+    def test_new_order_rollback_rate(self, config):
+        """~1% of New-Order transactions roll back (spec 2.4.1.4)."""
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = TransactionContext(db, config, seed=123)
+        outcomes = [ctx.new_order(1) for _ in range(400)]
+        rollbacks = outcomes.count(False)
+        assert 0 < rollbacks < 20   # ~4 expected out of 400
+
+    def test_rollback_leaves_no_writes(self, config):
+        db = build_tpcc_database(BeeSettings.stock(), config)
+        ctx = TransactionContext(db, config, seed=123)
+        orders_before = db.relation("oorder").heap.live_count
+        failures = 0
+        for _ in range(400):
+            if not ctx.new_order(1):
+                failures += 1
+        orders_after = db.relation("oorder").heap.live_count
+        assert failures > 0
+        assert orders_after - orders_before == 400 - failures
+
+    def test_remote_payment_hits_other_warehouse(self):
+        cfg = TPCCConfig(warehouses=3, customers_per_district=20, items=80)
+        db = build_tpcc_database(BeeSettings.stock(), cfg)
+        ctx = TransactionContext(db, cfg, seed=5)
+        for _ in range(120):
+            ctx.payment(1)
+        rows = db.read_all("history")
+        remote = [r for r in rows if r[2] != r[4]]   # h_c_w_id != h_w_id
+        assert remote, "some payments should be remote with 3 warehouses"
+        assert len(remote) < len(rows) / 2

@@ -1,0 +1,138 @@
+"""Tests for the TPC-H data generator: determinism, cardinalities, domains."""
+
+import pytest
+
+from repro.catalog.types import days_to_date
+from repro.workloads.tpch.dbgen import (
+    CURRENT_DATE,
+    NATIONS,
+    PRIORITIES,
+    REGIONS,
+    SHIP_INSTRUCTS,
+    SHIP_MODES,
+    TPCHGenerator,
+)
+from repro.workloads.tpch.loader import generate_rows
+from repro.workloads.tpch.schema import ALL_SCHEMAS, ANNOTATIONS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_rows(TPCHGenerator(scale_factor=0.002))
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, rows):
+        assert len(rows["region"]) == 5
+        assert len(rows["nation"]) == 25
+
+    def test_scaled_counts(self, rows):
+        generator = TPCHGenerator(0.002)
+        assert len(rows["supplier"]) == generator.n_supplier
+        assert len(rows["customer"]) == generator.n_customer
+        assert len(rows["part"]) == generator.n_part
+        assert len(rows["orders"]) == generator.n_orders
+        assert len(rows["partsupp"]) == 4 * generator.n_part
+
+    def test_lineitem_per_order(self, rows):
+        per_order = len(rows["lineitem"]) / len(rows["orders"])
+        assert 1.0 <= per_order <= 7.0
+
+    def test_sf1_matches_spec(self):
+        generator = TPCHGenerator(1.0)
+        assert generator.n_supplier == 10_000
+        assert generator.n_customer == 150_000
+        assert generator.n_part == 200_000
+        assert generator.n_orders == 1_500_000
+
+    def test_invalid_sf(self):
+        with pytest.raises(ValueError):
+            TPCHGenerator(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_rows(TPCHGenerator(0.001, seed=1))
+        b = generate_rows(TPCHGenerator(0.001, seed=1))
+        for name in a:
+            assert a[name] == b[name], name
+
+    def test_different_seed_different_data(self):
+        a = generate_rows(TPCHGenerator(0.001, seed=1))
+        b = generate_rows(TPCHGenerator(0.001, seed=2))
+        assert a["orders"] != b["orders"]
+
+
+class TestDomains:
+    def test_rows_fit_schemas(self, rows):
+        for name, schema_fn in ALL_SCHEMAS.items():
+            schema = schema_fn()
+            for row in rows[name][:50]:
+                assert len(row) == schema.natts, name
+
+    def test_annotated_columns_low_cardinality(self, rows):
+        for name, attrs in ANNOTATIONS.items():
+            schema = ALL_SCHEMAS[name]()
+            combos = {
+                tuple(row[schema.attnum(a)] for a in attrs)
+                for row in rows[name]
+            }
+            assert len(combos) <= 256, (name, len(combos))
+
+    def test_orders_status_consistent_with_items(self, rows):
+        items_by_order = {}
+        for item in rows["lineitem"]:
+            items_by_order.setdefault(item[0], []).append(item[9])
+        for order in rows["orders"][:200]:
+            statuses = items_by_order[order[0]]
+            if all(status == "F" for status in statuses):
+                assert order[2] == "F"
+            elif all(status == "O" for status in statuses):
+                assert order[2] == "O"
+            else:
+                assert order[2] == "P"
+
+    def test_lineitem_date_chain(self, rows):
+        for item in rows["lineitem"][:500]:
+            shipdate, commitdate, receiptdate = item[10], item[11], item[12]
+            assert receiptdate > shipdate
+            assert commitdate > 0
+
+    def test_returnflag_rule(self, rows):
+        for item in rows["lineitem"][:500]:
+            if item[12] <= CURRENT_DATE:
+                assert item[8] in ("R", "A")
+            else:
+                assert item[8] == "N"
+
+    def test_vocabularies(self, rows):
+        assert {r[1] for r in rows["region"]} == set(REGIONS)
+        assert {r[1] for r in rows["nation"]} == {n for n, _ in NATIONS}
+        assert {o[5] for o in rows["orders"]} <= set(PRIORITIES)
+        assert {i[14] for i in rows["lineitem"]} <= set(SHIP_MODES)
+        assert {i[13] for i in rows["lineitem"]} <= set(SHIP_INSTRUCTS)
+
+    def test_discount_and_tax_ranges(self, rows):
+        for item in rows["lineitem"][:500]:
+            assert 0.0 <= item[6] <= 0.10   # discount
+            assert 0.0 <= item[7] <= 0.08   # tax
+            assert 1 <= item[4] <= 50       # quantity
+
+    def test_brands_match_mfgr(self, rows):
+        for part in rows["part"][:200]:
+            mfgr = int(part[2].rsplit("#", 1)[1])
+            brand = int(part[3].rsplit("#", 1)[1])
+            assert brand // 10 == mfgr
+
+    def test_order_dates_in_spec_window(self, rows):
+        for order in rows["orders"][:500]:
+            date = days_to_date(order[4])
+            assert 1992 <= date.year <= 1998
+
+    def test_foreign_keys_resolve(self, rows):
+        generator = TPCHGenerator(0.002)
+        for order in rows["orders"][:300]:
+            assert 1 <= order[1] <= generator.n_customer
+        for item in rows["lineitem"][:300]:
+            assert 1 <= item[1] <= generator.n_part
+            assert 1 <= item[2] <= generator.n_supplier

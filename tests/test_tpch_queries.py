@@ -1,0 +1,125 @@
+"""Tests for the 22 TPC-H query plans.
+
+The central invariant is the paper's: the bee-enabled system returns
+*identical results* to the stock system on every query while charging
+fewer instructions.  A few queries also get semantic spot checks against
+independently computed answers over the generated rows.
+"""
+
+import pytest
+
+from repro.workloads.tpch import QUERIES, build_pair
+from repro.workloads.tpch.queries import d
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return build_pair(scale_factor=0.002)
+
+
+@pytest.mark.parametrize("query_number", sorted(QUERIES))
+def test_query_equivalence_and_improvement(pair, query_number):
+    stock, bees, _rows = pair
+    s0 = stock.ledger.snapshot()
+    stock_result = QUERIES[query_number](stock)
+    stock_cost = stock.ledger.delta_since(s0).total
+    b0 = bees.ledger.snapshot()
+    bees_result = QUERIES[query_number](bees)
+    bees_cost = bees.ledger.delta_since(b0).total
+    assert stock_result == bees_result
+    assert bees_cost < stock_cost
+
+
+class TestSemanticSpotChecks:
+    def test_q01_matches_manual_aggregation(self, pair):
+        stock, _bees, rows = pair
+        cutoff = d(1998, 12, 1) - 90
+        expected = {}
+        for item in rows["lineitem"]:
+            if item[10] <= cutoff:
+                key = (item[8], item[9])
+                group = expected.setdefault(key, [0.0, 0])
+                group[0] += item[4]
+                group[1] += 1
+        result = QUERIES[1](stock)
+        assert len(result) == len(expected)
+        for row in result:
+            key = (row[0], row[1])
+            assert row[2] == pytest.approx(expected[key][0])   # sum_qty
+            assert row[9] == expected[key][1]                  # count_order
+
+    def test_q01_sorted_by_flags(self, pair):
+        stock, _bees, _rows = pair
+        result = QUERIES[1](stock)
+        keys = [(row[0], row[1]) for row in result]
+        assert keys == sorted(keys)
+
+    def test_q06_matches_manual_sum(self, pair):
+        stock, _bees, rows = pair
+        lo, hi = d(1994, 1, 1), d(1994, 1, 1) + 364
+        expected = sum(
+            item[5] * item[6]
+            for item in rows["lineitem"]
+            if lo <= item[10] <= hi
+            and 0.05 <= item[6] <= 0.07
+            and item[4] < 24
+        )
+        result = QUERIES[6](stock)
+        assert result[0][0] == pytest.approx(expected)
+
+    def test_q04_counts_match_manual(self, pair):
+        stock, _bees, rows = pair
+        lo = d(1993, 7, 1)
+        late_orders = {
+            item[0] for item in rows["lineitem"] if item[11] < item[12]
+        }
+        expected = {}
+        for order in rows["orders"]:
+            if lo <= order[4] <= lo + 91 and order[0] in late_orders:
+                expected[order[5]] = expected.get(order[5], 0) + 1
+        result = dict(QUERIES[4](stock))
+        assert result == expected
+
+    def test_q03_limit_and_order(self, pair):
+        stock, _bees, _rows = pair
+        result = QUERIES[3](stock)
+        assert len(result) <= 10
+        revenues = [row[1] for row in result]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q13_distribution_sums_to_customers(self, pair):
+        stock, _bees, rows = pair
+        result = QUERIES[13](stock)
+        assert sum(row[1] for row in result) == len(rows["customer"])
+
+    def test_q14_is_percentage(self, pair):
+        stock, _bees, _rows = pair
+        result = QUERIES[14](stock)
+        assert 0.0 <= result[0][0] <= 100.0
+
+    def test_q15_returns_max_revenue_supplier(self, pair):
+        stock, _bees, _rows = pair
+        result = QUERIES[15](stock)
+        assert len(result) >= 1
+        revenues = {row[4] for row in result}
+        assert len(revenues) == 1   # all share the maximum
+
+    def test_q18_threshold_filters(self, pair):
+        stock, _bees, _rows = pair
+        result = QUERIES[18](stock, quantity=100)
+        for row in result:
+            assert row[5] > 100    # sum_qty over the threshold
+
+    def test_q22_customers_have_no_orders(self, pair):
+        stock, _bees, rows = pair
+        result = QUERIES[22](stock)
+        # Every reported country code group counts customers above the
+        # average balance; counts are positive when present.
+        for row in result:
+            assert row[1] > 0
+
+    def test_parameterized_query(self, pair):
+        stock, bees, _rows = pair
+        a = QUERIES[6](stock, discount=0.05, quantity=30)
+        b = QUERIES[6](bees, discount=0.05, quantity=30)
+        assert a == b

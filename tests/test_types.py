@@ -1,0 +1,115 @@
+"""Tests for the SQL type system and alignment rules."""
+
+import datetime
+
+import pytest
+
+from repro.catalog import types as T
+
+
+class TestScalarTypes:
+    def test_int4_layout(self):
+        assert T.INT4.attlen == 4
+        assert T.INT4.attalign == 4
+        assert T.INT4.byval
+        assert not T.INT4.is_varlena
+
+    def test_int8_layout(self):
+        assert T.INT8.attlen == 8
+        assert T.INT8.attalign == 8
+
+    def test_float8_layout(self):
+        assert T.FLOAT8.attlen == 8
+        assert T.FLOAT8.struct_fmt == "d"
+
+    def test_bool_layout(self):
+        assert T.BOOL.attlen == 1
+        assert T.BOOL.attalign == 1
+
+    def test_numeric_is_float8_backed(self):
+        assert T.NUMERIC.attlen == T.FLOAT8.attlen
+        assert T.NUMERIC.name == "numeric"
+
+    def test_date_is_int4_days(self):
+        assert T.DATE.attlen == 4
+        assert T.DATE.struct_fmt == "i"
+
+
+class TestCharVarchar:
+    def test_char_is_fixed_length(self):
+        c = T.char(15)
+        assert c.attlen == 15
+        assert c.attalign == 1
+        assert not c.is_varlena
+        assert c.name == "char(15)"
+
+    def test_varchar_is_varlena(self):
+        v = T.varchar(79)
+        assert v.attlen == -1
+        assert v.is_varlena
+        assert v.attalign == 4
+
+    def test_text_is_varlena(self):
+        assert T.TEXT.is_varlena
+
+    @pytest.mark.parametrize("factory", [T.char, T.varchar])
+    def test_zero_width_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            T.char(-3)
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert T.date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_round_trip(self):
+        for date in (
+            datetime.date(1992, 1, 1),
+            datetime.date(1998, 8, 2),
+            datetime.date(2026, 7, 5),
+        ):
+            assert T.days_to_date(T.date_to_days(date)) == date
+
+    def test_ordering_preserved(self):
+        early = T.date_to_days(datetime.date(1995, 3, 15))
+        late = T.date_to_days(datetime.date(1995, 3, 16))
+        assert early < late
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "offset,alignment,expected",
+        [
+            (0, 4, 0),
+            (1, 4, 4),
+            (3, 4, 4),
+            (4, 4, 4),
+            (5, 8, 8),
+            (9, 8, 16),
+            (7, 1, 7),
+            (13, 2, 14),
+        ],
+    )
+    def test_align_offset(self, offset, alignment, expected):
+        assert T.align_offset(offset, alignment) == expected
+
+    def test_align_is_idempotent(self):
+        for offset in range(64):
+            for alignment in (1, 2, 4, 8):
+                once = T.align_offset(offset, alignment)
+                assert T.align_offset(once, alignment) == once
+
+
+class TestScalarStruct:
+    def test_struct_for_scalars(self):
+        assert T.scalar_struct(T.INT4).size == 4
+        assert T.scalar_struct(T.INT8).size == 8
+        assert T.scalar_struct(T.FLOAT8).size == 8
+
+    def test_struct_rejects_char(self):
+        with pytest.raises(ValueError):
+            T.scalar_struct(T.char(5))
