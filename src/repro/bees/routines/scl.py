@@ -31,6 +31,16 @@ def scl_cost(layout: TupleLayout) -> int:
     return cost
 
 
+def _char_bytes(value: str, width: int, name: str) -> bytes:
+    """Encode a CHAR(n) value, enforcing the same width check (and the
+    same error) as the generic ``layout.encode`` path — the specialized
+    fill must be behavior-identical, including on bad input."""
+    raw = value.encode() if isinstance(value, str) else bytes(value)
+    if len(raw) > width:
+        raise ValueError(f"value too long for {name} ({len(raw)} > {width})")
+    return raw.ljust(width, b" ")
+
+
 def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
     """Build the SCL bee routine for *layout*, charging into *ledger*."""
     schema = layout.schema
@@ -47,6 +57,7 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
         "_charge": ledger.charge_fn,
         "_COST": cost,
         "_HDR": bytes(header),
+        "_char": _char_bytes,
     }
 
     lines = [
@@ -84,7 +95,8 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
         else:
             fmt_parts.append(f"{sql_type.attlen}s")
             pack_args.append(
-                f"values[{attr.attnum}].encode().ljust({sql_type.attlen}, b' ')"
+                f"_char(values[{attr.attnum}], {sql_type.attlen}, "
+                f"{attr.name!r})"
             )
         cursor = offset + sql_type.attlen
     if prefix:
@@ -118,8 +130,8 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
                 lines.append(f"    off = off + {sql_type.attlen}")
             else:
                 lines.append(
-                    f"    out += values[{attr.attnum}].encode()"
-                    f".ljust({sql_type.attlen}, b' ')"
+                    f"    out += _char(values[{attr.attnum}], "
+                    f"{sql_type.attlen}, {attr.name!r})"
                 )
                 lines.append(f"    off = off + {sql_type.attlen}")
 

@@ -80,7 +80,7 @@ def generate_cdl(
 class ColumnarQueryResult:
     """Result + accounting for one columnar aggregate query."""
 
-    value: float
+    value: float | int
     rows_scanned: int
     rows_passed: int
     instructions: int
@@ -191,7 +191,11 @@ class ColumnarExecutor:
         pages = self.store.page_count(all_columns)
         ledger.charge_fn("column_page_access", C.COL_PAGE_ACCESS * pages)
 
-        total = 0.0
+        # Start the accumulator as int so integer sums stay exact — a
+        # float accumulator rounds away small addends once BIGINT-scale
+        # values (~2^63) enter the sum; Python promotes to float on the
+        # first float addend, matching the row engine's SUM semantics.
+        total = 0
         passed = 0
         n = len(self.store)
         per_row = C.COL_SCAN_PER_ROW

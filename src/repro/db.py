@@ -9,6 +9,7 @@ ledger deltas.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -311,20 +312,64 @@ class Database:
 
     # -- query ------------------------------------------------------------------
 
-    def execute(self, plan: PlanNode, emit: bool = True) -> list[tuple]:
-        """Run a plan and return result rows."""
-        return _execute(self, plan, emit=emit)
+    def execute(
+        self, plan: PlanNode, emit: bool = True,
+        settings: BeeSettings | None = None,
+    ) -> list[tuple]:
+        """Run a plan and return result rows.
 
-    def sql(self, statement: str):
+        *settings* overrides this database's bee settings for the one
+        execution (``BeeSettings.stock()`` forces the generic code paths
+        over the same physical data).
+        """
+        return _execute(self, plan, emit=emit, settings=settings)
+
+    def resolve_settings(
+        self, bees: bool | BeeSettings | None
+    ) -> BeeSettings:
+        """Resolve a per-statement bee toggle to concrete settings.
+
+        ``None``/``True`` keep the database's own settings; ``False``
+        disables every bee routine family for the statement; an explicit
+        :class:`BeeSettings` is used as given.
+        """
+        if bees is None or bees is True:
+            return self.settings
+        if bees is False:
+            return BeeSettings.stock()
+        return bees
+
+    @contextmanager
+    def use_settings(self, settings: BeeSettings):
+        """Temporarily execute with different bee settings.
+
+        Every code path reads ``db.settings`` at execution time (scans,
+        filters, joins, the DML write path), so swapping it here toggles
+        bee routines per statement without touching the physical layout —
+        relation bees and tuple-bee storage created at DDL time stay as
+        they are, and re-enabling simply resumes using them.
+        """
+        previous = self.settings
+        self.settings = settings
+        try:
+            yield self
+        finally:
+            self.settings = previous
+
+    def sql(self, statement: str, bees: bool | BeeSettings | None = None):
         """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
 
         Returns a :class:`repro.sql.SQLResult`; SELECT results are in
         ``result.rows``.  CREATE TABLE supports the paper's ``ANNOTATE``
-        DDL clause for tuple-bee attributes.
+        DDL clause for tuple-bee attributes.  ``bees=False`` runs this one
+        statement through the generic code paths (see
+        :meth:`resolve_settings`); results must be identical either way —
+        the invariant the differential oracle checks.
         """
         from repro.sql.session import execute_sql
 
-        return execute_sql(self, statement)
+        with self.use_settings(self.resolve_settings(bees)):
+            return execute_sql(self, statement)
 
     def relation(self, name: str) -> Relation:
         """Runtime relation state; raises KeyError for unknown names."""

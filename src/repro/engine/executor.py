@@ -6,14 +6,15 @@ from repro.cost import constants as C
 from repro.engine.nodes import ExecContext, PlanNode
 
 
-def execute(db, plan: PlanNode, emit: bool = True) -> list[tuple]:
+def execute(db, plan: PlanNode, emit: bool = True, settings=None) -> list[tuple]:
     """Run *plan* against *db* and return the result rows as tuples.
 
     When *emit* is true (the default — a client received the rows), each
     output row is charged the printtup-style emission cost; internal
-    subplan executions pass ``emit=False``.
+    subplan executions pass ``emit=False``.  *settings* overrides the
+    database's bee settings for this execution only.
     """
-    ctx = ExecContext(db)
+    ctx = ExecContext(db, settings)
     charge = ctx.ledger.charge
     width = 0
     results = []

@@ -19,12 +19,18 @@ Row = list
 
 
 class ExecContext:
-    """Per-execution state handed to every node."""
+    """Per-execution state handed to every node.
 
-    def __init__(self, db) -> None:
+    *settings* overrides the database's :class:`BeeSettings` for this one
+    execution — the per-query bee disable toggle the differential oracle
+    uses to compare specialized and generic interpretation of the same
+    physical data.
+    """
+
+    def __init__(self, db, settings=None) -> None:
         self.db = db
         self.ledger = db.ledger
-        self.settings = db.settings
+        self.settings = settings if settings is not None else db.settings
         self.bees = db.bee_module
 
 

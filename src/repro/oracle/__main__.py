@@ -1,0 +1,7 @@
+"""``python -m repro.oracle`` entry point."""
+
+import sys
+
+from repro.oracle.cli import run
+
+sys.exit(run())

@@ -1,0 +1,131 @@
+"""Command-line front-end: ``python -m repro.oracle``.
+
+Examples::
+
+    python -m repro.oracle --seed 0 --iterations 200
+    python -m repro.oracle --seed 7 --iterations 500 --time-budget 30
+    python -m repro.oracle --self-test
+    python -m repro.oracle --seed 3 --inject-bug gcl --iterations 100
+
+Exit status is 0 when every check passed (or, under ``--self-test`` /
+``--inject-bug``, when the injected bug WAS caught) and 1 otherwise, so
+the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bees.settings import BeeSettings
+from repro.oracle.inject import BUG_KINDS, inject_bug
+from repro.oracle.runner import run_campaign, run_self_test
+
+_SETTINGS = {
+    "all": BeeSettings.all_bees,
+    "relation": BeeSettings.relation_bees,
+    "future": BeeSettings.future,
+}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value}); a campaign of zero "
+            f"statements would report success without checking anything"
+        )
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.oracle",
+        description="Differential + metamorphic correctness oracle for bees.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--iterations", type=_positive_int, default=200,
+                        help="statements to execute (default 200)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this many wall seconds")
+    parser.add_argument("--bees", choices=sorted(_SETTINGS), default="all",
+                        help="bee settings profile for the specialized "
+                             "engine (default: all)")
+    parser.add_argument("--inject-bug", choices=BUG_KINDS, default=None,
+                        help="run with a deliberately broken bee generator; "
+                             "exit 0 only if the oracle catches it")
+    parser.add_argument("--self-test", action="store_true",
+                        help="inject each bug kind in turn and verify the "
+                             "oracle reports divergences")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip repro minimization (faster)")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the report as JSON")
+    parser.add_argument("--divergence-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="write each divergence's repro script here")
+    return parser
+
+
+def _write_outputs(report, args) -> None:
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.divergence_dir is not None and report.divergences:
+        args.divergence_dir.mkdir(parents=True, exist_ok=True)
+        for i, divergence in enumerate(report.divergences):
+            path = args.divergence_dir / f"divergence_{i:03d}.sql"
+            path.write_text(divergence.script())
+        print(f"wrote {len(report.divergences)} repro script(s) to "
+              f"{args.divergence_dir}")
+
+
+def run(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = _SETTINGS[args.bees]()
+
+    if args.self_test:
+        reports = run_self_test(args.seed, args.iterations)
+        status = 0
+        for kind, report in reports.items():
+            caught = not report.ok
+            print(f"self-test [{kind}]: "
+                  f"{'CAUGHT' if caught else 'MISSED'} "
+                  f"({len(report.divergences)} divergence(s) over "
+                  f"{report.iterations} statements)")
+            if not caught:
+                status = 1
+        return status
+
+    if args.inject_bug is not None:
+        with inject_bug(args.inject_bug):
+            report = run_campaign(
+                args.seed, args.iterations,
+                time_budget=args.time_budget,
+                bee_settings=settings,
+                minimize=not args.no_minimize,
+            )
+        print(report.summary())
+        _write_outputs(report, args)
+        caught = not report.ok
+        print(f"injected bug {args.inject_bug!r} was "
+              f"{'caught' if caught else 'MISSED'}")
+        return 0 if caught else 1
+
+    report = run_campaign(
+        args.seed, args.iterations,
+        time_budget=args.time_budget,
+        bee_settings=settings,
+        minimize=not args.no_minimize,
+    )
+    print(report.summary())
+    _write_outputs(report, args)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(run())

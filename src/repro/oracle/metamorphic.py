@@ -1,0 +1,67 @@
+"""Metamorphic checks: TLP predicate partitioning and no-op rewrites.
+
+These catch bee bugs that *both* engines share (a differential check would
+pass) and predicate-handling bugs in the specialized EVP path:
+
+* **TLP** (ternary logic partitioning, after SQLancer): for any predicate
+  ``p``, every row satisfies exactly one of ``p``, ``NOT p``, and
+  ``p IS NULL`` under SQL's three-valued logic — so the unfiltered query's
+  multiset must equal the disjoint union of the three partitions.
+* **No-op rewrites**: wrapping the predicate in ``NOT (NOT (…))``,
+  ``(…) AND TRUE``, ``(…) OR FALSE``, or ``TRUE AND (…)`` must not change
+  the result, but *does* change the compiled EVP routine's shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.oracle.generator import TLPCase
+from repro.oracle.normalize import run_statement, tag_row
+
+
+def tlp_statements(tlp: TLPCase) -> dict[str, str]:
+    """The unfiltered base query and its three TLP partitions."""
+    base = f"SELECT {tlp.items_sql} FROM {tlp.table}"
+    p = tlp.predicate_sql
+    return {
+        "base": base,
+        "true": f"{base} WHERE {p}",
+        "false": f"{base} WHERE NOT ({p})",
+        "null": f"{base} WHERE (({p})) IS NULL",
+    }
+
+
+def rewrite_statements(tlp: TLPCase) -> list[tuple[str, str]]:
+    """Semantics-preserving predicate rewrites of the filtered query."""
+    base = f"SELECT {tlp.items_sql} FROM {tlp.table}"
+    p = tlp.predicate_sql
+    return [
+        ("not-not", f"{base} WHERE NOT (NOT ({p}))"),
+        ("and-true", f"{base} WHERE ({p}) AND TRUE"),
+        ("or-false", f"{base} WHERE ({p}) OR FALSE"),
+        ("true-and", f"{base} WHERE TRUE AND ({p})"),
+    ]
+
+
+def check_tlp(db, tlp: TLPCase) -> str | None:
+    """Run the TLP partitions on *db*; return a detail string on violation."""
+    statements = tlp_statements(tlp)
+    outcomes = {}
+    for label, sql in statements.items():
+        outcome = run_statement(db, sql)
+        if outcome[0] != "rows":
+            return f"TLP query {label!r} did not return rows: {outcome}"
+        outcomes[label] = outcome[1]
+    whole = Counter(map(tag_row, outcomes["base"]))
+    parts = Counter()
+    for label in ("true", "false", "null"):
+        parts.update(map(tag_row, outcomes[label]))
+    if whole != parts:
+        missing = whole - parts
+        extra = parts - whole
+        return (
+            f"TLP partition mismatch for predicate ({tlp.predicate_sql}): "
+            f"missing={dict(missing)} extra={dict(extra)}"
+        )
+    return None

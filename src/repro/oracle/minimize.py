@@ -1,0 +1,46 @@
+"""Divergence repro minimization: greedy delta-debugging over history.
+
+A divergence usually needs only a few of the statements that preceded it
+(the CREATE, a couple of INSERTs).  The minimizer replays candidate
+subsequences of the statement history against fresh engine pairs and
+keeps removing statements while the divergence still reproduces — a
+single-element ddmin pass, bounded by a trial budget since every trial
+costs a full replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def minimize_statements(
+    prefix: Sequence,
+    reproduces: Callable[[list], bool],
+    max_trials: int = 120,
+) -> list:
+    """Shrink *prefix* while ``reproduces(subset)`` stays true.
+
+    *reproduces* must replay the candidate statements on fresh engines
+    and re-run the divergence check; it is expected never to raise (an
+    exception during replay counts as "did not reproduce").
+    """
+    keep = list(prefix)
+    if not reproduces(keep):
+        # The failure does not replay deterministically from history —
+        # return the full prefix rather than lying about a smaller one.
+        return keep
+    trials = 0
+    shrunk = True
+    while shrunk and trials < max_trials:
+        shrunk = False
+        # Back-to-front: late statements (queries, unrelated DML) are the
+        # most likely to be irrelevant to the divergence.
+        for index in range(len(keep) - 1, -1, -1):
+            if trials >= max_trials:
+                break
+            candidate = keep[:index] + keep[index + 1 :]
+            trials += 1
+            if reproduces(candidate):
+                keep = candidate
+                shrunk = True
+    return keep

@@ -1,0 +1,81 @@
+"""Outcome capture and normalization for differential comparison.
+
+Every statement execution is reduced to an *outcome* triple the runner can
+compare across engines:
+
+* ``("rows", [...])`` — a SELECT's result rows,
+* ``("status", "INSERT 3")`` — a DML/DDL completion tag,
+* ``("error", "ValueError")`` — the exception *type name*.  Only the type
+  is compared: the generic fill and a specialized bee raise the same
+  exception class on bad input but with different messages (one from
+  ``struct.pack``'s batched pack, one per attribute), and that wording
+  difference is not a correctness divergence.
+
+Row comparison tags each value with its type name so Python's cross-type
+equalities (``True == 1 == 1.0``) cannot mask a divergence where one
+engine returns an int and the other a float or bool.  Unordered results
+compare as multisets; ORDER BY results compare as lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+Outcome = tuple  # ("rows", list[tuple]) | ("status", str) | ("error", str)
+
+
+def run_statement(db, sql: str, bees=None) -> Outcome:
+    """Execute *sql* on *db* and capture the outcome (never raises)."""
+    try:
+        result = db.sql(sql, bees=bees)
+    except Exception as exc:  # noqa: BLE001 — the comparison IS the handler
+        return ("error", type(exc).__name__)
+    if result.status.startswith("SELECT") or result.status == "EXPLAIN":
+        return ("rows", [tuple(row) for row in result.rows])
+    return ("status", result.status)
+
+
+def tag_row(row: tuple) -> tuple:
+    """Make a row comparable without cross-type equality surprises."""
+    return tuple((type(v).__name__, v) for v in row)
+
+
+def rows_equal(a: list[tuple], b: list[tuple], ordered: bool) -> bool:
+    if len(a) != len(b):
+        return False
+    if ordered:
+        return [tag_row(r) for r in a] == [tag_row(r) for r in b]
+    return Counter(map(tag_row, a)) == Counter(map(tag_row, b))
+
+
+def outcomes_equal(a: Outcome, b: Outcome, ordered: bool = False) -> bool:
+    if a[0] != b[0]:
+        return False
+    if a[0] == "rows":
+        return rows_equal(a[1], b[1], ordered)
+    return a[1] == b[1]
+
+
+def describe_outcome(outcome: Outcome, limit: int = 6) -> str:
+    """Short human-readable rendering for divergence reports."""
+    kind, payload = outcome
+    if kind != "rows":
+        return f"{kind}: {payload}"
+    rows = payload
+    shown = ", ".join(repr(r) for r in rows[:limit])
+    suffix = f", … ({len(rows)} rows)" if len(rows) > limit else ""
+    return f"rows[{len(rows)}]: {shown}{suffix}"
+
+
+def canonical(outcome: Outcome) -> str:
+    """Stable text form of an outcome, for the corpus fingerprint.
+
+    Row order is canonicalized by sorting tagged reprs, so the fingerprint
+    is insensitive to incidental iteration order but still pins every
+    value (and its type) the stock engine produced.
+    """
+    kind, payload = outcome
+    if kind != "rows":
+        return f"{kind}|{payload}"
+    parts = sorted(repr(tag_row(r)) for r in payload)
+    return "rows|" + "|".join(parts)

@@ -1,0 +1,405 @@
+"""The differential campaign runner: N engines, one statement stream.
+
+Every generated statement is executed against a stock-settings
+:class:`~repro.db.Database` and a bee-enabled one; their outcomes (rows,
+status, or error type) must match statement by statement.  On top of the
+engine diff, eligible SELECTs get three more lanes:
+
+* **bees-off**: the same query re-run on the bee database with the
+  per-query toggle (``db.sql(sql, bees=False)``) must equal the
+  specialized result — this isolates execution-path bugs from state
+  (storage) bugs, since both runs read the same physical tuples.
+* **TLP + rewrites**: metamorphic self-consistency on each database
+  (see :mod:`repro.oracle.metamorphic`).
+* **columnar**: for ``SELECT SUM(..) FROM t WHERE ..`` over all-NOT-NULL
+  scalar tables, the generic and specialized (CDL/fused) columnar
+  executors must agree with the row engine.
+
+Divergences are minimized into replayable SQL scripts, and a fingerprint
+over the stock engine's outcomes pins the whole corpus for the golden
+baseline under ``results/oracle/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass
+
+from repro.bees.settings import BeeSettings
+from repro.db import Database
+from repro.oracle.generator import GenStatement, StatementGenerator
+from repro.oracle.inject import inject_bug
+from repro.oracle.metamorphic import check_tlp, rewrite_statements
+from repro.oracle.minimize import minimize_statements
+from repro.oracle.normalize import (
+    canonical,
+    describe_outcome,
+    outcomes_equal,
+    run_statement,
+)
+
+
+@dataclass
+class Divergence:
+    """One confirmed disagreement, with a replayable repro script."""
+
+    check: str
+    sql: str
+    detail: str
+    repro: list[str]
+
+    def script(self) -> str:
+        lines = [f"-- {self.check}: {self.detail}"]
+        lines += [f"{sql};" for sql in self.repro]
+        lines.append(f"{self.sql};  -- divergent statement")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class OracleReport:
+    """Campaign summary: what ran, what was checked, what disagreed."""
+
+    seed: int
+    iterations: int
+    elapsed: float
+    statement_counts: dict[str, int]
+    check_counts: dict[str, int]
+    divergences: list[Divergence]
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "statements": dict(sorted(self.statement_counts.items())),
+            "checks": dict(sorted(self.check_counts.items())),
+            "fingerprint": self.fingerprint,
+            "divergences": [
+                {
+                    "check": d.check,
+                    "sql": d.sql,
+                    "detail": d.detail,
+                    "repro": d.repro,
+                }
+                for d in self.divergences
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"oracle seed={self.seed}: {self.iterations} statements in "
+            f"{self.elapsed:.1f}s, fingerprint {self.fingerprint}",
+            "statements: "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.statement_counts.items())
+            ),
+            "checks:     "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.check_counts.items())
+            ),
+        ]
+        if self.ok:
+            lines.append("no divergences")
+        else:
+            lines.append(f"{len(self.divergences)} DIVERGENCE(S):")
+            for d in self.divergences:
+                lines.append(f"  [{d.check}] {d.sql}")
+                lines.append(f"    {d.detail}")
+        return "\n".join(lines)
+
+
+def _sum_equal(expected, got) -> bool:
+    if expected is None or got is None:
+        return expected is None and got is None
+    return math.isclose(float(expected), float(got), rel_tol=1e-9, abs_tol=1e-6)
+
+
+class DifferentialOracle:
+    """Runs one seeded campaign across the engine pair."""
+
+    def __init__(
+        self,
+        seed: int,
+        bee_settings: BeeSettings | None = None,
+        minimize: bool = True,
+        minimize_trials: int = 120,
+        minimize_cap: int = 8,
+    ) -> None:
+        self.seed = seed
+        self.bee_settings = bee_settings or BeeSettings.all_bees()
+        self.minimize = minimize
+        self.minimize_trials = minimize_trials
+        self.minimize_cap = minimize_cap
+        self.generator = StatementGenerator(seed)
+        self.stock = Database(BeeSettings.stock())
+        self.bee = Database(self.bee_settings)
+        self.history: list[GenStatement] = []
+        self.divergences: list[Divergence] = []
+        self.statement_counts: dict[str, int] = {}
+        self.check_counts: dict[str, int] = {}
+        self._digest = hashlib.sha256()
+
+    # -- campaign --------------------------------------------------------------
+
+    def run(
+        self, iterations: int, time_budget: float | None = None
+    ) -> OracleReport:
+        started = time.monotonic()
+        pending = list(self.generator.bootstrap())
+        executed = 0
+        while executed < iterations:
+            if (
+                time_budget is not None
+                and time.monotonic() - started > time_budget
+            ):
+                break
+            stmt = pending.pop(0) if pending else self.generator.next_statement()
+            self._run_one(stmt)
+            executed += 1
+        return OracleReport(
+            seed=self.seed,
+            iterations=executed,
+            elapsed=time.monotonic() - started,
+            statement_counts=self.statement_counts,
+            check_counts=self.check_counts,
+            divergences=self.divergences,
+            fingerprint=self._digest.hexdigest()[:16],
+        )
+
+    # -- per-statement checks --------------------------------------------------
+
+    def _count(self, bucket: dict, key: str) -> None:
+        bucket[key] = bucket.get(key, 0) + 1
+
+    def _run_one(self, stmt: GenStatement) -> None:
+        self._count(self.statement_counts, stmt.kind)
+        out_stock = run_statement(self.stock, stmt.sql)
+        out_bee = run_statement(self.bee, stmt.sql)
+        self._digest.update(stmt.sql.encode())
+        self._digest.update(canonical(out_stock).encode())
+
+        self._count(self.check_counts, "engine-diff")
+        if not outcomes_equal(out_stock, out_bee, ordered=stmt.ordered):
+            self._record(
+                "engine-diff",
+                stmt,
+                f"stock={describe_outcome(out_stock)} "
+                f"bees={describe_outcome(out_bee)}",
+                self._engine_recheck(stmt),
+            )
+
+        if stmt.kind == "select" and out_bee[0] == "rows":
+            self._check_bees_off(stmt, out_bee)
+        if stmt.tlp is not None and out_stock[0] == "rows" and out_bee[0] == "rows":
+            self._check_metamorphic(stmt, out_stock, out_bee)
+        if stmt.columnar is not None and out_stock[0] == "rows":
+            self._check_columnar(stmt)
+
+        self.history.append(stmt)
+
+    def _check_bees_off(self, stmt: GenStatement, out_bee) -> None:
+        self._count(self.check_counts, "bees-off")
+        out_off = run_statement(self.bee, stmt.sql, bees=False)
+        if outcomes_equal(out_bee, out_off, ordered=stmt.ordered):
+            return
+
+        def recheck(prefix: list[GenStatement]) -> bool:
+            try:
+                _, bee = self._replay(prefix)
+                a = run_statement(bee, stmt.sql)
+                b = run_statement(bee, stmt.sql, bees=False)
+                return not outcomes_equal(a, b, ordered=stmt.ordered)
+            except Exception:  # noqa: BLE001 — replay failure != repro
+                return False
+
+        self._record(
+            "bees-off",
+            stmt,
+            f"bees={describe_outcome(out_bee)} "
+            f"generic-on-same-storage={describe_outcome(out_off)}",
+            recheck,
+        )
+
+    def _check_metamorphic(self, stmt: GenStatement, out_stock, out_bee) -> None:
+        tlp = stmt.tlp
+        for label, db in (("tlp-stock", self.stock), ("tlp-bees", self.bee)):
+            self._count(self.check_counts, "tlp")
+            detail = check_tlp(db, tlp)
+            if detail is not None:
+                bee_side = label.endswith("bees")
+
+                def recheck(prefix, bee_side=bee_side):
+                    try:
+                        stock, bee = self._replay(prefix)
+                        target = bee if bee_side else stock
+                        return check_tlp(target, tlp) is not None
+                    except Exception:  # noqa: BLE001
+                        return False
+
+                self._record(label, stmt, detail, recheck)
+        for rewrite_label, rewritten_sql in rewrite_statements(tlp):
+            for label, db, base in (
+                ("rewrite-stock", self.stock, out_stock),
+                ("rewrite-bees", self.bee, out_bee),
+            ):
+                self._count(self.check_counts, "rewrite")
+                out_rw = run_statement(db, rewritten_sql)
+                if outcomes_equal(base, out_rw, ordered=False):
+                    continue
+                bee_side = label.endswith("bees")
+
+                def recheck(prefix, bee_side=bee_side, rsql=rewritten_sql):
+                    try:
+                        stock, bee = self._replay(prefix)
+                        target = bee if bee_side else stock
+                        a = run_statement(target, stmt.sql)
+                        b = run_statement(target, rsql)
+                        return not outcomes_equal(a, b, ordered=False)
+                    except Exception:  # noqa: BLE001
+                        return False
+
+                self._record(
+                    f"{label}:{rewrite_label}",
+                    stmt,
+                    f"base={describe_outcome(base)} "
+                    f"rewritten={describe_outcome(out_rw)} "
+                    f"({rewritten_sql})",
+                    recheck,
+                )
+
+    # -- columnar lane ---------------------------------------------------------
+
+    def _columnar_detail(self, stmt: GenStatement, db: Database) -> str | None:
+        """Cross-check a SUM/WHERE probe against the columnar engine."""
+        from repro.columnar import ColumnStore, ColumnarExecutor
+        from repro.sql import parse
+        from repro.sql.planner import lower_expr
+
+        try:
+            rel = db.relation(stmt.columnar.table)
+        except Exception:  # noqa: BLE001 — table dropped during replay
+            return None
+        columns = rel.schema.column_names()
+        stmt_ast = parse(stmt.sql)
+        qual = lower_expr(stmt_ast.where, columns)
+        sum_expr = lower_expr(stmt_ast.items[0].expr.arg, columns)
+        row_out = run_statement(db, stmt.sql)
+        if row_out[0] != "rows" or len(row_out[1]) != 1:
+            return None
+        expected = row_out[1][0][0]
+        store = ColumnStore(rel.schema)
+        try:
+            store.load(db.sql(f"SELECT * FROM {stmt.columnar.table}").rows)
+        except TypeError:
+            # A NULL crept into a typed column buffer; the table is no
+            # longer columnar-loadable, which is a capability gap, not a
+            # divergence.
+            return None
+        for specialized in (False, True):
+            executor = ColumnarExecutor(store, specialized=specialized)
+            try:
+                result = executor.sum_where(qual, columns, sum_expr, columns)
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                return (
+                    f"columnar(specialized={specialized}) raised "
+                    f"{type(exc).__name__} where the row engine returned "
+                    f"{expected!r}"
+                )
+            got = result.value if result.rows_passed else None
+            if not _sum_equal(expected, got):
+                return (
+                    f"columnar(specialized={specialized}) sum={got!r} "
+                    f"!= row-engine sum={expected!r}"
+                )
+        return None
+
+    def _check_columnar(self, stmt: GenStatement) -> None:
+        self._count(self.check_counts, "columnar")
+        detail = self._columnar_detail(stmt, self.stock)
+        if detail is None:
+            return
+
+        def recheck(prefix: list[GenStatement]) -> bool:
+            try:
+                stock, _ = self._replay(prefix)
+                return self._columnar_detail(stmt, stock) is not None
+            except Exception:  # noqa: BLE001
+                return False
+
+        self._record("columnar", stmt, detail, recheck)
+
+    # -- divergence recording and minimization ---------------------------------
+
+    def _replay(self, stmts: list[GenStatement]) -> tuple[Database, Database]:
+        stock = Database(BeeSettings.stock())
+        bee = Database(self.bee_settings)
+        for s in stmts:
+            run_statement(stock, s.sql)
+            run_statement(bee, s.sql)
+        return stock, bee
+
+    def _engine_recheck(self, stmt: GenStatement):
+        def recheck(prefix: list[GenStatement]) -> bool:
+            try:
+                stock, bee = self._replay(prefix)
+                a = run_statement(stock, stmt.sql)
+                b = run_statement(bee, stmt.sql)
+                return not outcomes_equal(a, b, ordered=stmt.ordered)
+            except Exception:  # noqa: BLE001
+                return False
+
+        return recheck
+
+    def _record(self, check: str, stmt: GenStatement, detail: str, recheck) -> None:
+        prefix = list(self.history)
+        # A badly broken engine produces dozens of near-identical
+        # divergences; minimizing each replays the whole prefix per ddmin
+        # trial, so only the first `minimize_cap` get the full treatment.
+        if self.minimize and len(self.divergences) < self.minimize_cap:
+            prefix = minimize_statements(
+                prefix, recheck, max_trials=self.minimize_trials
+            )
+        self.divergences.append(
+            Divergence(
+                check=check,
+                sql=stmt.sql,
+                detail=detail,
+                repro=[s.sql for s in prefix],
+            )
+        )
+
+
+def run_campaign(
+    seed: int,
+    iterations: int,
+    time_budget: float | None = None,
+    bee_settings: BeeSettings | None = None,
+    minimize: bool = True,
+) -> OracleReport:
+    """Convenience wrapper: one oracle, one campaign."""
+    oracle = DifferentialOracle(
+        seed, bee_settings=bee_settings, minimize=minimize
+    )
+    return oracle.run(iterations, time_budget=time_budget)
+
+
+def run_self_test(seed: int, iterations: int) -> dict[str, OracleReport]:
+    """Prove the oracle can catch bugs: inject one per bee kind and check
+    that the campaign reports divergences.  Returns reports by bug kind;
+    the caller decides what a miss means (the CLI exits nonzero)."""
+    reports = {}
+    for kind in ("gcl", "evp"):
+        with inject_bug(kind):
+            reports[kind] = run_campaign(
+                seed, iterations, minimize=False
+            )
+    return reports

@@ -1,6 +1,6 @@
 """SQL front-end: tokenizer, parser, naive planner, and session API."""
 
-from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+from repro.sql.lexer import SQLSyntaxError, Token, reserved_words, tokenize
 from repro.sql.parser import parse
 from repro.sql.planner import PlanningError, plan_select, schema_from_create
 from repro.sql.session import SQLResult, execute_sql
@@ -13,6 +13,7 @@ __all__ = [
     "execute_sql",
     "parse",
     "plan_select",
+    "reserved_words",
     "schema_from_create",
     "tokenize",
 ]

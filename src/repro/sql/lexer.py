@@ -20,6 +20,15 @@ SYMBOLS = [
 ]
 
 
+def reserved_words() -> frozenset[str]:
+    """Words the lexer treats as keywords — never usable as identifiers.
+
+    Exposed so statement generators (the differential oracle's fuzzer) can
+    guarantee the identifiers they invent stay lexable as plain idents.
+    """
+    return frozenset(KEYWORDS)
+
+
 class SQLSyntaxError(ValueError):
     """Raised on malformed SQL text."""
 

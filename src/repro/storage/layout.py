@@ -61,6 +61,17 @@ class TupleLayout:
         self.stored_nullable = any(attr.nullable for attr in self.stored_attrs)
         # Map bee attr name -> position within the data-section value tuple.
         self.bee_slot = {name: i for i, name in enumerate(self.bee_attrs)}
+        # CHAR(n) bee attrs need canonicalization in bee_key: the stored
+        # tuple path space-pads and then strips on decode, so the data
+        # section must hold the stripped form (and enforce the width the
+        # encoder would have enforced) for stock/bee bit-equivalence.
+        self._bee_char_attrs = [
+            (self.bee_slot[attr.name], attr)
+            for attr in schema.attributes
+            if attr.name in self._bee_set
+            and not attr.sql_type.struct_fmt
+            and attr.sql_type.attlen >= 0
+        ]
         # Cacheable offsets within the *stored* data area.
         self._stored_offsets = self._compute_stored_offsets()
         self._bitmap_bytes = (len(self.stored_attrs) + 7) // 8
@@ -221,9 +232,26 @@ class TupleLayout:
         return _BEEID_STRUCT.unpack_from(raw, 2)[0]
 
     def bee_key(self, values: list) -> tuple:
-        """Extract the data-section key (annotated values) from a row."""
+        """Extract the data-section key (annotated values) from a row.
+
+        CHAR(n) values are canonicalized exactly as the stored-tuple path
+        would round-trip them (width-checked, trailing pad spaces stripped)
+        so a bee-enabled database is value-identical to a stock one.
+        """
         schema = self.schema
-        return tuple(values[schema.attnum(name)] for name in self.bee_attrs)
+        key = [values[schema.attnum(name)] for name in self.bee_attrs]
+        for slot, attr in self._bee_char_attrs:
+            value = key[slot]
+            if not isinstance(value, str):
+                continue
+            raw_len = len(value.encode())
+            if raw_len > attr.sql_type.attlen:
+                raise ValueError(
+                    f"value too long for {attr.name} "
+                    f"({raw_len} > {attr.sql_type.attlen})"
+                )
+            key[slot] = value.rstrip(" ")
+        return tuple(key)
 
     def __repr__(self) -> str:
         return (

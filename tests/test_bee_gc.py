@@ -1,0 +1,105 @@
+"""Bee cache eviction and collector GC invariants.
+
+The collector must (a) keep the query-bee cache within its budget by
+evicting in insertion order, (b) never collect a relation bee whose
+relation is still live, and (c) remove a dropped relation's on-disk bee
+file along with its in-memory bee — including through the full
+``Database.sql("DROP TABLE ...")`` path.
+"""
+
+import pytest
+
+from repro.bees.cache import BeeCache
+from repro.bees.collector import BeeCollector
+from repro.bees.maker import QueryBee
+from repro.bees.settings import BeeSettings
+from repro.db import Database
+
+
+def _cache_with_query_bees(n: int) -> BeeCache:
+    cache = BeeCache()
+    for i in range(n):
+        cache.put_query_bee(QueryBee(f"q{i}"))
+    return cache
+
+
+class TestQueryBeeTrim:
+    def test_within_budget_is_untouched(self):
+        cache = _cache_with_query_bees(5)
+        collector = BeeCollector(cache, query_bee_budget=5)
+        assert collector.trim_query_bees() == 0
+        assert len(cache.query_bees) == 5
+        assert collector.collected_query_bees == 0
+
+    def test_evicts_oldest_past_budget(self):
+        cache = _cache_with_query_bees(8)
+        collector = BeeCollector(cache, query_bee_budget=5)
+        assert collector.trim_query_bees() == 3
+        assert list(cache.query_bees) == ["q3", "q4", "q5", "q6", "q7"]
+        assert collector.collected_query_bees == 3
+        # idempotent once within budget again
+        assert collector.trim_query_bees() == 0
+
+    def test_module_registration_respects_budget(self):
+        db = Database(BeeSettings.all_bees())
+        module = db.bee_module
+        module.collector.query_bee_budget = 4
+        for i in range(10):
+            module.register_query_bee(f"plan-{i}")
+        assert len(module.cache.query_bees) <= 4
+        # the most recent plan survives; the earliest was evicted
+        assert module.cache.get_query_bee("plan-9") is not None
+        assert module.cache.get_query_bee("plan-0") is None
+
+
+class TestRelationBeeGC:
+    def _bee_db(self, tmp_path=None):
+        db = Database(
+            BeeSettings.all_bees(),
+            bee_cache_dir=str(tmp_path) if tmp_path else None,
+        )
+        db.sql(
+            "CREATE TABLE gctab (id int NOT NULL, kind char(3) NOT NULL, "
+            "ANNOTATE (kind))"
+        )
+        db.sql("INSERT INTO gctab VALUES (1, 'aa'), (2, 'bb')")
+        db.sql("CREATE TABLE keepme (id int NOT NULL)")
+        db.sql("INSERT INTO keepme VALUES (7)")
+        return db
+
+    def test_sweep_spares_live_relations(self):
+        db = self._bee_db()
+        cache = db.bee_module.cache
+        live = set(cache.relation_bees)
+        assert "gctab" in live
+        assert db.bee_module.collector.sweep(live) == 0
+        assert set(cache.relation_bees) == live
+
+    def test_sweep_collects_dead_relations(self):
+        db = self._bee_db()
+        collector = db.bee_module.collector
+        assert collector.sweep(live_relations={"keepme"}) >= 1
+        assert db.bee_module.cache.get_relation_bee("gctab") is None
+        assert collector.collected_relation_bees >= 1
+
+    def test_drop_table_collects_bee_and_disk_file(self, tmp_path):
+        db = self._bee_db(tmp_path)
+        assert db.bee_module.flush_to_disk() >= 1
+        bee_file = tmp_path / "gctab.bee.json"
+        assert bee_file.exists()
+        db.sql("DROP TABLE gctab")
+        assert db.bee_module.cache.get_relation_bee("gctab") is None
+        assert not bee_file.exists()
+        # the surviving relation's bee (and file) are untouched
+        assert db.bee_module.cache.get_relation_bee("keepme") is not None
+        assert (tmp_path / "keepme.bee.json").exists()
+        # and the dropped relation really is gone from the engine
+        with pytest.raises(Exception):
+            db.sql("SELECT * FROM gctab")
+
+    def test_collect_relation_is_idempotent(self, tmp_path):
+        db = self._bee_db(tmp_path)
+        collector = db.bee_module.collector
+        assert collector.collect_relation("gctab") is True
+        assert collector.collect_relation("gctab") is False
+        assert collector.collected_relation_bees == 1
