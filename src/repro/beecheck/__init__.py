@@ -1,0 +1,50 @@
+"""Beecheck: static verification and translation validation for bees.
+
+The bee maker ``compile()``s generated Python source straight into the
+executor's hot path; beecheck is the verification stage between codegen
+and execution (see ``docs/BEECHECK.md``).  Four passes:
+
+* :mod:`repro.beecheck.lint` — AST safety lint (bee shape, whitelists,
+  single slow-path escape);
+* :mod:`repro.beecheck.absint` — abstract interpretation of offset
+  arithmetic (bounds, alignment, bee slots, data-section structs);
+* :mod:`repro.beecheck.costaudit` — the cost model cross-checked against
+  the code (the paper's Figure 6 instruction counts, machine-checked);
+* :mod:`repro.beecheck.transval` — translation validation against the
+  generic ``layout.decode``/``encode``/``Expr.evaluate`` paths.
+
+Entry points: :func:`check_gcl` / :func:`check_scl` / :func:`check_evp`
+return reports, the ``verify_*`` variants raise :class:`BeecheckError`,
+and ``python -m repro.beecheck`` sweeps every schema plus a fuzzed query
+corpus.
+"""
+
+from repro.beecheck.checker import (
+    check_evp,
+    check_gcl,
+    check_scl,
+    enforce,
+    verify_evp,
+    verify_gcl,
+    verify_scl,
+)
+from repro.beecheck.report import (
+    BeecheckError,
+    Finding,
+    RoutineReport,
+    SweepReport,
+)
+
+__all__ = [
+    "BeecheckError",
+    "Finding",
+    "RoutineReport",
+    "SweepReport",
+    "check_evp",
+    "check_gcl",
+    "check_scl",
+    "enforce",
+    "verify_evp",
+    "verify_gcl",
+    "verify_scl",
+]

@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro.beecheck``."""
+
+import sys
+
+from repro.beecheck.cli import main
+
+sys.exit(main())

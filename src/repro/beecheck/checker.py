@@ -1,0 +1,62 @@
+"""Pass orchestration: one routine in, one :class:`RoutineReport` out.
+
+The checker runs the four passes in cheapest-first order (lint, absint,
+costaudit, transval) and records every finding; ``enforce`` raises
+:class:`BeecheckError` so the bee maker can refuse to hand a bad routine
+to the executor when ``verify_on_generate`` is set.
+"""
+
+from __future__ import annotations
+
+from repro.storage.layout import TupleLayout
+from repro.beecheck import absint, costaudit, lint, transval
+from repro.beecheck.report import BeecheckError, RoutineReport
+
+
+def check_gcl(routine, layout: TupleLayout) -> RoutineReport:
+    """Run all passes over one generated GCL routine."""
+    report = RoutineReport(routine.name, "gcl", layout.schema.name)
+    report.add("lint", lint.lint_gcl(routine.source, routine.name))
+    report.add("absint", absint.check_gcl(routine, layout))
+    report.add("costaudit", costaudit.audit_gcl(routine, layout))
+    report.add("transval", transval.validate_gcl(routine, layout))
+    return report
+
+
+def check_scl(routine, layout: TupleLayout) -> RoutineReport:
+    """Run all passes over one generated SCL routine."""
+    report = RoutineReport(routine.name, "scl", layout.schema.name)
+    report.add("lint", lint.lint_scl(routine.source, routine.name))
+    report.add("absint", absint.check_scl(routine, layout))
+    report.add("costaudit", costaudit.audit_scl(routine, layout))
+    report.add("transval", transval.validate_scl(routine, layout))
+    return report
+
+
+def check_evp(routine, expr) -> RoutineReport:
+    """Run all passes over one generated EVP routine (either variant)."""
+    report = RoutineReport(routine.name, "evp", repr(expr))
+    report.add("lint", lint.lint_evp(routine.source, routine.name))
+    report.add("absint", absint.check_evp(routine, expr))
+    report.add("costaudit", costaudit.audit_evp(routine, expr))
+    report.add("transval", transval.validate_evp(routine, expr))
+    return report
+
+
+def enforce(report: RoutineReport) -> RoutineReport:
+    """Raise :class:`BeecheckError` if *report* carries findings."""
+    if not report.ok:
+        raise BeecheckError(report.routine, report.findings)
+    return report
+
+
+def verify_gcl(routine, layout: TupleLayout) -> None:
+    enforce(check_gcl(routine, layout))
+
+
+def verify_scl(routine, layout: TupleLayout) -> None:
+    enforce(check_scl(routine, layout))
+
+
+def verify_evp(routine, expr) -> None:
+    enforce(check_evp(routine, expr))

@@ -1,0 +1,137 @@
+"""``python -m repro.beecheck`` — the full verification sweep.
+
+Three stages, one report:
+
+1. **Schema sweep** — generate GCL/SCL pairs for every TPC-H and TPC-C
+   relation (TPC-H annotated relations additionally in their tuple-bee
+   variant) and run all four passes over each routine.
+2. **Query corpus** — drive a live bee-enabled :class:`~repro.db.Database`
+   with a seeded oracle statement stream (default 200 statements), then
+   verify every bee the engine actually built: the relation bees in the
+   module cache and every memoized EVP routine against its expression.
+3. **Injection self-test** — prove the verifier itself fires on broken
+   generators (see :mod:`repro.beecheck.selftest`).
+
+The machine-readable report lands in ``results/beecheck/report.json``;
+the exit status is nonzero on any finding or self-test miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.beecheck.checker import check_evp, check_gcl, check_scl
+from repro.beecheck.report import SweepReport
+from repro.beecheck.selftest import run_selftest
+
+DEFAULT_STATEMENTS = 200
+DEFAULT_OUT = Path("results") / "beecheck"
+
+
+def sweep_schemas(report: SweepReport) -> None:
+    """Verify generated bees for every TPC-H/TPC-C relation layout."""
+    from repro.bees.routines.gcl import generate_gcl
+    from repro.bees.routines.scl import generate_scl
+    from repro.cost.ledger import Ledger
+    from repro.storage.layout import TupleLayout
+    from repro.workloads.tpcc.schema import ALL_SCHEMAS as TPCC_SCHEMAS
+    from repro.workloads.tpch.schema import ALL_SCHEMAS as TPCH_SCHEMAS
+    from repro.workloads.tpch.schema import ANNOTATIONS
+
+    targets: list[tuple[str, object, tuple[str, ...]]] = []
+    for name, factory in TPCH_SCHEMAS.items():
+        targets.append((name, factory(), ()))
+        if name in ANNOTATIONS:
+            targets.append((f"{name}_tuplebees", factory(), ANNOTATIONS[name]))
+    for name, factory in TPCC_SCHEMAS.items():
+        targets.append((name, factory(), ()))
+
+    for label, schema, bee_attrs in targets:
+        layout = TupleLayout(schema, bee_attrs)
+        ledger = Ledger()
+        gcl = generate_gcl(layout, ledger, f"GCL_{label}")
+        scl = generate_scl(layout, ledger, f"SCL_{label}")
+        report.routine_reports.append(check_gcl(gcl, layout))
+        report.routine_reports.append(check_scl(scl, layout))
+
+
+def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
+    """Drive a live database and verify every bee it built."""
+    from repro.bees.settings import BeeSettings
+    from repro.db import Database
+    from repro.oracle.generator import StatementGenerator
+    from repro.oracle.normalize import run_statement
+
+    db = Database(BeeSettings.all_bees())
+    generator = StatementGenerator(seed)
+    pending = list(generator.bootstrap())
+    executed = 0
+    while executed < statements:
+        stmt = pending.pop(0) if pending else generator.next_statement()
+        run_statement(db, stmt.sql)
+        executed += 1
+    report.statements += executed
+
+    module = db.bee_module
+    for bee in module.cache.relation_bees.values():
+        report.routine_reports.append(check_gcl(bee.gcl, bee.layout))
+        report.routine_reports.append(check_scl(bee.scl, bee.layout))
+    for expr, routine in module._evp_by_expr.values():
+        report.routine_reports.append(check_evp(routine, expr))
+
+
+def write_report(report: SweepReport, out_dir: Path) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "report.json"
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.beecheck",
+        description="Statically verify and translation-validate all bees.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="corpus generator seed"
+    )
+    parser.add_argument(
+        "--statements",
+        type=int,
+        default=DEFAULT_STATEMENTS,
+        help="oracle statements to drive the corpus database with",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="report directory (default results/beecheck)",
+    )
+    parser.add_argument(
+        "--no-selftest",
+        action="store_true",
+        help="skip the bug-injection self-test",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    report = SweepReport(seed=args.seed, statements=0)
+    sweep_schemas(report)
+    if args.statements > 0:
+        sweep_corpus(report, args.seed, args.statements)
+    if not args.no_selftest:
+        report.selftest = run_selftest()
+    report.elapsed = time.monotonic() - started
+
+    path = write_report(report, args.out)
+    print(report.summary())
+    print(f"report: {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

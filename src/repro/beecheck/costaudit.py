@@ -1,0 +1,230 @@
+"""The static cost auditor: Figure 6's instruction counts, machine-checked.
+
+The paper quantifies micro-specialization by executed-instruction deltas
+(Figure 6); our bees carry that as ``BeeRoutine.cost``, charged per
+invocation.  This pass recomputes the cost **from the generated code
+itself** — counting the reads/writes that actually appear in the AST and
+pricing them with :mod:`repro.cost.constants` — and cross-checks three
+sources that must agree:
+
+* ``routine.cost`` (what the generator claims),
+* ``namespace['_COST']`` (what the routine actually charges at runtime),
+* the ``gcl_cost``/``scl_cost``/EVP cost formulas evaluated on the
+  layout/expression (what the model says).
+
+A generator that unrolls fewer attribute reads than it bills for — or
+bills fewer than it emits — is flagged without running the routine.  As
+a final sanity band, the routine's *real* bytecode size (``dis``) must
+scale with the virtual cost: straight-line specialized code has a narrow
+instructions-per-virtual-instruction ratio, so a wildly short or long
+body betrays a cost model that has drifted from the code shape.
+"""
+
+from __future__ import annotations
+
+import ast
+import dis
+import re
+
+from repro.cost import constants as C
+from repro.storage.layout import TupleLayout
+
+#: Plausibility band for len(bytecode) / virtual cost.  Calibrated over
+#: every TPC-H/TPC-C GCL/SCL and an EVP corpus (observed 0.19–1.97);
+#: the band leaves ~3x headroom on both sides so it only trips on
+#: structural drift (e.g. a routine billing for work it never emits),
+#: not on CPython bytecode changes.
+BYTECODE_RATIO_MIN = 0.06
+BYTECODE_RATIO_MAX = 6.0
+
+_RE_VL_READ = re.compile(r"ln = _VL\.unpack_from\(raw, off\)\[0\]")
+_RE_SCALAR_READ = re.compile(r"v\d+ = _S\d+\.unpack_from\(raw, off\)\[0\]")
+_RE_CHAR_READ = re.compile(
+    r"v\d+ = raw\[off:off \+ \d+\]\.decode\(\)\.rstrip\(' '\)"
+)
+_RE_BEE_READ = re.compile(r"v\d+ = _bv\[\d+\]")
+_RE_PREFIX = re.compile(r"(v\d+(?:, v\d+)*),? = _PREFIX\.unpack_from.*")
+
+_RE_VL_WRITE = re.compile(r"b = values\[\d+\]\.encode\(\)")
+_RE_PACK_WRITE = re.compile(r"out \+= _P\d+\.pack\(.*\)")
+_RE_CHAR_WRITE = re.compile(r"out \+= _char\(values\[\d+\], \d+, '[^']*'\)")
+_RE_PREFIX_PACK = re.compile(r"out \+= _PREFIX\.pack\((.*)\)")
+
+
+def _stmt_texts(source: str) -> list[str]:
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    return [ast.unparse(stmt) for stmt in ast.walk(fn) if isinstance(
+        stmt, (ast.Assign, ast.AugAssign)
+    )]
+
+
+def _bytecode_len(fn) -> int:
+    return sum(1 for _ in dis.get_instructions(fn))
+
+
+def _check_agreement(
+    routine, recomputed: int, model: int, findings: list[str]
+) -> None:
+    declared = routine.cost
+    charged = (routine.namespace or {}).get("_COST")
+    if recomputed != declared:
+        findings.append(
+            f"AST recount gives cost {recomputed}, routine declares "
+            f"{declared}"
+        )
+    if model != declared:
+        findings.append(
+            f"cost model gives {model}, routine declares {declared}"
+        )
+    if charged != declared:
+        findings.append(
+            f"routine charges _COST={charged!r} but declares {declared}"
+        )
+
+
+def _check_bytecode_band(routine, findings: list[str]) -> None:
+    if routine.cost <= 0:
+        findings.append(f"non-positive routine cost {routine.cost}")
+        return
+    ratio = _bytecode_len(routine.fn) / routine.cost
+    if not (BYTECODE_RATIO_MIN <= ratio <= BYTECODE_RATIO_MAX):
+        findings.append(
+            f"bytecode/cost ratio {ratio:.2f} outside plausibility band "
+            f"[{BYTECODE_RATIO_MIN}, {BYTECODE_RATIO_MAX}]"
+        )
+
+
+def audit_gcl(routine, layout: TupleLayout) -> list[str]:
+    """Recount the GCL cost from the AST and cross-check all sources."""
+    from repro.bees.routines.gcl import gcl_cost
+
+    findings: list[str] = []
+    try:
+        texts = _stmt_texts(routine.source)
+    except (SyntaxError, IndexError):
+        return ["source does not parse"]
+
+    n_varlena = sum(1 for t in texts if _RE_VL_READ.fullmatch(t))
+    n_fixed = sum(1 for t in texts if _RE_SCALAR_READ.fullmatch(t))
+    n_fixed += sum(1 for t in texts if _RE_CHAR_READ.fullmatch(t))
+    n_bee = sum(1 for t in texts if _RE_BEE_READ.fullmatch(t))
+    for t in texts:
+        m = _RE_PREFIX.fullmatch(t)
+        if m:
+            n_fixed += len(m.group(1).split(","))
+
+    # Emitted reads must cover the stored attributes exactly.
+    stored = len(layout.stored_attrs)
+    n_stored_varlena = sum(
+        1 for a in layout.stored_attrs if a.attlen == -1
+    )
+    if n_fixed + n_varlena != stored or n_varlena != n_stored_varlena:
+        findings.append(
+            f"emitted reads (fixed={n_fixed}, varlena={n_varlena}) do not "
+            f"cover the {stored} stored attributes "
+            f"({n_stored_varlena} varlena)"
+        )
+    if n_bee != len(layout.bee_attrs):
+        findings.append(
+            f"emitted {n_bee} data-section reads for "
+            f"{len(layout.bee_attrs)} bee attributes"
+        )
+
+    n_nullable = sum(1 for a in layout.stored_attrs if a.nullable)
+    recomputed = (
+        C.GCL_PROLOGUE
+        + C.GCL_ISNULL_ZERO * ((layout.schema.natts + 7) // 8)
+        + C.GCL_FIXED * n_fixed
+        + C.GCL_VARLENA * n_varlena
+        + C.GCL_TUPLE_BEE * n_bee
+        + C.GCL_NULLABLE * n_nullable
+    )
+    _check_agreement(routine, recomputed, gcl_cost(layout), findings)
+    _check_bytecode_band(routine, findings)
+    return findings
+
+
+def audit_scl(routine, layout: TupleLayout) -> list[str]:
+    """Recount the SCL cost from the AST and cross-check all sources."""
+    from repro.bees.routines.scl import scl_cost
+
+    findings: list[str] = []
+    try:
+        texts = _stmt_texts(routine.source)
+    except (SyntaxError, IndexError):
+        return ["source does not parse"]
+
+    n_varlena = sum(1 for t in texts if _RE_VL_WRITE.fullmatch(t))
+    n_fixed = sum(1 for t in texts if _RE_PACK_WRITE.fullmatch(t))
+    n_fixed += sum(1 for t in texts if _RE_CHAR_WRITE.fullmatch(t))
+    for t in texts:
+        m = _RE_PREFIX_PACK.fullmatch(t)
+        if m:
+            depth = 0
+            n_args = 1
+            for ch in m.group(1):
+                if ch in "([":
+                    depth += 1
+                elif ch in ")]":
+                    depth -= 1
+                elif ch == "," and depth == 0:
+                    n_args += 1
+            n_fixed += n_args
+
+    stored = len(layout.stored_attrs)
+    n_stored_varlena = sum(1 for a in layout.stored_attrs if a.attlen == -1)
+    if n_fixed + n_varlena != stored or n_varlena != n_stored_varlena:
+        findings.append(
+            f"emitted writes (fixed={n_fixed}, varlena={n_varlena}) do not "
+            f"cover the {stored} stored attributes "
+            f"({n_stored_varlena} varlena)"
+        )
+
+    n_nullable = sum(1 for a in layout.stored_attrs if a.nullable)
+    recomputed = (
+        C.SCL_PROLOGUE
+        + C.SCL_FIXED * n_fixed
+        + C.SCL_VARLENA * n_varlena
+        + C.SCL_TUPLE_BEE * len(layout.bee_attrs)
+        + C.SCL_NULLABLE * n_nullable
+    )
+    _check_agreement(routine, recomputed, scl_cost(layout), findings)
+    _check_bytecode_band(routine, findings)
+    return findings
+
+
+def audit_evp(routine, expr) -> list[str]:
+    """Cross-check the EVP cost against the expression tree."""
+    from repro.engine import expr as E
+
+    findings: list[str] = []
+    model = C.EVP_PROLOGUE + expr.evp_cost
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+
+    # Every Col occurrence in the tree is exactly one row[...] load in the
+    # straight-line body (both variants materialize each occurrence).
+    n_loads = sum(
+        1
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "row"
+    )
+    n_cols = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, E.Col):
+            n_cols += 1
+        stack.extend(node.children())
+    if n_loads != n_cols:
+        findings.append(
+            f"{n_loads} row loads emitted for {n_cols} column references"
+        )
+    _check_agreement(routine, model, model, findings)
+    _check_bytecode_band(routine, findings)
+    return findings

@@ -1,0 +1,395 @@
+"""The AST safety lint: every bee must *look like* a bee.
+
+The paper constrains bee routines to short, self-contained, relocatable
+code sequences (Section IV): the specializer unrolls the attribute loop,
+folds per-attribute branching into constants, and leaves exactly one
+escape to the generic slow path.  This pass parses ``BeeRoutine.source``
+and enforces that shape syntactically:
+
+* only whitelisted names and calls (``_charge``, ``_slow``, the
+  ``_PREFIX``/``_S*``/``_P*``/``_VL`` data-section structs, section
+  reads) may appear;
+* the fast path is straight-line code — no loops, comprehensions, or
+  residual per-attribute ``if``s survive specialization;
+* the single slow-path escape is the first statement and is guarded by
+  the header null flag (GCL) / a ``None`` scan (SCL);
+* every GCL/SCL statement must match one of a closed grammar of shapes
+  (matched against ``ast.unparse`` of the statement), so *any* tampering
+  with the emitted arithmetic is rejected even when it is harmless
+  Python.
+
+EVP routines are predicate-shaped rather than offset-shaped, so they get
+the structural rules (banned nodes, name/call whitelist, guard-free
+straight-line body except ``CASE`` arm selection) without a per-statement
+shape grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.storage.layout import (
+    BEEID_HI_BYTE,
+    BEEID_LO_BYTE,
+    HEADER_INFOMASK_BYTE,
+    INFOMASK_HAS_NULLS,
+    VARLENA_HEADER_BYTES,
+)
+
+# -- banned syntax ------------------------------------------------------------
+
+_BANNED_NODES: tuple = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Lambda,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.ClassDef,
+    ast.AsyncFunctionDef,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Await,
+    ast.Starred,
+    ast.Delete,
+    ast.Raise,
+    ast.Assert,
+    ast.NamedExpr,
+)
+
+
+def _parse_routine(
+    source: str, name: str, params: tuple[str, ...], findings: list[str]
+) -> ast.FunctionDef | None:
+    """Parse *source* and validate the module/function envelope."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        findings.append(f"source does not parse: {exc}")
+        return None
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        findings.append("source must define exactly one function")
+        return None
+    fn = tree.body[0]
+    if fn.name != name:
+        findings.append(f"function is named {fn.name!r}, expected {name!r}")
+    args = fn.args
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or tuple(a.arg for a in args.args) != params
+    ):
+        findings.append(
+            f"signature must be exactly ({', '.join(params)}), got "
+            f"({', '.join(a.arg for a in args.args)})"
+        )
+    if fn.decorator_list:
+        findings.append("generated bees must not be decorated")
+    return fn
+
+
+def _check_banned(fn: ast.FunctionDef, findings: list[str]) -> None:
+    for node in ast.walk(fn):
+        if isinstance(node, _BANNED_NODES):
+            findings.append(
+                f"banned construct {type(node).__name__} on the fast path"
+            )
+        elif isinstance(node, ast.FunctionDef) and node is not fn:
+            findings.append("nested function definition on the fast path")
+
+
+def _check_names(
+    fn: ast.FunctionDef,
+    allowed: re.Pattern,
+    findings: list[str],
+) -> None:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and not allowed.fullmatch(node.id):
+            findings.append(f"name {node.id!r} is not bee-whitelisted")
+        elif isinstance(node, ast.Attribute) and node.attr not in _METHODS:
+            findings.append(f"method .{node.attr}() is not bee-whitelisted")
+
+
+#: Methods generated code may invoke (on data-section structs and on
+#: values being decoded/encoded).
+_METHODS = frozenset(
+    {"unpack_from", "pack", "decode", "encode", "rstrip", "match"}
+)
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _match_shapes(
+    body: list[ast.stmt],
+    shapes: list[re.Pattern],
+    findings: list[str],
+    what: str,
+) -> None:
+    for stmt in body:
+        text = ast.unparse(stmt)
+        if not any(shape.fullmatch(text) for shape in shapes):
+            findings.append(f"{what} statement has no allowed shape: {text!r}")
+
+
+# -- GCL ---------------------------------------------------------------------
+
+_V = r"v\d+"
+_VLB = VARLENA_HEADER_BYTES
+
+_GCL_GUARD = re.compile(
+    rf"if raw\[{HEADER_INFOMASK_BYTE}\] & {INFOMASK_HAS_NULLS}:"
+    r"\n    return _slow\(raw, sections\)"
+)
+
+_GCL_SHAPES = [
+    re.compile(p)
+    for p in (
+        rf"_bv = sections\[raw\[{BEEID_LO_BYTE}\] \|"
+        rf" raw\[{BEEID_HI_BYTE}\] << 8\]",
+        rf"{_V} = _bv\[\d+\]",
+        rf"{_V}(, {_V})*,? = _PREFIX\.unpack_from\(raw, \d+\)",
+        rf"({_V}) = \1\.decode\(\)\.rstrip\(' '\)",
+        rf"({_V}) = bool\(\1\)",
+        r"off = \d+",
+        r"off = off \+ \d+ & -\d+",
+        r"ln = _VL\.unpack_from\(raw, off\)\[0\]",
+        rf"{_V} = raw\[off \+ {_VLB}:off \+ {_VLB} \+ ln\]\.decode\(\)",
+        rf"off = off \+ {_VLB} \+ ln",
+        rf"{_V} = _S\d+\.unpack_from\(raw, off\)\[0\]",
+        rf"{_V} = raw\[off:off \+ \d+\]\.decode\(\)\.rstrip\(' '\)",
+        r"off = off \+ \d+",
+    )
+]
+
+_GCL_RETURN = re.compile(rf"return \[{_V}(, {_V})*\]")
+
+_GCL_NAMES = re.compile(
+    r"v\d+|off|ln|raw|sections|_bv|_PREFIX|_VL|_S\d+|_slow|_charge|_COST|bool"
+)
+
+
+def lint_gcl(source: str, name: str) -> list[str]:
+    """Lint one generated GCL routine; returns finding messages."""
+    return _lint_offsets_routine(
+        source,
+        name,
+        params=("raw", "sections"),
+        guard=_GCL_GUARD,
+        shapes=_GCL_SHAPES,
+        final=_GCL_RETURN,
+        names=_GCL_NAMES,
+        what="GCL",
+    )
+
+
+# -- SCL ---------------------------------------------------------------------
+
+_ARG = r"(values\[\d+\]|int\(values\[\d+\]\)|_char\(values\[\d+\], \d+, '[^']*'\))"
+
+_SCL_GUARD = re.compile(r"if None in values:\n    return _slow\(values, bee_id\)")
+
+_SCL_SHAPES = [
+    re.compile(p)
+    for p in (
+        r"out = bytearray\(_HDR\)",
+        rf"out\[{BEEID_LO_BYTE}\] = bee_id & 255",
+        rf"out\[{BEEID_HI_BYTE}\] = bee_id >> 8 & 255",
+        rf"out \+= _PREFIX\.pack\({_ARG}(, {_ARG})*\)",
+        r"off = \d+",
+        r"pad = \(off \+ \d+ & -\d+\) - off",
+        r"out \+= b'\\x00' \* pad",
+        r"off = off \+ pad",
+        r"b = values\[\d+\]\.encode\(\)",
+        r"out \+= _VL\.pack\(len\(b\)\)",
+        r"out \+= b",
+        rf"off = off \+ {_VLB} \+ len\(b\)",
+        rf"out \+= _P\d+\.pack\({_ARG}\)",
+        rf"out \+= _char\(values\[\d+\], \d+, '[^']*'\)",
+        r"off = off \+ \d+",
+    )
+]
+
+_SCL_RETURN = re.compile(r"return bytes\(out\)")
+
+_SCL_NAMES = re.compile(
+    r"values|bee_id|out|off|pad|b|_HDR|_PREFIX|_VL|_P\d+|_char|_slow"
+    r"|_charge|_COST|bytearray|bytes|int|len"
+)
+
+
+def lint_scl(source: str, name: str) -> list[str]:
+    """Lint one generated SCL routine; returns finding messages."""
+    return _lint_offsets_routine(
+        source,
+        name,
+        params=("values", "bee_id"),
+        guard=_SCL_GUARD,
+        shapes=_SCL_SHAPES,
+        final=_SCL_RETURN,
+        names=_SCL_NAMES,
+        what="SCL",
+    )
+
+
+def _lint_offsets_routine(
+    source: str,
+    name: str,
+    params: tuple[str, ...],
+    guard: re.Pattern,
+    shapes: list[re.Pattern],
+    final: re.Pattern,
+    names: re.Pattern,
+    what: str,
+) -> list[str]:
+    findings: list[str] = []
+    fn = _parse_routine(source, name, params, findings)
+    if fn is None:
+        return findings
+    _check_banned(fn, findings)
+    _check_names(fn, names, findings)
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+    if len(body) < 3:
+        findings.append(f"{what} body too short to be a bee")
+        return findings
+
+    # Exactly one escape: the null/None guard, first.
+    if not guard.fullmatch(ast.unparse(body[0])):
+        findings.append(
+            f"first statement must be the slow-path guard, got "
+            f"{ast.unparse(body[0])!r}"
+        )
+    branches = [n for n in ast.walk(fn) if isinstance(n, ast.If)]
+    if len(branches) != 1:
+        findings.append(
+            f"fast path must be branch-free apart from the guard "
+            f"({len(branches)} if-statements found)"
+        )
+    returns = [n for n in ast.walk(fn) if isinstance(n, ast.Return)]
+    if len(returns) != 2:
+        findings.append(
+            f"exactly two returns expected (escape + result), "
+            f"found {len(returns)}"
+        )
+
+    # The charge must immediately follow the guard and name the routine.
+    expected_charge = f"_charge('{name}', _COST)"
+    if ast.unparse(body[1]) != expected_charge:
+        findings.append(
+            f"second statement must be {expected_charge!r}, got "
+            f"{ast.unparse(body[1])!r}"
+        )
+
+    if not final.fullmatch(ast.unparse(body[-1])):
+        findings.append(
+            f"last statement must be the {what} return, got "
+            f"{ast.unparse(body[-1])!r}"
+        )
+
+    _match_shapes(body[2:-1], shapes, findings, what)
+    return findings
+
+
+# -- EVP ---------------------------------------------------------------------
+
+_EVP_NAMES = re.compile(r"row|t\d+|k\d+|re\d+|in\d+|fn\d+|_charge|_COST")
+_EVP_TEMP = re.compile(r"t\d+")
+_EVP_CASE_TEST = re.compile(r"t\d+ is True")
+
+
+def _lint_evp_stmt(stmt: ast.stmt, findings: list[str]) -> None:
+    """EVP bodies are assignments to temps plus CASE arm selection."""
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) != 1 or not (
+            isinstance(stmt.targets[0], ast.Name)
+            and _EVP_TEMP.fullmatch(stmt.targets[0].id)
+        ):
+            findings.append(
+                f"EVP may only assign to t-temps: {ast.unparse(stmt)!r}"
+            )
+        return
+    if isinstance(stmt, ast.If):
+        # CASE arm selection: `if tK is True: ... elif ... else ...` where
+        # every branch only assigns the result temp.
+        if not _EVP_CASE_TEST.fullmatch(ast.unparse(stmt.test)):
+            findings.append(
+                f"EVP branch must test a CASE arm temp, got "
+                f"{ast.unparse(stmt.test)!r}"
+            )
+        for branch_stmt in stmt.body + stmt.orelse:
+            _lint_evp_stmt(branch_stmt, findings)
+        return
+    findings.append(f"EVP statement kind not allowed: {ast.unparse(stmt)!r}")
+
+
+def lint_evp(source: str, name: str) -> list[str]:
+    """Lint one generated EVP routine (either variant)."""
+    findings: list[str] = []
+    fn = _parse_routine(source, name, ("row",), findings)
+    if fn is None:
+        return findings
+    _check_banned(fn, findings)
+    _check_names(fn, _EVP_NAMES, findings)
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+    if len(body) < 2:
+        findings.append("EVP body too short to be a bee")
+        return findings
+
+    expected_charge = f"_charge('{name}', _COST)"
+    if ast.unparse(body[0]) != expected_charge:
+        findings.append(
+            f"first statement must be {expected_charge!r}, got "
+            f"{ast.unparse(body[0])!r}"
+        )
+    if not isinstance(body[-1], ast.Return) or body[-1].value is None:
+        findings.append("last statement must return the predicate value")
+    for stmt in body[1:-1]:
+        _lint_evp_stmt(stmt, findings)
+
+    # `row` may only be read through constant-index subscripts.
+    subscripted = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "row"
+        ):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, int
+            ):
+                subscripted.add(id(node.value))
+            else:
+                findings.append(
+                    f"row index must be a constant int: {ast.unparse(node)!r}"
+                )
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == "row"
+            and id(node) not in subscripted
+        ):
+            findings.append("row must be read as row[<constant int>]")
+    return findings

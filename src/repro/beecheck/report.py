@@ -1,0 +1,139 @@
+"""Beecheck findings and reports.
+
+A *finding* is one violated property, attributed to the pass that proved
+it (``lint``, ``absint``, ``costaudit``, ``transval``).  A *routine
+report* collects the per-pass status for one bee routine; a *sweep
+report* aggregates routine reports across schemas and a query corpus
+into the machine-readable JSON written under ``results/beecheck/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pass names, in the order the checker runs them.
+PASSES = ("lint", "absint", "costaudit", "transval")
+
+
+@dataclass
+class Finding:
+    """One violated bee property."""
+
+    pass_name: str
+    routine: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.pass_name}] {self.routine}: {self.message}"
+
+
+class BeecheckError(Exception):
+    """Raised when a generated routine fails verification.
+
+    Carries the findings so callers (and tests) can assert on which pass
+    rejected the routine.
+    """
+
+    def __init__(self, routine: str, findings: list[Finding]) -> None:
+        self.routine = routine
+        self.findings = findings
+        lines = [f"bee routine {routine!r} failed beecheck:"]
+        lines += [f"  {finding}" for finding in findings]
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class RoutineReport:
+    """Verification outcome for one routine."""
+
+    routine: str
+    kind: str                       # "gcl" | "scl" | "evp"
+    subject: str                    # relation name or predicate text
+    passes: dict[str, str] = field(default_factory=dict)  # pass -> ok/fail
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, pass_name: str, messages: list[str]) -> None:
+        self.passes[pass_name] = "fail" if messages else "ok"
+        self.findings.extend(
+            Finding(pass_name, self.routine, message) for message in messages
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "routine": self.routine,
+            "kind": self.kind,
+            "subject": self.subject,
+            "passes": dict(self.passes),
+            "findings": [
+                {"pass": f.pass_name, "message": f.message}
+                for f in self.findings
+            ],
+        }
+
+
+@dataclass
+class SweepReport:
+    """One full ``python -m repro.beecheck`` run."""
+
+    seed: int
+    statements: int
+    routine_reports: list[RoutineReport] = field(default_factory=list)
+    selftest: dict[str, bool] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.routine_reports) and all(
+            self.selftest.values()
+        )
+
+    def counts(self) -> dict[str, int]:
+        by_kind: dict[str, int] = {}
+        for r in self.routine_reports:
+            by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
+        return by_kind
+
+    def failures(self) -> list[RoutineReport]:
+        return [r for r in self.routine_reports if not r.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "statements": self.statements,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "routines_checked": len(self.routine_reports),
+            "routines_by_kind": self.counts(),
+            "failures": len(self.failures()),
+            "selftest": dict(self.selftest),
+            "ok": self.ok,
+            "routines": [r.to_dict() for r in self.routine_reports],
+        }
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(self.counts().items())
+        )
+        lines = [
+            f"beecheck seed={self.seed}: {len(self.routine_reports)} routines "
+            f"({counts}) over {self.statements} corpus statements "
+            f"in {self.elapsed:.1f}s",
+        ]
+        if self.selftest:
+            verdicts = ", ".join(
+                f"{kind}={'caught' if ok else 'MISSED'}"
+                for kind, ok in sorted(self.selftest.items())
+            )
+            lines.append(f"injection self-test: {verdicts}")
+        failures = self.failures()
+        if failures:
+            lines.append(f"{sum(len(r.findings) for r in failures)} FINDING(S):")
+            for r in failures:
+                for finding in r.findings:
+                    lines.append(f"  {finding}")
+        else:
+            lines.append("all passes clean")
+        return "\n".join(lines)

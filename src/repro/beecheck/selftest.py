@@ -1,0 +1,117 @@
+"""Beecheck's own bug-injection self-test.
+
+A verifier that never rejects is indistinguishable from one that cannot.
+This module proves beecheck fires on two families of broken generators:
+
+* **PR 1's dynamic injections** (:mod:`repro.oracle.inject`): the broken
+  GCL adds 1 to the first integer column, the broken EVP inverts
+  verdicts.  The differential oracle needs a full query campaign to see
+  these; beecheck's translation-validation lane flags them at
+  *generation time*, before a single tuple flows through the routine.
+* **Source-level tampers**: mutated generated source (offset bump,
+  weakened alignment round, reordered result list, smuggled loop,
+  inflated cost) recompiled through the routine's own data section.
+  These are caught *statically* — by the lint shape grammar, the
+  symbolic offset interpreter, or the cost audit — demonstrating the
+  passes are not just re-running the oracle.
+
+``run_selftest`` returns ``{case: caught}``; the CLI folds it into the
+sweep report and exits nonzero on any miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bees.routines.base import compile_routine
+from repro.cost.ledger import Ledger
+from repro.engine import expr as E
+from repro.storage.layout import TupleLayout
+from repro.workloads.tpch.schema import ALL_SCHEMAS
+from repro.beecheck.checker import check_evp, check_gcl, check_scl
+
+
+def _tamper(routine, old: str, new: str):
+    """Recompile *routine* with its source mutated (old -> new)."""
+    source = routine.source.replace(old, new)
+    if source == routine.source:
+        raise AssertionError(
+            f"tamper pattern {old!r} not found in {routine.name}"
+        )
+    namespace = dict(routine.namespace)
+    fn = compile_routine(source, routine.name, namespace)
+    return dataclasses.replace(
+        routine, fn=fn, source=source, namespace=namespace
+    )
+
+
+def _passes_fired(report) -> set[str]:
+    return {finding.pass_name for finding in report.findings}
+
+
+def run_selftest() -> dict[str, bool]:
+    """Run every self-test case; returns ``{case: caught}``."""
+    from repro.bees import maker as maker_mod
+    from repro.oracle.inject import inject_bug
+
+    results: dict[str, bool] = {}
+    layout = TupleLayout(ALL_SCHEMAS["orders"]())
+    expr = E.And(
+        E.Cmp("<", E.Col("o_orderkey", 0), E.Const(1000)),
+        E.Like(E.Col("o_clerk", 6), "Clerk%"),
+    )
+
+    # -- PR 1's injected generator bugs, caught before execution --
+    with inject_bug("gcl"):
+        routine = maker_mod.generate_gcl(layout, Ledger(), "GCL_selftest")
+    report = check_gcl(routine, layout)
+    results["inject-gcl"] = "transval" in _passes_fired(report)
+
+    with inject_bug("evp"):
+        routine = maker_mod.generate_evp(expr, Ledger(), "EVP_selftest")
+    report = check_evp(routine, expr)
+    results["inject-evp"] = "transval" in _passes_fired(report)
+
+    # -- source-level tampers, caught statically --
+    gcl = maker_mod.generate_gcl(layout, Ledger(), "GCL_selftest")
+    scl = maker_mod.generate_scl(layout, Ledger(), "SCL_selftest")
+
+    static = ("lint", "absint", "costaudit")
+
+    def caught_statically(report) -> bool:
+        return bool(_passes_fired(report) & set(static))
+
+    tampered = _tamper(gcl, "off = off + 4 + ln", "off = off + 5 + ln")
+    results["tamper-gcl-offset"] = caught_statically(
+        check_gcl(tampered, layout)
+    )
+
+    tampered = _tamper(gcl, "(off + 3) & -4", "(off + 1) & -2")
+    results["tamper-gcl-align"] = caught_statically(
+        check_gcl(tampered, layout)
+    )
+
+    tampered = _tamper(
+        gcl, "    return [", "    for _i in range(1): pass\n    return ["
+    )
+    results["tamper-gcl-loop"] = caught_statically(check_gcl(tampered, layout))
+
+    tampered = _tamper(gcl, "return [v0, v1", "return [v1, v0")
+    results["tamper-gcl-reorder"] = caught_statically(
+        check_gcl(tampered, layout)
+    )
+
+    tampered = dataclasses.replace(gcl, cost=gcl.cost + 10)
+    results["tamper-gcl-cost"] = caught_statically(
+        check_gcl(tampered, layout)
+    )
+
+    tampered = _tamper(scl, "pad = ((off + 3) & -4)", "pad = ((off + 1) & -2)")
+    results["tamper-scl-pad"] = caught_statically(check_scl(tampered, layout))
+
+    tampered = _tamper(scl, "_PREFIX.pack(values[0]", "_PREFIX.pack(values[7]")
+    results["tamper-scl-argswap"] = caught_statically(
+        check_scl(tampered, layout)
+    )
+
+    return results

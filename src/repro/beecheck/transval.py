@@ -1,0 +1,404 @@
+"""Translation validation: specialized vs generic over enumerated tuples.
+
+The lint/absint/costaudit passes prove the generated *source* well
+formed; this lane validates the *translation* — the compiled routine is
+executed against the generic reference path over an exhaustively
+enumerated small-domain input set per layout:
+
+* GCL vs ``layout.decode`` (+ NULL materialization) on encoded tuples,
+  including null-bitmap tuples that must take the slow path and
+  tuple-bee layouts with live data sections;
+* SCL vs ``layout.encode``, byte for byte, including the error contract
+  (an over-width ``CHAR(n)`` raises the same ``ValueError`` on both
+  sides);
+* EVP vs ``Expr.evaluate`` (the generic ``ExecQual``) over rows built
+  from the predicate's own constants (plus perturbations and NULLs for
+  the guarded variant).
+
+Inputs are deterministic: one-hot sweeps (each attribute takes each of
+its domain values while the others hold a default) plus co-prime strided
+diagonals, capped at :data:`MAX_TUPLES` per routine.  Because compiled
+bees charge the owning database's ledger when invoked, every execution
+here runs under a guard that snapshots and restores the ledger — the
+verification must be invisible to cost accounting.
+
+This is also the lane that catches *runtime* tampering the static
+passes cannot see (a wrapped ``fn`` whose source still looks pristine) —
+exactly what the oracle's ``inject_bug`` self-test produces.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+
+from repro.storage.layout import TupleLayout
+
+#: Per-routine cap on enumerated inputs.
+MAX_TUPLES = 300
+
+#: Cap on reported findings per routine (one bad generator would
+#: otherwise report every enumerated tuple).
+MAX_FINDINGS = 5
+
+#: beeID used for tuple-bee layouts — both bytes non-zero, so a routine
+#: reading only the low byte cannot pass by accident.
+_BEE_ID = 0x0102
+
+
+# -- ledger isolation --------------------------------------------------------
+
+
+@contextmanager
+def ledger_guard(routine):
+    """Run *routine* (and its slow path) without perturbing its ledger."""
+    charge = (routine.namespace or {}).get("_charge")
+    ledger = getattr(charge, "__self__", None)
+    if ledger is None:
+        yield
+        return
+    saved_total = ledger.total
+    saved_fns = dict(ledger.by_function)
+    saved_io = (ledger.seq_pages_read, ledger.rand_pages_read, ledger.pages_hit)
+    try:
+        yield
+    finally:
+        ledger.total = saved_total
+        ledger.by_function.clear()
+        ledger.by_function.update(saved_fns)
+        ledger.seq_pages_read, ledger.rand_pages_read, ledger.pages_hit = (
+            saved_io
+        )
+
+
+# -- input enumeration -------------------------------------------------------
+
+
+def _type_domain(sql_type) -> list:
+    fmt = sql_type.struct_fmt
+    if fmt == "i":
+        return [0, 1, -7, 2147483647, -2147483648]
+    if fmt == "q":
+        return [0, 1, -1, 9223372036854775807, -9223372036854775808]
+    if fmt == "d":
+        return [0.0, 1.5, -2.25, 1e16]
+    if fmt == "B":
+        return [False, True]
+    if sql_type.attlen >= 0:  # CHAR(n)
+        n = sql_type.attlen
+        values = ["", "a"[:n], "ab"[:n], "x" * n]
+        return list(dict.fromkeys(values))
+    # varlena: exercise empty, short, multi-byte UTF-8 (len(str) != len(
+    # bytes)), and a long tail that shifts every later offset.
+    return ["", "x", "hello world", "héllo", "a" * 17]
+
+
+def enumerate_rows(domains: list[list], cap: int = MAX_TUPLES) -> list[list]:
+    """Deterministic small-domain enumeration: one-hot + strided diagonals."""
+    n = len(domains)
+    defaults = [d[min(1, len(d) - 1)] for d in domains]
+    rows: list[list] = []
+    seen: set[tuple] = set()
+
+    def emit(row: list) -> bool:
+        key = tuple(row)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+        return len(rows) >= cap
+
+    if emit(list(defaults)):
+        return rows
+    for i, domain in enumerate(domains):
+        for value in domain:
+            row = list(defaults)
+            row[i] = value
+            if emit(row):
+                return rows
+    # Co-prime strides hit combinations one-hot sweeps cannot.
+    for stride in (1, 3, 7, 11):
+        for step in range(max(len(d) for d in domains) if domains else 0):
+            row = [
+                domains[i][(step * stride + i) % len(domains[i])]
+                for i in range(n)
+            ]
+            if emit(row):
+                return rows
+    return rows
+
+
+def _layout_rows(layout: TupleLayout) -> list[list]:
+    domains = [_type_domain(attr.sql_type) for attr in layout.schema.attributes]
+    return enumerate_rows(domains)
+
+
+def _null_patterns(layout: TupleLayout) -> list[list[bool]]:
+    """One-hot nullable patterns plus the all-nullable-NULL tuple."""
+    nullable = [a.attnum for a in layout.schema.attributes if a.nullable]
+    if not nullable:
+        return []
+    patterns = []
+    for attnum in nullable:
+        isnull = [False] * layout.schema.natts
+        isnull[attnum] = True
+        patterns.append(isnull)
+    if len(nullable) > 1:
+        isnull = [False] * layout.schema.natts
+        for attnum in nullable:
+            isnull[attnum] = True
+        patterns.append(isnull)
+    return patterns
+
+
+def _strict_eq(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    return a == b
+
+
+def _rows_eq(a: list, b: list) -> bool:
+    return len(a) == len(b) and all(_strict_eq(x, y) for x, y in zip(a, b))
+
+
+# -- GCL ---------------------------------------------------------------------
+
+
+def validate_gcl(routine, layout: TupleLayout) -> list[str]:
+    """Cross-check the compiled GCL against ``layout.decode``."""
+    findings: list[str] = []
+    bee_id = _BEE_ID if layout.has_beeid else 0
+    with ledger_guard(routine):
+        for values in _layout_rows(layout):
+            if len(findings) >= MAX_FINDINGS:
+                break
+            bee_values = layout.bee_key(values) if layout.has_beeid else None
+            sections = {bee_id: bee_values} if layout.has_beeid else {}
+            raw = layout.encode(values, None, bee_id)
+            expected, _ = layout.decode(raw, bee_values)
+            try:
+                got = routine.fn(raw, sections)
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                findings.append(
+                    f"raised {type(exc).__name__} on {values!r}: {exc}"
+                )
+                continue
+            if not _rows_eq(got, expected):
+                findings.append(
+                    f"deform mismatch on {values!r}: got {got!r}, "
+                    f"generic decode gives {expected!r}"
+                )
+        # Tuples with NULLs must escape to the generic slow path and
+        # come back with NULLs materialized.
+        base = _layout_rows(layout)[0]
+        for isnull in _null_patterns(layout):
+            if len(findings) >= MAX_FINDINGS:
+                break
+            values = [
+                None if isnull[i] else base[i] for i in range(len(base))
+            ]
+            raw = layout.encode(values, isnull, bee_id)
+            bee_values = layout.bee_key(values) if layout.has_beeid else None
+            sections = {bee_id: bee_values} if layout.has_beeid else {}
+            expected, exp_null = layout.decode(raw, bee_values)
+            expected = [
+                None if exp_null[i] else expected[i]
+                for i in range(len(expected))
+            ]
+            try:
+                got = routine.fn(raw, sections)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on NULL tuple "
+                    f"{values!r}: {exc}"
+                )
+                continue
+            if not _rows_eq(got, expected):
+                findings.append(
+                    f"slow-path mismatch on {values!r}: got {got!r}, "
+                    f"generic decode gives {expected!r}"
+                )
+    return findings
+
+
+# -- SCL ---------------------------------------------------------------------
+
+
+def validate_scl(routine, layout: TupleLayout) -> list[str]:
+    """Cross-check the compiled SCL against ``layout.encode``."""
+    findings: list[str] = []
+    bee_id = _BEE_ID if layout.has_beeid else 0
+    with ledger_guard(routine):
+        for values in _layout_rows(layout):
+            if len(findings) >= MAX_FINDINGS:
+                break
+            expected = layout.encode(values, None, bee_id)
+            try:
+                got = routine.fn(values, bee_id)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on {values!r}: {exc}"
+                )
+                continue
+            if got != expected:
+                findings.append(
+                    f"fill mismatch on {values!r}: got {got!r}, generic "
+                    f"encode gives {expected!r}"
+                )
+        # NULLs escape to the generic fill.
+        base = _layout_rows(layout)[0]
+        for isnull in _null_patterns(layout):
+            if len(findings) >= MAX_FINDINGS:
+                break
+            values = [
+                None if isnull[i] else base[i] for i in range(len(base))
+            ]
+            expected = layout.encode(values, isnull, bee_id)
+            try:
+                got = routine.fn(values, bee_id)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on NULL tuple "
+                    f"{values!r}: {exc}"
+                )
+                continue
+            if got != expected:
+                findings.append(
+                    f"slow-path fill mismatch on {values!r}"
+                )
+        # Error contract: an over-width CHAR(n) raises ValueError on
+        # both sides (behavior-identical including on bad input).
+        for attr in layout.schema.attributes:
+            sql_type = attr.sql_type
+            if sql_type.struct_fmt or sql_type.attlen < 0:
+                continue
+            values = list(_layout_rows(layout)[0])
+            values[attr.attnum] = "y" * (sql_type.attlen + 1)
+            try:
+                layout.encode(values, None, bee_id)
+                continue  # bee-resident CHAR: encode never sees it
+            except ValueError:
+                pass
+            try:
+                routine.fn(values, bee_id)
+                findings.append(
+                    f"over-width {attr.name} accepted; generic encode "
+                    f"raises ValueError"
+                )
+            except ValueError:
+                pass
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"over-width {attr.name} raised {type(exc).__name__}, "
+                    f"generic encode raises ValueError"
+                )
+            break  # one witness attr suffices
+    return findings
+
+
+# -- EVP ---------------------------------------------------------------------
+
+
+def _evp_domains(expr, guarded: bool) -> dict[int, list]:
+    """Per-column value domains mined from the predicate's own constants."""
+    from repro.engine import expr as E
+
+    domains: dict[int, set] = {}
+
+    def feed(index: int, value) -> None:
+        bucket = domains.setdefault(index, set())
+        if isinstance(value, bool):
+            bucket.update([True, False])
+        elif isinstance(value, (int, float)):
+            bucket.update([value, value + 1, value - 1, 0])
+        elif isinstance(value, str):
+            bucket.update([value, "", value + "z"])
+
+    def col_of(node):
+        return node.index if isinstance(node, E.Col) else None
+
+    stack = [expr]
+    cols: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if isinstance(node, E.Col):
+            cols.add(node.index)
+        elif isinstance(node, (E.Cmp, E.Arith)):
+            for side, other in (
+                (node.left, node.right),
+                (node.right, node.left),
+            ):
+                index = col_of(side)
+                if index is not None and isinstance(other, E.Const):
+                    feed(index, other.value)
+        elif isinstance(node, E.Between):
+            index = col_of(node.arg)
+            if index is not None:
+                feed(index, node.low)
+                feed(index, node.high)
+        elif isinstance(node, E.InList):
+            index = col_of(node.arg)
+            if index is not None:
+                for value in node.values:
+                    feed(index, value)
+        elif isinstance(node, E.Like):
+            index = col_of(node.arg)
+            if index is not None:
+                probe = node.pattern.replace("%", "x").replace("_", "y")
+                feed(index, probe)
+                feed(index, "@no-match@")
+        stack.extend(node.children())
+
+    out: dict[int, list] = {}
+    for index in cols:
+        values = sorted(domains.get(index, set()), key=repr)
+        if not values:
+            values = [0, 1, 2]
+        if guarded:
+            values = [None, *values]
+        out[index] = values
+    return out
+
+
+def validate_evp(routine, expr) -> list[str]:
+    """Cross-check the compiled EVP against ``Expr.evaluate``.
+
+    Inputs where either side raises are discarded rather than compared:
+    the specialized variants evaluate eagerly where the interpreter
+    short-circuits, so error behavior on ill-typed rows is not part of
+    the contract (statement-level errors are the oracle's lane).
+    """
+    guarded = re.search(r"\n    t\d+ = ", routine.source) is not None
+    domains_by_col = _evp_domains(expr, guarded)
+    if not domains_by_col:
+        cols, domains = [], []
+    else:
+        cols = sorted(domains_by_col)
+        domains = [domains_by_col[c] for c in cols]
+    width = (max(cols) + 1) if cols else 1
+
+    findings: list[str] = []
+    with ledger_guard(routine):
+        for combo in enumerate_rows(domains) if domains else [[]]:
+            if len(findings) >= MAX_FINDINGS:
+                break
+            row = [0] * width
+            for col, value in zip(cols, combo):
+                row[col] = value
+            try:
+                expected = expr.evaluate(row)
+            except Exception:  # noqa: BLE001 — out of contract
+                continue
+            try:
+                got = routine.fn(row)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on row {row!r} where the "
+                    f"interpreter returns {expected!r}"
+                )
+                continue
+            if not _strict_eq(got, expected):
+                findings.append(
+                    f"predicate mismatch on row {row!r}: got {got!r}, "
+                    f"interpreter gives {expected!r}"
+                )
+    return findings

@@ -63,10 +63,16 @@ class QueryBee:
 
 
 class BeeMaker:
-    """Generates bee routines; the only component that emits code."""
+    """Generates bee routines; the only component that emits code.
 
-    def __init__(self, ledger) -> None:
+    With ``verify=True`` (the ``verify_on_generate`` setting) every
+    emitted GCL/SCL/EVP routine is gated through beecheck before it is
+    handed out — the verification stage between codegen and execution.
+    """
+
+    def __init__(self, ledger, verify: bool = False) -> None:
         self.ledger = ledger
+        self.verify = verify
         self._evp_counter = 0
         self._evj_counter = 0
 
@@ -75,6 +81,12 @@ class BeeMaker:
         name = layout.schema.name
         gcl = generate_gcl(layout, self.ledger, f"GCL_{name}")
         scl = generate_scl(layout, self.ledger, f"SCL_{name}")
+        if self.verify:
+            # Imported lazily: beecheck imports the routine generators.
+            from repro.beecheck import verify_gcl, verify_scl
+
+            verify_gcl(gcl, layout)
+            verify_scl(scl, layout)
         sections = None
         if layout.bee_attrs:
             sections = DataSectionStore(name, layout.bee_attrs)
@@ -84,7 +96,12 @@ class BeeMaker:
         """Specialize a bound predicate into an EVP routine."""
         self._evp_counter += 1
         fn_name = f"EVP_{self._evp_counter}"
-        return generate_evp(expr, self.ledger, fn_name, assume_not_null)
+        routine = generate_evp(expr, self.ledger, fn_name, assume_not_null)
+        if self.verify:
+            from repro.beecheck import verify_evp
+
+            verify_evp(routine, expr)
+        return routine
 
     def make_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
         """Clone the pre-compiled EVJ template for a join node."""

@@ -35,7 +35,7 @@ class GenericBeeModule:
     ) -> None:
         self.ledger = ledger
         self.settings = settings
-        self.maker = BeeMaker(ledger)
+        self.maker = BeeMaker(ledger, verify=settings.verify_on_generate)
         self.cache = BeeCache()
         self.collector = BeeCollector(self.cache, disk_dir)
         self.placement = BeePlacementOptimizer()

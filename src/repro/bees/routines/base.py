@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
+
+#: Environment variable naming a directory where every generated bee source
+#: is dumped as ``<routine>.py`` for post-mortem inspection.
+BEE_DUMP_ENV = "REPRO_BEE_DUMP"
 
 
 @dataclass
@@ -20,6 +26,11 @@ class BeeRoutine:
             kept for inspection, tests, and bee-cache persistence.
         size_bytes: estimated native code size, used by the placement
             optimizer's I-cache model.
+        namespace: the globals dict the routine was compiled into — its
+            "data section" (precompiled structs, interned constants, the
+            slow-path closure).  Kept so beecheck can introspect the
+            structs the generated code references and recompile tampered
+            source in its self-tests.
     """
 
     name: str
@@ -28,6 +39,7 @@ class BeeRoutine:
     source: str
     size_bytes: int = 0
     invocations: int = field(default=0, compare=False)
+    namespace: dict | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.size_bytes:
@@ -38,14 +50,32 @@ class BeeRoutine:
         return self.fn(*args)
 
 
+def _dump_source(fn_name: str, source: str) -> None:
+    """Write generated source to $REPRO_BEE_DUMP/<fn_name>.py (best effort)."""
+    dump_dir = os.environ.get(BEE_DUMP_ENV)
+    if not dump_dir:
+        return
+    try:
+        directory = Path(dump_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{fn_name}.py").write_text(source)
+    except OSError:
+        pass  # a broken dump dir must never break bee generation
+
+
 def compile_routine(source: str, fn_name: str, namespace: dict) -> Callable:
     """Compile generated *source* and extract *fn_name* from it.
 
     This is the reproduction's analog of the paper's bee maker invoking gcc
     and extracting the function body from the resulting ELF object: the
     "object code" is a Python code object, and extraction is a namespace
-    lookup.
+    lookup.  The compiled function gets a ``bee.``-prefixed ``__qualname__``
+    so profiles and tracebacks identify generated code at a glance, and the
+    source is dumped to ``$REPRO_BEE_DUMP`` when that is set.
     """
     code = compile(source, f"<bee:{fn_name}>", "exec")
     exec(code, namespace)
-    return namespace[fn_name]
+    fn = namespace[fn_name]
+    fn.__qualname__ = f"bee.{fn_name}"
+    _dump_source(fn_name, source)
+    return fn

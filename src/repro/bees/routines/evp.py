@@ -217,4 +217,6 @@ def generate_evp(
         result = _emit_guarded(expr, em)
         source = "\n".join(header + em.lines + [f"    return {result}"]) + "\n"
     fn = compile_routine(source, fn_name, em.namespace)
-    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=cost, source=source, namespace=em.namespace,
+    )

@@ -15,7 +15,14 @@ import struct
 from repro.cost import constants as C
 from repro.engine.deform import generic_deform_null_cost
 from repro.bees.routines.base import BeeRoutine, compile_routine
-from repro.storage.layout import TupleLayout
+from repro.storage.layout import (
+    BEEID_HI_BYTE,
+    BEEID_LO_BYTE,
+    HEADER_INFOMASK_BYTE,
+    INFOMASK_HAS_NULLS,
+    TupleLayout,
+    VARLENA_HEADER_BYTES,
+)
 
 
 def gcl_cost(layout: TupleLayout) -> int:
@@ -43,14 +50,17 @@ def generate_gcl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
     lines = [
         f"def {fn_name}(raw, sections):",
         f'    """Specialized deform for relation {schema.name!r} (generated)."""',
-        "    if raw[0] & 1:",
+        f"    if raw[{HEADER_INFOMASK_BYTE}] & {INFOMASK_HAS_NULLS}:",
         "        return _slow(raw, sections)",
         f"    _charge({fn_name!r}, _COST)",
     ]
 
     value_names: dict[int, str] = {}   # attnum -> generated local name
     if layout.has_beeid:
-        lines.append("    _bv = sections[raw[2] | (raw[3] << 8)]")
+        lines.append(
+            f"    _bv = sections[raw[{BEEID_LO_BYTE}]"
+            f" | (raw[{BEEID_HI_BYTE}] << 8)]"
+        )
         for name, slot in layout.bee_slot.items():
             attnum = schema.attnum(name)
             value_names[attnum] = f"v{attnum}"
@@ -107,9 +117,12 @@ def generate_gcl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
             if sql_type.attlen == -1:
                 if align > 1:
                     lines.append(f"    off = (off + {align - 1}) & -{align}")
+                vl = VARLENA_HEADER_BYTES
                 lines.append("    ln = _VL.unpack_from(raw, off)[0]")
-                lines.append(f"    {local} = raw[off + 4 : off + 4 + ln].decode()")
-                lines.append("    off = off + 4 + ln")
+                lines.append(
+                    f"    {local} = raw[off + {vl} : off + {vl} + ln].decode()"
+                )
+                lines.append(f"    off = off + {vl} + ln")
                 namespace.setdefault("_VL", struct.Struct("<i"))
             else:
                 if align > 1:
@@ -148,4 +161,6 @@ def generate_gcl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
 
     namespace["_slow"] = _slow
     fn = compile_routine(source, fn_name, namespace)
-    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=cost, source=source, namespace=namespace,
+    )

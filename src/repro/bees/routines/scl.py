@@ -14,7 +14,15 @@ import struct
 
 from repro.cost import constants as C
 from repro.bees.routines.base import BeeRoutine, compile_routine
-from repro.storage.layout import TupleLayout
+from repro.storage.layout import (
+    BEEID_HI_BYTE,
+    BEEID_LO_BYTE,
+    HEADER_HOFF_BYTE,
+    HEADER_INFOMASK_BYTE,
+    INFOMASK_HAS_BEEID,
+    TupleLayout,
+    VARLENA_HEADER_BYTES,
+)
 
 
 def scl_cost(layout: TupleLayout) -> int:
@@ -49,10 +57,10 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
 
     # Constant no-nulls header: infomask, hoff, (beeID patched at runtime),
     # alignment padding.
-    infomask = 0x02 if layout.has_beeid else 0x00
+    infomask = INFOMASK_HAS_BEEID if layout.has_beeid else 0x00
     header = bytearray(hoff)
-    header[0] = infomask
-    header[1] = hoff
+    header[HEADER_INFOMASK_BYTE] = infomask
+    header[HEADER_HOFF_BYTE] = hoff
     namespace: dict = {
         "_charge": ledger.charge_fn,
         "_COST": cost,
@@ -69,8 +77,8 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
         "    out = bytearray(_HDR)",
     ]
     if layout.has_beeid:
-        lines.append("    out[2] = bee_id & 0xFF")
-        lines.append("    out[3] = (bee_id >> 8) & 0xFF")
+        lines.append(f"    out[{BEEID_LO_BYTE}] = bee_id & 0xFF")
+        lines.append(f"    out[{BEEID_HI_BYTE}] = (bee_id >> 8) & 0xFF")
 
     # Fixed prefix packed in one shot.
     prefix = []
@@ -111,15 +119,17 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
             sql_type = attr.sql_type
             align = attr.attalign
             if align > 1:
+                # Branch-free alignment: appending zero pad bytes is a
+                # no-op, so the fast path stays straight-line code (the
+                # property beecheck's lint pass enforces).
                 lines.append(f"    pad = ((off + {align - 1}) & -{align}) - off")
-                lines.append("    if pad:")
-                lines.append("        out += b'\\x00' * pad")
-                lines.append("        off = off + pad")
+                lines.append("    out += b'\\x00' * pad")
+                lines.append("    off = off + pad")
             if sql_type.attlen == -1:
                 lines.append(f"    b = values[{attr.attnum}].encode()")
                 lines.append("    out += _VL.pack(len(b))")
                 lines.append("    out += b")
-                lines.append("    off = off + 4 + len(b)")
+                lines.append(f"    off = off + {VARLENA_HEADER_BYTES} + len(b)")
             elif sql_type.struct_fmt:
                 s_name = f"_P{attr.attnum}"
                 namespace[s_name] = struct.Struct("<" + sql_type.struct_fmt)
@@ -147,4 +157,6 @@ def generate_scl(layout: TupleLayout, ledger, fn_name: str) -> BeeRoutine:
 
     namespace["_slow"] = _slow
     fn = compile_routine(source, fn_name, namespace)
-    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=cost, source=source, namespace=namespace,
+    )

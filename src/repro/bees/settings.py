@@ -20,6 +20,12 @@ class BeeSettings:
 
     ``stock()`` disables everything (the paper's baseline PostgreSQL);
     ``all_bees()`` matches the paper's fully bee-enabled build.
+
+    ``verify_on_generate`` is orthogonal to the routine flags: when set,
+    the bee maker runs every emitted GCL/SCL/EVP routine through beecheck
+    (lint, offset abstract interpretation, cost audit, translation
+    validation) and raises :class:`repro.beecheck.BeecheckError` instead
+    of handing a bad routine to the executor.
     """
 
     gcl: bool = False
@@ -29,6 +35,7 @@ class BeeSettings:
     tuple_bees: bool = False
     agg: bool = False      # experimental: the paper's Section VIII future work
     idx: bool = False      # experimental: index-maintenance specialization
+    verify_on_generate: bool = False   # gate every emitted bee on beecheck
 
     @classmethod
     def stock(cls) -> "BeeSettings":
@@ -54,12 +61,16 @@ class BeeSettings:
         )
 
     def with_routines(self, *names: str) -> "BeeSettings":
-        """Return a copy with exactly the named flags enabled."""
+        """Return a copy with exactly the named routine flags enabled
+        (``verify_on_generate`` is preserved — it is not a routine)."""
         valid = {"gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx"}
         unknown = set(names) - valid
         if unknown:
             raise ValueError(f"unknown bee routine flags: {sorted(unknown)}")
-        return BeeSettings(**{name: name in names for name in valid})
+        return BeeSettings(
+            verify_on_generate=self.verify_on_generate,
+            **{name: name in names for name in valid},
+        )
 
     def enabling(self, **flags: bool) -> "BeeSettings":
         """Return a copy with the given flags overridden."""

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bees.settings import BeeSettings
-from repro.bench.reporting import improvement
 from repro.workloads.tpcc.loader import TPCCConfig, build_tpcc_database
 from repro.workloads.tpcc.runner import MIXES, TPCCResult, run_mix
 

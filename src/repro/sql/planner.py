@@ -35,7 +35,6 @@ from repro.engine.nodes import (
     Sort,
 )
 from repro.sql import ast
-from repro.sql.lexer import SQLSyntaxError
 
 
 class PlanningError(ValueError):

@@ -9,7 +9,7 @@ asymptotics of a B+-tree without the node machinery (charged like one).
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, insort
 from collections import defaultdict
 from typing import Iterable, Iterator
 

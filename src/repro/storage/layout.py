@@ -27,6 +27,20 @@ from repro.catalog.types import align_offset
 INFOMASK_HAS_NULLS = 0x01
 INFOMASK_HAS_BEEID = 0x02
 
+# Header geometry.  The bee code generators (``repro.bees.routines``) emit
+# these as literals into specialized source, and beecheck verifies every
+# generated literal against this single source of truth — keep the codec,
+# the generators, and the verifier reading from here.
+HEADER_INFOMASK_BYTE = 0    # byte 0: infomask flags
+HEADER_HOFF_BYTE = 1        # byte 1: hoff (data-area offset)
+HEADER_FIXED_BYTES = 2      # infomask + hoff
+BEEID_OFFSET = 2            # little-endian uint16 beeID right after them
+BEEID_LO_BYTE = BEEID_OFFSET
+BEEID_HI_BYTE = BEEID_OFFSET + 1
+BEEID_BYTES = 2
+VARLENA_HEADER_BYTES = 4    # int32 length prefix of varlena values
+HEADER_ALIGN = 8            # hoff is rounded up to this alignment
+
 _BEEID_STRUCT = struct.Struct("<H")
 _VARLEN_STRUCT = struct.Struct("<i")
 
@@ -99,12 +113,12 @@ class TupleLayout:
 
     def header_size(self, tuple_has_nulls: bool) -> int:
         """Aligned header length (``hoff``) for a tuple."""
-        size = 2
+        size = HEADER_FIXED_BYTES
         if self.has_beeid:
-            size += 2
+            size += BEEID_BYTES
         if tuple_has_nulls:
             size += self._bitmap_bytes
-        return align_offset(size, 8)
+        return align_offset(size, HEADER_ALIGN)
 
     # -- encode ----------------------------------------------------------------
 
@@ -129,18 +143,18 @@ class TupleLayout:
         hoff = self.header_size(tuple_has_nulls)
         out = bytearray(hoff)
         infomask = 0
-        pos = 2
+        pos = HEADER_FIXED_BYTES
         if self.has_beeid:
             infomask |= INFOMASK_HAS_BEEID
             _BEEID_STRUCT.pack_into(out, pos, bee_id)
-            pos += 2
+            pos += BEEID_BYTES
         if tuple_has_nulls:
             infomask |= INFOMASK_HAS_NULLS
             for i, is_null in enumerate(stored_nulls):
                 if is_null:
                     out[pos + (i >> 3)] |= 1 << (i & 7)
-        out[0] = infomask
-        out[1] = hoff
+        out[HEADER_INFOMASK_BYTE] = infomask
+        out[HEADER_HOFF_BYTE] = hoff
 
         offset = 0
         for i, attr in enumerate(attrs):
@@ -168,7 +182,7 @@ class TupleLayout:
                 raw = value.encode() if isinstance(value, str) else bytes(value)
                 out.extend(_VARLEN_STRUCT.pack(len(raw)))
                 out.extend(raw)
-                offset += 4 + len(raw)
+                offset += VARLENA_HEADER_BYTES + len(raw)
         return bytes(out)
 
     # -- decode ----------------------------------------------------------------
@@ -186,11 +200,11 @@ class TupleLayout:
         natts = self.schema.natts
         values: list = [None] * natts
         isnull = [False] * natts
-        infomask = raw[0]
-        hoff = raw[1]
-        pos = 2
+        infomask = raw[HEADER_INFOMASK_BYTE]
+        hoff = raw[HEADER_HOFF_BYTE]
+        pos = HEADER_FIXED_BYTES
         if infomask & INFOMASK_HAS_BEEID:
-            pos += 2
+            pos += BEEID_BYTES
         has_nulls = bool(infomask & INFOMASK_HAS_NULLS)
         bitmap_start = pos
 
@@ -212,8 +226,9 @@ class TupleLayout:
                 offset += sql_type.attlen
             else:
                 (length,) = _VARLEN_STRUCT.unpack_from(raw, offset)
-                value = raw[offset + 4 : offset + 4 + length].decode()
-                offset += 4 + length
+                start = offset + VARLENA_HEADER_BYTES
+                value = raw[start : start + length].decode()
+                offset += VARLENA_HEADER_BYTES + length
             values[attr.attnum] = value
 
         if self.bee_attrs:
@@ -227,9 +242,9 @@ class TupleLayout:
 
     def read_bee_id(self, raw: bytes) -> int:
         """Extract the stored beeID (valid only for tuple-bee layouts)."""
-        if not raw[0] & INFOMASK_HAS_BEEID:
+        if not raw[HEADER_INFOMASK_BYTE] & INFOMASK_HAS_BEEID:
             raise ValueError("tuple has no beeID")
-        return _BEEID_STRUCT.unpack_from(raw, 2)[0]
+        return _BEEID_STRUCT.unpack_from(raw, BEEID_OFFSET)[0]
 
     def bee_key(self, values: list) -> tuple:
         """Extract the data-section key (annotated values) from a row.

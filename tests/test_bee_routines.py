@@ -6,7 +6,7 @@ from repro.bees.routines.evj import GENERIC_JOIN, instantiate_evj
 from repro.bees.routines.evp import generate_evp
 from repro.bees.routines.gcl import gcl_cost, generate_gcl
 from repro.bees.routines.scl import generate_scl, scl_cost
-from repro.catalog import BOOL, INT4, INT8, NUMERIC, char, make_schema, varchar
+from repro.catalog import BOOL, INT4, INT8, char, make_schema, varchar
 from repro.cost import Ledger
 from repro.cost import constants as C
 from repro.engine import expr as E

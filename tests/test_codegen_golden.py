@@ -1,0 +1,132 @@
+"""Golden-source snapshots of generated bee code.
+
+Every representative layout's generated GCL/SCL (and two EVP variants)
+is pinned byte-for-byte under ``tests/golden/``.  A codegen change shows
+up as a reviewable diff instead of a silent behavior shift; regenerate
+deliberately with::
+
+    REPRO_GOLDEN_UPDATE=1 PYTHONPATH=src python -m pytest tests/test_codegen_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bees.routines.evp import generate_evp
+from repro.bees.routines.gcl import generate_gcl
+from repro.bees.routines.scl import generate_scl
+from repro.catalog import BOOL, INT4, INT8, NUMERIC, char, make_schema, varchar
+from repro.cost.ledger import Ledger
+from repro.engine import expr as E
+from repro.storage.layout import TupleLayout
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# The ISSUE's representative layout set: all-NOT-NULL scalar, varlena-heavy,
+# tuple-bee holes, and single-column.
+LAYOUTS = {
+    "notnull": TupleLayout(
+        make_schema(
+            "notnull",
+            [("a", INT4), ("b", INT8), ("c", BOOL), ("d", NUMERIC)],
+            ("a",),
+        )
+    ),
+    "varlena": TupleLayout(
+        make_schema(
+            "varlena",
+            [
+                ("v1", varchar(8)),
+                ("n1", INT4, True),
+                ("v2", varchar(16)),
+                ("c1", char(5)),
+                ("q1", NUMERIC),
+            ],
+        )
+    ),
+    "holes": TupleLayout(
+        make_schema(
+            "holes",
+            [
+                ("k", INT4),
+                ("tag", char(4)),
+                ("grade", char(2)),
+                ("amount", NUMERIC),
+            ],
+            ("k",),
+        ),
+        bee_attrs=("tag", "grade"),
+    ),
+    "single": TupleLayout(make_schema("single", [("x", char(4))])),
+}
+
+
+def _evp_expr() -> E.Expr:
+    return E.And(
+        E.Cmp("<", E.Col("a", 0), E.Const(10)),
+        E.Or(
+            E.Like(E.Col("b", 1), "ab%"),
+            E.IsNull(E.Col("b", 1)),
+        ),
+    )
+
+
+def _generate(name: str) -> str:
+    ledger = Ledger()
+    if name.startswith("gcl_"):
+        return generate_gcl(LAYOUTS[name[4:]], ledger, name.upper()).source
+    if name.startswith("scl_"):
+        return generate_scl(LAYOUTS[name[4:]], ledger, name.upper()).source
+    if name == "evp_guarded":
+        return generate_evp(_evp_expr(), ledger, "EVP_GUARDED").source
+    if name == "evp_direct":
+        return generate_evp(
+            _evp_expr(), ledger, "EVP_DIRECT", assume_not_null=True
+        ).source
+    raise KeyError(name)
+
+
+SNAPSHOTS = (
+    [f"gcl_{key}" for key in LAYOUTS]
+    + [f"scl_{key}" for key in LAYOUTS]
+    + ["evp_guarded", "evp_direct"]
+)
+
+
+@pytest.mark.parametrize("name", SNAPSHOTS)
+def test_generated_source_matches_golden(name: str) -> None:
+    source = _generate(name)
+    golden_path = GOLDEN_DIR / f"{name}.py.golden"
+    if os.environ.get("REPRO_GOLDEN_UPDATE"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(source)
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; run with "
+        f"REPRO_GOLDEN_UPDATE=1 to create it"
+    )
+    golden = golden_path.read_text()
+    if source != golden:
+        diff = "".join(
+            difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                source.splitlines(keepends=True),
+                fromfile=str(golden_path),
+                tofile="generated",
+            )
+        )
+        raise AssertionError(
+            f"generated source for {name} drifted from its golden "
+            f"snapshot (rerun with REPRO_GOLDEN_UPDATE=1 if "
+            f"intentional):\n{diff}"
+        )
+
+
+def test_goldens_have_no_strays() -> None:
+    """Every committed golden corresponds to a live snapshot case."""
+    expected = {f"{name}.py.golden" for name in SNAPSHOTS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.py.golden")}
+    assert actual == expected

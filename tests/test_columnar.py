@@ -172,7 +172,6 @@ class TestOrthogonality:
         generic = ColumnarExecutor(store, specialized=False).sum_where(
             qual, qual_cols, revenue, sum_cols
         )
-        import copy
 
         qual2 = And(
             Between(Col("l_shipdate"), 8766, 9130),

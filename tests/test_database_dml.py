@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bees.settings import BeeSettings
-from repro.catalog import INT4, char, make_schema, varchar
 from repro.db import Database
 
 

@@ -1,6 +1,5 @@
 """Tests for the generic deform/fill paths and their cost functions."""
 
-import pytest
 
 from repro.cost import Ledger
 from repro.cost import constants as C

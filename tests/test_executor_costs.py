@@ -1,6 +1,5 @@
 """Invariants of the cost accounting across the executor."""
 
-import pytest
 
 from repro.bees.settings import BeeSettings
 from repro.cost import constants as C
