@@ -13,19 +13,26 @@ and execution (see ``docs/BEECHECK.md``).  Four passes:
 * :mod:`repro.beecheck.transval` — translation validation against the
   generic ``layout.decode``/``encode``/``Expr.evaluate`` paths.
 
-Entry points: :func:`check_gcl` / :func:`check_scl` / :func:`check_evp`
-return reports, the ``verify_*`` variants raise :class:`BeecheckError`,
-and ``python -m repro.beecheck`` sweeps every schema plus a fuzzed query
+Entry points: ``check_gcl`` / ``check_scl`` / ``check_evp`` /
+``check_evj`` / ``check_agg`` / ``check_idx`` return reports, the
+``verify_*`` variants raise :class:`BeecheckError`, and
+``python -m repro.beecheck`` sweeps every schema plus a fuzzed query
 corpus.
 """
 
 from repro.beecheck.checker import (
+    check_agg,
+    check_evj,
     check_evp,
     check_gcl,
+    check_idx,
     check_scl,
     enforce,
+    verify_agg,
+    verify_evj,
     verify_evp,
     verify_gcl,
+    verify_idx,
     verify_scl,
 )
 from repro.beecheck.report import (
@@ -40,11 +47,17 @@ __all__ = [
     "Finding",
     "RoutineReport",
     "SweepReport",
+    "check_agg",
+    "check_evj",
     "check_evp",
     "check_gcl",
+    "check_idx",
     "check_scl",
     "enforce",
+    "verify_agg",
+    "verify_evj",
     "verify_evp",
     "verify_gcl",
+    "verify_idx",
     "verify_scl",
 ]

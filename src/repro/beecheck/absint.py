@@ -743,3 +743,165 @@ def check_evp(routine, expr) -> list[str]:
             f"{sorted(referenced)}"
         )
     return findings
+
+
+# -- EVJ ---------------------------------------------------------------------
+
+_RE_EVJ_HEADER = re.compile(
+    r"/\* EVJ template: (\w+) join, (\d+) key\(s\) — dispatch folded,\n"
+    r"   key comparison inlined \((\d+) instructions per candidate"
+    r" pair\)\. \*/"
+)
+_RE_EVJ_COMPARE = re.compile(
+    r"if \(outer\[(\d+)\] != inner\[(\d+)\]\) return false;"
+)
+_RE_EVJ_FINAL = re.compile(r"return (true|false);")
+
+
+def check_evj(routine) -> list[str]:
+    """Prove the cloned template agrees with the routine's join identity.
+
+    The EVJ source is C text; the abstract domain here is the key index
+    sequence — every key position 0..n_keys-1 must be compared exactly
+    once, in order, against the *same* position on the other side, and
+    the fall-through return must encode the join type (anti joins
+    suppress emission on match).
+    """
+    findings: list[str] = []
+    header = _RE_EVJ_HEADER.search(routine.source)
+    if header is None:
+        return ["EVJ header comment missing or malformed"]
+    if header.group(1) != routine.join_type:
+        findings.append(
+            f"header says {header.group(1)!r} join, routine is "
+            f"{routine.join_type!r}"
+        )
+    if int(header.group(2)) != routine.n_keys:
+        findings.append(
+            f"header says {header.group(2)} key(s), routine has "
+            f"{routine.n_keys}"
+        )
+    if int(header.group(3)) != routine.cost_per_compare:
+        findings.append(
+            f"header says {header.group(3)} instructions, routine "
+            f"charges {routine.cost_per_compare}"
+        )
+
+    compares = [
+        (int(a), int(b))
+        for a, b in _RE_EVJ_COMPARE.findall(routine.source)
+    ]
+    expected = [(k, k) for k in range(routine.n_keys)]
+    if compares != expected:
+        findings.append(
+            f"key comparisons {compares} must be exactly {expected} "
+            f"(each key once, in order, same position both sides)"
+        )
+
+    finals = _RE_EVJ_FINAL.findall(routine.source)
+    expected_final = "false" if routine.join_type == "anti" else "true"
+    if not finals or finals[-1] != expected_final:
+        findings.append(
+            f"fall-through must 'return {expected_final};' for a "
+            f"{routine.join_type} join, got {finals[-1] if finals else None!r}"
+        )
+    return findings
+
+
+# -- AGG ---------------------------------------------------------------------
+
+
+def check_agg(routine, specs) -> list[str]:
+    """Prove accumulator coverage and argument-column containment.
+
+    Every state slot 0..len(specs)-1 must be updated by exactly one
+    ``states[i].update(...)`` site (a dropped or doubled aggregate is a
+    wrong result, not a crash), and the routine may only load row columns
+    that some aggregate argument actually references.
+    """
+    findings: list[str] = []
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+
+    updates: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "update"
+            and isinstance(node.func.value, ast.Subscript)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "states"
+            and isinstance(node.func.value.slice, ast.Constant)
+        ):
+            index = node.func.value.slice.value
+            updates[index] = updates.get(index, 0) + 1
+    expected_indexes = set(range(len(specs)))
+    if set(updates) != expected_indexes:
+        findings.append(
+            f"updated state slots {sorted(updates)} != aggregate slots "
+            f"{sorted(expected_indexes)}"
+        )
+    doubled = sorted(i for i, n in updates.items() if n != 1)
+    if doubled:
+        findings.append(
+            f"state slots {doubled} updated more than once per row"
+        )
+
+    used: set[int] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "row"
+            and isinstance(node.slice, ast.Constant)
+        ):
+            used.add(node.slice.value)
+    referenced: set[int] = set()
+    for spec in specs:
+        if spec.arg is not None:
+            referenced |= _collect_cols(spec.arg)
+    if not used <= referenced:
+        findings.append(
+            f"row loads {sorted(used - referenced)} reference columns no "
+            f"aggregate argument uses (arguments touch "
+            f"{sorted(referenced)})"
+        )
+    return findings
+
+
+# -- IDX ---------------------------------------------------------------------
+
+
+def check_idx(routine, key_indexes) -> list[str]:
+    """Prove the returned tuple is exactly the index's key columns, in
+    key order."""
+    findings: list[str] = []
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+    returns = [
+        node for node in ast.walk(tree) if isinstance(node, ast.Return)
+    ]
+    if len(returns) != 1 or not isinstance(returns[0].value, ast.Tuple):
+        return ["IDX must have exactly one tuple return"]
+    emitted: list = []
+    for element in returns[0].value.elts:
+        if (
+            isinstance(element, ast.Subscript)
+            and isinstance(element.value, ast.Name)
+            and element.value.id == "values"
+            and isinstance(element.slice, ast.Constant)
+        ):
+            emitted.append(element.slice.value)
+        else:
+            emitted.append(ast.unparse(element))
+    if emitted != list(key_indexes):
+        findings.append(
+            f"returned key columns {emitted} != index key columns "
+            f"{list(key_indexes)}"
+        )
+    return findings

@@ -60,3 +60,58 @@ def verify_scl(routine, layout: TupleLayout) -> None:
 
 def verify_evp(routine, expr) -> None:
     enforce(check_evp(routine, expr))
+
+def check_evj(routine) -> RoutineReport:
+    """Run the static passes over one cloned EVJ template.
+
+    EVJ routines are C text with no compiled function; the transval lane
+    interprets the template instead of executing it.
+    """
+    report = RoutineReport(
+        routine.name, "evj", f"{routine.join_type}/{routine.n_keys}"
+    )
+    report.add("lint", lint.lint_evj(routine.source))
+    report.add("absint", absint.check_evj(routine))
+    report.add("costaudit", costaudit.audit_evj(routine))
+    report.add("transval", transval.validate_evj(routine))
+    return report
+
+
+def check_agg(routine, specs, assume_not_null: bool = False) -> RoutineReport:
+    """Run all passes over one generated AGG transition routine."""
+    subject = ",".join(
+        f"{spec.func}({'*' if spec.arg is None else spec.arg!r})"
+        for spec in specs
+    )
+    report = RoutineReport(routine.name, "agg", subject)
+    report.add("lint", lint.lint_agg(routine.source, routine.name))
+    report.add("absint", absint.check_agg(routine, specs))
+    report.add(
+        "costaudit", costaudit.audit_agg(routine, specs, assume_not_null)
+    )
+    report.add(
+        "transval", transval.validate_agg(routine, specs, assume_not_null)
+    )
+    return report
+
+
+def check_idx(routine, key_indexes) -> RoutineReport:
+    """Run all passes over one generated IDX key-extraction routine."""
+    report = RoutineReport(routine.name, "idx", repr(list(key_indexes)))
+    report.add("lint", lint.lint_idx(routine.source, routine.name))
+    report.add("absint", absint.check_idx(routine, key_indexes))
+    report.add("costaudit", costaudit.audit_idx(routine, key_indexes))
+    report.add("transval", transval.validate_idx(routine, key_indexes))
+    return report
+
+
+def verify_evj(routine) -> None:
+    enforce(check_evj(routine))
+
+
+def verify_agg(routine, specs, assume_not_null: bool = False) -> None:
+    enforce(check_agg(routine, specs, assume_not_null))
+
+
+def verify_idx(routine, key_indexes) -> None:
+    enforce(check_idx(routine, key_indexes))

@@ -24,7 +24,14 @@ import sys
 import time
 from pathlib import Path
 
-from repro.beecheck.checker import check_evp, check_gcl, check_scl
+from repro.beecheck.checker import (
+    check_agg,
+    check_evj,
+    check_evp,
+    check_gcl,
+    check_idx,
+    check_scl,
+)
 from repro.beecheck.report import SweepReport
 from repro.beecheck.selftest import run_selftest
 
@@ -59,6 +66,64 @@ def sweep_schemas(report: SweepReport) -> None:
         report.routine_reports.append(check_scl(scl, layout))
 
 
+def sweep_futures(report: SweepReport) -> None:
+    """Verify the query-bee generators beyond EVP: EVJ, AGG, IDX.
+
+    EVJ templates are enumerated exhaustively (4 join types x 3 arities,
+    exactly the ahead-of-time combination space).  AGG and IDX are the
+    experimental Section VIII generators, exercised over representative
+    spec/key-column shapes including the NULL-handling variants.
+    """
+    from repro.bees.routines.agg import generate_agg
+    from repro.bees.routines.evj import JOIN_TYPES, instantiate_evj
+    from repro.bees.routines.idx import generate_idx
+    from repro.cost.ledger import Ledger
+    from repro.engine import expr as E
+    from repro.engine.aggregates import AggSpec
+
+    for join_type in JOIN_TYPES:
+        for n_keys in (1, 2, 3):
+            routine = instantiate_evj(
+                join_type, n_keys, f"evj_{join_type}"
+            )
+            report.routine_reports.append(check_evj(routine))
+
+    columns = ["p", "d", "q"]
+    revenue = E.bind(
+        E.Arith("*", E.Col("p"), E.Arith("-", E.Const(1), E.Col("d"))),
+        columns,
+    )
+    spec_lists = [
+        [AggSpec("count", name="n")],
+        [
+            AggSpec("sum", revenue, name="rev"),
+            AggSpec("count", name="n"),
+            AggSpec("avg", E.bind(E.Col("p"), columns), name="avg_p"),
+            AggSpec("count", E.bind(E.Col("d"), columns), name="nd"),
+        ],
+        [
+            AggSpec("min", E.bind(E.Col("q"), columns), name="lo"),
+            AggSpec("max", E.bind(E.Col("q"), columns), name="hi"),
+        ],
+    ]
+    counter = 0
+    for specs in spec_lists:
+        for assume_not_null in (False, True):
+            counter += 1
+            routine = generate_agg(
+                specs, Ledger(), f"AGG_sweep{counter}", assume_not_null
+            )
+            report.routine_reports.append(
+                check_agg(routine, specs, assume_not_null)
+            )
+
+    for key_indexes in ([0], [2, 0], [1, 3, 2]):
+        routine = generate_idx(
+            key_indexes, Ledger(), f"IDX_sweep_{len(key_indexes)}"
+        )
+        report.routine_reports.append(check_idx(routine, key_indexes))
+
+
 def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
     """Drive a live database and verify every bee it built."""
     from repro.bees.settings import BeeSettings
@@ -82,6 +147,12 @@ def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
         report.routine_reports.append(check_scl(bee.scl, bee.layout))
     for expr, routine in module._evp_by_expr.values():
         report.routine_reports.append(check_evp(routine, expr))
+    for routine in module._evj_by_shape.values():
+        report.routine_reports.append(check_evj(routine))
+    for specs, routine in module._agg_by_specs.values():
+        report.routine_reports.append(check_agg(routine, list(specs)))
+    for key_indexes, routine in module._idx_by_index.values():
+        report.routine_reports.append(check_idx(routine, key_indexes))
 
 
 def write_report(report: SweepReport, out_dir: Path) -> Path:
@@ -121,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
     started = time.monotonic()
     report = SweepReport(seed=args.seed, statements=0)
     sweep_schemas(report)
+    sweep_futures(report)
     if args.statements > 0:
         sweep_corpus(report, args.seed, args.statements)
     if not args.no_selftest:

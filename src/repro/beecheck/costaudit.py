@@ -228,3 +228,105 @@ def audit_evp(routine, expr) -> list[str]:
     _check_agreement(routine, model, model, findings)
     _check_bytecode_band(routine, findings)
     return findings
+
+
+_RE_EVJ_COMPARE_LINE = re.compile(
+    r"^    if \(outer\[\d+\] != inner\[\d+\]\) return false;$", re.MULTILINE
+)
+
+
+def audit_evj(routine) -> list[str]:
+    """Cross-check the EVJ per-compare cost against the cloned template.
+
+    EVJ routines are C text, not compiled Python — there is no namespace
+    ``_COST`` or bytecode to band-check.  Instead the declared
+    ``cost_per_compare`` must equal the model, the template must contain
+    exactly one comparison line per key, and the specialized cost must
+    undercut the generic join's per-compare cost (otherwise cloning the
+    template is a pessimization).
+    """
+    from repro.bees.routines.evj import GENERIC_JOIN
+
+    findings: list[str] = []
+    model = C.EVJ_DISPATCH + C.EVJ_COMPARE * routine.n_keys
+    if routine.cost_per_compare != model:
+        findings.append(
+            f"cost model gives {model} per compare, routine declares "
+            f"{routine.cost_per_compare}"
+        )
+    n_compares = len(_RE_EVJ_COMPARE_LINE.findall(routine.source))
+    if n_compares != routine.n_keys:
+        findings.append(
+            f"{n_compares} comparison lines emitted for {routine.n_keys} "
+            "join key(s)"
+        )
+    generic = GENERIC_JOIN.per_compare(routine.n_keys)
+    if routine.cost_per_compare >= generic:
+        findings.append(
+            f"specialized compare costs {routine.cost_per_compare}, "
+            f"generic costs {generic} — no win from the template"
+        )
+    return findings
+
+
+def audit_agg(routine, specs, assume_not_null: bool = False) -> list[str]:
+    """Recount the AGG transition cost from the AST and cross-check."""
+    from repro.bees.routines.agg import (
+        AGG_SPECIALIZED_PER_AGG,
+        AGG_SPECIALIZED_PROLOGUE,
+        agg_routine_cost,
+    )
+
+    findings: list[str] = []
+    model = agg_routine_cost(specs, assume_not_null)
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+    n_updates = sum(
+        1
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "update"
+    )
+    arg_cost = sum(
+        spec.arg.evp_cost for spec in specs if spec.arg is not None
+    )
+    recomputed = (
+        AGG_SPECIALIZED_PROLOGUE
+        + AGG_SPECIALIZED_PER_AGG * n_updates
+        + arg_cost
+    )
+    _check_agreement(routine, recomputed, model, findings)
+    _check_bytecode_band(routine, findings)
+    return findings
+
+
+def audit_idx(routine, key_indexes) -> list[str]:
+    """Recount the IDX key-extraction cost from the AST and cross-check."""
+    from repro.bees.routines.idx import generic_idx_cost, idx_cost
+
+    findings: list[str] = []
+    model = idx_cost(len(key_indexes))
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+    n_loads = sum(
+        1
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "values"
+    )
+    recomputed = idx_cost(n_loads)
+    _check_agreement(routine, recomputed, model, findings)
+    _check_bytecode_band(routine, findings)
+    generic = generic_idx_cost(len(key_indexes))
+    if routine.cost >= generic:
+        findings.append(
+            f"specialized extraction costs {routine.cost}, generic costs "
+            f"{generic} — no win from specialization"
+        )
+    return findings

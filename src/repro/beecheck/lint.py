@@ -114,11 +114,14 @@ def _check_names(
     fn: ast.FunctionDef,
     allowed: re.Pattern,
     findings: list[str],
+    methods: frozenset | None = None,
 ) -> None:
+    if methods is None:
+        methods = _METHODS
     for node in ast.walk(fn):
         if isinstance(node, ast.Name) and not allowed.fullmatch(node.id):
             findings.append(f"name {node.id!r} is not bee-whitelisted")
-        elif isinstance(node, ast.Attribute) and node.attr not in _METHODS:
+        elif isinstance(node, ast.Attribute) and node.attr not in methods:
             findings.append(f"method .{node.attr}() is not bee-whitelisted")
 
 
@@ -392,4 +395,188 @@ def lint_evp(source: str, name: str) -> list[str]:
             and id(node) not in subscripted
         ):
             findings.append("row must be read as row[<constant int>]")
+    return findings
+
+
+# -- EVJ ---------------------------------------------------------------------
+
+#: The full shape of a cloned EVJ template.  EVJ is the one bee kind kept
+#: as C text (the paper pre-compiles the join-type combinations ahead of
+#: time and only clones at preparation); the lint is therefore a
+#: whole-source grammar rather than an AST walk.
+_EVJ_TEMPLATE_RE = re.compile(
+    r"/\* EVJ template: (\w+) join, (\d+) key\(s\) — dispatch folded,\n"
+    r"   key comparison inlined \((\d+) instructions per candidate"
+    r" pair\)\. \*/\n"
+    r"static bool evj_(\w+)\(Datum \*outer, Datum \*inner\)\n"
+    r"\{\n"
+    r"((?:    if \(outer\[\d+\] != inner\[\d+\]\) return false;\n)*)"
+    r"    return (?:true|false);(?:  /\* match suppresses emission \*/)?\n"
+    r"\}\n"
+)
+
+_EVJ_JOIN_TYPES = ("inner", "left", "semi", "anti")
+
+
+def lint_evj(source: str) -> list[str]:
+    """Lint one cloned EVJ template (C text) against the template grammar."""
+    findings: list[str] = []
+    m = _EVJ_TEMPLATE_RE.fullmatch(source)
+    if m is None:
+        findings.append("EVJ source does not match the template grammar")
+        return findings
+    comment_type, _n_keys, _cost, fn_type = m.group(1), m.group(2), m.group(
+        3
+    ), m.group(4)
+    if comment_type != fn_type:
+        findings.append(
+            f"header comment says {comment_type!r} join but the function "
+            f"is evj_{fn_type}"
+        )
+    if fn_type not in _EVJ_JOIN_TYPES:
+        findings.append(f"unknown join type {fn_type!r}")
+    return findings
+
+
+# -- AGG ---------------------------------------------------------------------
+
+_AGG_NAMES = re.compile(
+    r"row|states|t\d+|k\d+|re\d+|in\d+|fn\d+|_charge|_COST"
+)
+_AGG_METHODS = _METHODS | {"update"}
+_AGG_GUARD_TEST = re.compile(r".+ is not None|t\d+ is True")
+
+
+def _is_states_update(stmt: ast.stmt) -> bool:
+    """``states[<const int>].update(<expr>)`` as an expression statement."""
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "update"
+        and isinstance(stmt.value.func.value, ast.Subscript)
+        and isinstance(stmt.value.func.value.value, ast.Name)
+        and stmt.value.func.value.value.id == "states"
+        and isinstance(stmt.value.func.value.slice, ast.Constant)
+        and isinstance(stmt.value.func.value.slice.value, int)
+        and len(stmt.value.args) == 1
+        and not stmt.value.keywords
+    )
+
+
+def _lint_agg_stmt(stmt: ast.stmt, findings: list[str]) -> None:
+    """AGG bodies: t-temp assignments, guards, and accumulator updates."""
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) != 1 or not (
+            isinstance(stmt.targets[0], ast.Name)
+            and _EVP_TEMP.fullmatch(stmt.targets[0].id)
+        ):
+            findings.append(
+                f"AGG may only assign to t-temps: {ast.unparse(stmt)!r}"
+            )
+        return
+    if _is_states_update(stmt):
+        return
+    if isinstance(stmt, ast.If):
+        if not _AGG_GUARD_TEST.fullmatch(ast.unparse(stmt.test)):
+            findings.append(
+                f"AGG branch must be a NULL guard or CASE arm, got "
+                f"{ast.unparse(stmt.test)!r}"
+            )
+        for branch_stmt in stmt.body + stmt.orelse:
+            _lint_agg_stmt(branch_stmt, findings)
+        return
+    findings.append(f"AGG statement kind not allowed: {ast.unparse(stmt)!r}")
+
+
+def lint_agg(source: str, name: str) -> list[str]:
+    """Lint one generated AGG transition routine."""
+    findings: list[str] = []
+    fn = _parse_routine(source, name, ("row", "states"), findings)
+    if fn is None:
+        return findings
+    _check_banned(fn, findings)
+    _check_names(fn, _AGG_NAMES, findings, methods=_AGG_METHODS)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return):
+            findings.append(
+                "AGG transitions mutate states and must not return"
+            )
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+    if len(body) < 2:
+        findings.append("AGG body too short to be a bee")
+        return findings
+    expected_charge = f"_charge('{name}', _COST)"
+    if ast.unparse(body[0]) != expected_charge:
+        findings.append(
+            f"first statement must be {expected_charge!r}, got "
+            f"{ast.unparse(body[0])!r}"
+        )
+    for stmt in body[1:]:
+        _lint_agg_stmt(stmt, findings)
+
+    # `states` may only appear as the receiver of an accumulator update.
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "states"
+            and not (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)
+            )
+        ):
+            findings.append(
+                f"states index must be a constant int: {ast.unparse(node)!r}"
+            )
+    return findings
+
+
+# -- IDX ---------------------------------------------------------------------
+
+_IDX_NAMES = re.compile(r"values|_charge|_COST")
+
+
+def lint_idx(source: str, name: str) -> list[str]:
+    """Lint one generated IDX key extractor."""
+    findings: list[str] = []
+    fn = _parse_routine(source, name, ("values",), findings)
+    if fn is None:
+        return findings
+    _check_banned(fn, findings)
+    _check_names(fn, _IDX_NAMES, findings)
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+    if len(body) != 2:
+        findings.append(
+            f"IDX body must be charge + return, got {len(body)} statements"
+        )
+        return findings
+    expected_charge = f"_charge('{name}', _COST)"
+    if ast.unparse(body[0]) != expected_charge:
+        findings.append(
+            f"first statement must be {expected_charge!r}, got "
+            f"{ast.unparse(body[0])!r}"
+        )
+    ret = body[1]
+    if not (isinstance(ret, ast.Return) and isinstance(ret.value, ast.Tuple)):
+        findings.append("IDX must end with a tuple return")
+        return findings
+    for element in ret.value.elts:
+        if not (
+            isinstance(element, ast.Subscript)
+            and isinstance(element.value, ast.Name)
+            and element.value.id == "values"
+            and isinstance(element.slice, ast.Constant)
+            and isinstance(element.slice.value, int)
+        ):
+            findings.append(
+                f"IDX key element must be values[<constant int>]: "
+                f"{ast.unparse(element)!r}"
+            )
     return findings

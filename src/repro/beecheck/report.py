@@ -47,7 +47,7 @@ class RoutineReport:
     """Verification outcome for one routine."""
 
     routine: str
-    kind: str                       # "gcl" | "scl" | "evp"
+    kind: str                       # gcl | scl | evp | evj | agg | idx
     subject: str                    # relation name or predicate text
     passes: dict[str, str] = field(default_factory=dict)  # pass -> ok/fail
     findings: list[Finding] = field(default_factory=list)

@@ -28,7 +28,14 @@ from repro.cost.ledger import Ledger
 from repro.engine import expr as E
 from repro.storage.layout import TupleLayout
 from repro.workloads.tpch.schema import ALL_SCHEMAS
-from repro.beecheck.checker import check_evp, check_gcl, check_scl
+from repro.beecheck.checker import (
+    check_agg,
+    check_evj,
+    check_evp,
+    check_gcl,
+    check_idx,
+    check_scl,
+)
 
 
 def _tamper(routine, old: str, new: str):
@@ -113,5 +120,46 @@ def run_selftest() -> dict[str, bool]:
     results["tamper-scl-argswap"] = caught_statically(
         check_scl(tampered, layout)
     )
+
+    # -- EVJ / AGG / IDX tampers --
+    from repro.bees.routines.agg import generate_agg
+    from repro.bees.routines.evj import instantiate_evj
+    from repro.bees.routines.idx import generate_idx
+    from repro.engine.aggregates import AggSpec
+
+    # EVJ routines are frozen C text with no namespace; tampering is a
+    # plain source replace, no recompilation involved.
+    evj = instantiate_evj("inner", 2, "evj_inner")
+    tampered = dataclasses.replace(
+        evj,
+        source=evj.source.replace("outer[1] != inner[1]", "outer[1] != inner[0]"),
+    )
+    results["tamper-evj-key"] = not check_evj(tampered).ok
+
+    anti = instantiate_evj("anti", 1, "evj_anti")
+    tampered = dataclasses.replace(
+        anti,
+        source=anti.source.replace(
+            "return false;  /* match suppresses emission */", "return true;"
+        ),
+    )
+    results["tamper-evj-return"] = not check_evj(tampered).ok
+
+    columns = ["p", "d"]
+    specs = [
+        AggSpec("sum", E.bind(E.Col("p"), columns), name="s"),
+        AggSpec("count", name="n"),
+    ]
+    agg = generate_agg(specs, Ledger(), "AGG_selftest")
+
+    tampered = _tamper(agg, "states[1].update", "states[0].update")
+    results["tamper-agg-index"] = not check_agg(tampered, specs).ok
+
+    tampered = dataclasses.replace(agg, cost=agg.cost + 10)
+    results["tamper-agg-cost"] = caught_statically(check_agg(tampered, specs))
+
+    idx = generate_idx([2, 0], Ledger(), "IDX_selftest")
+    tampered = _tamper(idx, "(values[2], values[0])", "(values[0], values[2])")
+    results["tamper-idx-order"] = not check_idx(tampered, [2, 0]).ok
 
     return results

@@ -402,3 +402,151 @@ def validate_evp(routine, expr) -> list[str]:
                     f"interpreter gives {expected!r}"
                 )
     return findings
+
+
+# -- EVJ / AGG / IDX ---------------------------------------------------------
+
+_RE_EVJ_COMPARE_PAIR = re.compile(
+    r"if \(outer\[(\d+)\] != inner\[(\d+)\]\) return false;"
+)
+_RE_EVJ_RETURN = re.compile(r"return (true|false);")
+
+
+def validate_evj(routine) -> list[str]:
+    """Simulate the cloned C template against the join-type semantics.
+
+    The template is C text, never executed in-process, so validation
+    *interprets* it: walk the comparison lines in order, short-circuit
+    on the first mismatching pair, fall through to the final return.
+    The reference is the join identity itself — emit iff the keys all
+    match, inverted for anti joins (a match suppresses emission).
+    """
+    compares = [
+        (int(a), int(b))
+        for a, b in _RE_EVJ_COMPARE_PAIR.findall(routine.source)
+    ]
+    finals = _RE_EVJ_RETURN.findall(routine.source)
+    if not finals:
+        return ["template has no fall-through return"]
+    fallthrough = finals[-1] == "true"
+
+    def simulate(outer, inner) -> bool:
+        for a, b in compares:
+            if outer[a] != inner[b]:
+                return False
+        return fallthrough
+
+    def reference(outer, inner) -> bool:
+        match = all(
+            outer[k] == inner[k] for k in range(routine.n_keys)
+        )
+        # Anti joins emit via probe-miss bookkeeping, never through the
+        # match path — the template must report False for every pair.
+        return match and routine.join_type != "anti"
+
+    width = max(routine.n_keys, 1)
+    base = list(range(width))
+    pairs = [(base, list(base))]
+    for k in range(routine.n_keys):
+        off = list(base)
+        off[k] = -99
+        pairs.append((base, off))
+        pairs.append((off, base))
+    findings: list[str] = []
+    for outer, inner in pairs:
+        if len(findings) >= MAX_FINDINGS:
+            break
+        got = simulate(outer, inner)
+        expected = reference(outer, inner)
+        if got != expected:
+            findings.append(
+                f"template emits {got} for outer={outer!r} "
+                f"inner={inner!r}; {routine.join_type} join semantics "
+                f"require {expected}"
+            )
+    return findings
+
+
+def validate_agg(routine, specs, assume_not_null: bool = False) -> list[str]:
+    """Cross-check the compiled transition against the generic HashAgg loop.
+
+    Both sides accumulate over the same enumerated row stream into fresh
+    accumulator lists; after every row the visible results must agree.
+    The reference replicates ``repro.engine.agg.HashAgg`` exactly: count(*)
+    advances unconditionally, count(arg) skips NULL arguments, other
+    aggregates delegate NULL handling to the accumulator.
+    """
+    domains_by_col: dict[int, list] = {}
+    for spec in specs:
+        if spec.arg is not None:
+            for col, values in _evp_domains(
+                spec.arg, guarded=not assume_not_null
+            ).items():
+                merged = domains_by_col.setdefault(col, [])
+                merged.extend(v for v in values if v not in merged)
+    cols = sorted(domains_by_col)
+    domains = [domains_by_col[c] for c in cols]
+    width = (max(cols) + 1) if cols else 1
+
+    specialized = [spec.make_state() for spec in specs]
+    generic = [spec.make_state() for spec in specs]
+    findings: list[str] = []
+    with ledger_guard(routine):
+        for combo in enumerate_rows(domains) if domains else [[], []]:
+            if len(findings) >= MAX_FINDINGS:
+                break
+            row = [0] * width
+            for col, value in zip(cols, combo):
+                row[col] = value
+            try:
+                routine.fn(row, specialized)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on row {row!r}"
+                )
+                break
+            for spec, state in zip(specs, generic):
+                if spec.arg is None:
+                    state.update(None)
+                    continue
+                value = spec.arg.evaluate(row)
+                if value is not None or spec.func != "count":
+                    state.update(value)
+            got = [state.result() for state in specialized]
+            expected = [state.result() for state in generic]
+            if not _rows_eq(got, expected):
+                findings.append(
+                    f"accumulators diverge after row {row!r}: got "
+                    f"{got!r}, generic transition gives {expected!r}"
+                )
+                break
+    return findings
+
+
+def validate_idx(routine, key_indexes) -> list[str]:
+    """Cross-check the compiled key extractor against plain subscripting."""
+    width = max(key_indexes, default=0) + 1
+    rows = [
+        [i * 10 + col for col in range(width)] for i in range(4)
+    ]
+    rows.append([None] * width)
+    rows.append([f"s{col}" for col in range(width)])
+    findings: list[str] = []
+    with ledger_guard(routine):
+        for row in rows:
+            if len(findings) >= MAX_FINDINGS:
+                break
+            expected = tuple(row[i] for i in key_indexes)
+            try:
+                got = routine.fn(row)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on row {row!r}"
+                )
+                continue
+            if got != expected:
+                findings.append(
+                    f"key extraction mismatch on row {row!r}: got "
+                    f"{got!r}, expected {expected!r}"
+                )
+    return findings

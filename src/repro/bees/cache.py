@@ -98,7 +98,12 @@ class BeeCache:
             relation = record["relation"]
             layout = layouts.get(relation)
             if layout is None:
-                continue  # stale bee; the collector will remove the file
+                # Stale bee: its relation is not in this server's catalog.
+                # Unlink it now — the collector only sweeps bees that made
+                # it into the cache, so a never-loaded stale file would
+                # otherwise survive every GC pass.
+                path.unlink()
+                continue
             bee = maker.make_relation_bee(layout)
             sections = record.get("data_sections")
             if sections is not None and bee.data_sections is not None:

@@ -107,4 +107,9 @@ class BeeMaker:
         """Clone the pre-compiled EVJ template for a join node."""
         self._evj_counter += 1
         fn_name = f"EVJ_{self._evj_counter}_{join_type}"
-        return instantiate_evj(join_type, n_keys, fn_name)
+        routine = instantiate_evj(join_type, n_keys, fn_name)
+        if self.verify:
+            from repro.beecheck import verify_evj
+
+            verify_evj(routine)
+        return routine

@@ -47,7 +47,7 @@ class GenericBeeModule:
         self._evj_by_shape: dict[tuple[str, int], EVJRoutine] = {}
         self._agg_by_specs: dict[int, tuple] = {}
         self._agg_counter = 0
-        self._idx_by_index: dict[tuple[str, str], BeeRoutine] = {}
+        self._idx_by_index: dict[tuple[str, str], tuple[list[int], BeeRoutine]] = {}
 
     # -- relation bees (schema definition time) ---------------------------------
 
@@ -80,6 +80,30 @@ class GenericBeeModule:
     def drop_relation_bee(self, relation: str) -> None:
         """Collector entry point for DROP TABLE."""
         self.collector.collect_relation(relation)
+        for key in [k for k in self._idx_by_index if k[0] == relation]:
+            del self._idx_by_index[key]
+
+    def invalidate_query_bees(self) -> int:
+        """Evict every query bee and memoized query routine (ALTER path).
+
+        Plans — and the EVP/AGG/IDX routines memoized off them — may bind
+        column positions and constants from the old schema.  EVJ templates
+        survive: they embed only the join type and key arity, which no
+        schema change affects.  Returns the number of entries evicted.
+        """
+        n_query_bees = len(self.cache.query_bees)
+        evicted = (
+            n_query_bees
+            + len(self._evp_by_expr)
+            + len(self._agg_by_specs)
+            + len(self._idx_by_index)
+        )
+        self.cache.query_bees.clear()
+        self._evp_by_expr.clear()
+        self._agg_by_specs.clear()
+        self._idx_by_index.clear()
+        self.collector.collected_query_bees += n_query_bees
+        return evicted
 
     # -- query bees (query preparation time) ------------------------------------
 
@@ -109,6 +133,10 @@ class GenericBeeModule:
             list(specs), self.ledger, f"AGG_{self._agg_counter}",
             assume_not_null,
         )
+        if self.maker.verify:
+            from repro.beecheck import verify_agg
+
+            verify_agg(routine, list(specs), assume_not_null)
         self._agg_by_specs[key] = (specs, routine)
         return routine
 
@@ -121,15 +149,20 @@ class GenericBeeModule:
         when :attr:`BeeSettings.idx` is enabled.
         """
         key = (relation, index_name)
-        routine = self._idx_by_index.get(key)
-        if routine is None:
+        entry = self._idx_by_index.get(key)
+        if entry is None:
             from repro.bees.routines.idx import generate_idx
 
             routine = generate_idx(
                 key_indexes, self.ledger, f"IDX_{relation}_{index_name}"
             )
-            self._idx_by_index[key] = routine
-        return routine
+            if self.maker.verify:
+                from repro.beecheck import verify_idx
+
+                verify_idx(routine, key_indexes)
+            entry = (list(key_indexes), routine)
+            self._idx_by_index[key] = entry
+        return entry[1]
 
     def get_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
         """EVJ routine for a join shape (clone of a pre-compiled template)."""

@@ -78,7 +78,9 @@ def generate_agg(
                 body.append(f"    states[{i}].update({temp})")
     source = "\n".join(header + body) + "\n"
     fn = compile_routine(source, fn_name, em.namespace)
-    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=cost, source=source, namespace=em.namespace
+    )
 
 
 def generic_transition_cost(specs) -> int:

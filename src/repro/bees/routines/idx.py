@@ -47,4 +47,6 @@ def generate_idx(
         f"    return ({elements}{trailing})",
     ]) + "\n"
     fn = compile_routine(source, fn_name, namespace)
-    return BeeRoutine(name=fn_name, fn=fn, cost=cost, source=source)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=cost, source=source, namespace=namespace
+    )

@@ -76,6 +76,10 @@ class BeeSettings:
         """Return a copy with the given flags overridden."""
         return replace(self, **flags)
 
+    def verified(self) -> "BeeSettings":
+        """Same routine flags, with beecheck gating every emitted bee."""
+        return replace(self, verify_on_generate=True)
+
     @property
     def any_enabled(self) -> bool:
         """True when at least one bee routine family is on."""

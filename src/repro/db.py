@@ -130,6 +130,7 @@ class Database:
         self.time_model = TimeModel()
         self._relations: dict[str, Relation] = {}
         self.catalog.on("drop", self._on_drop)
+        self.catalog.on("alter", self._on_alter)
 
     # -- DDL --------------------------------------------------------------------
 
@@ -197,6 +198,16 @@ class Database:
         self._relations.pop(name, None)
         self.buffer_pool.invalidate_relation(name)
         self.bee_module.drop_relation_bee(name)
+
+    def _on_alter(self, name: str, _schema) -> None:
+        """Bee reconstruction on ALTER: the relation bee is regenerated
+        for the relation's current layout, and every query-bee routine is
+        evicted — plans bind column positions and constants against the
+        old schema, so memoized EVP/AGG/IDX routines may be stale."""
+        rel = self._relations.get(name)
+        if rel is not None and rel.bee is not None:
+            rel.bee = self.bee_module.reconstruct_relation_bee(rel.layout)
+        self.bee_module.invalidate_query_bees()
 
     def reannotate(self, name: str, annotate: Sequence[str]) -> Relation:
         """Change a relation's annotations and rebuild its storage.

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.hiveaudit``."""
+
+import sys
+
+from repro.hiveaudit.cli import main
+
+sys.exit(main())

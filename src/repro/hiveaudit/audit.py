@@ -1,0 +1,215 @@
+"""Audit orchestration: extraction + mutation scan + rule proofs.
+
+:func:`run_audit` runs all three passes over an :class:`EngineSource`
+and folds the results into an :class:`AuditReport`.  The report is
+"ok" iff every rule-matching mutation site has a witness invalidation
+path (or a documented exemption), every integrity check holds, every
+bee kind embeds at least its expected invariant classes, and no
+generator embeds :data:`BeeSettings` flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.hiveaudit.callgraph import CallGraph
+from repro.hiveaudit.extract import (
+    EXPECTED_EMBEDDINGS,
+    KindExtraction,
+    extract_embeddings,
+)
+from repro.hiveaudit.mutations import MutationSite, scan_mutations
+from repro.hiveaudit.rules import EXEMPTIONS, INTEGRITY_CHECKS, RULES
+from repro.hiveaudit.source import EngineSource
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One proven gap in the invalidation lifecycle."""
+
+    rule: str
+    module: str
+    qualname: str
+    lineno: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "function": self.qualname,
+            "line": self.lineno,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class AuditReport:
+    extraction: dict  # kind -> KindExtraction
+    mutations: list  # MutationSite
+    findings: list = field(default_factory=list)  # Finding
+    proofs: list = field(default_factory=list)  # dicts with witness paths
+    exempted: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        lines = [
+            f"bee kinds analyzed: {len(self.extraction)}",
+            f"mutation sites:     {len(self.mutations)}",
+            f"proven edges:       {len(self.proofs)}",
+            f"exempted sites:     {len(self.exempted)}",
+            f"findings:           {len(self.findings)}",
+        ]
+        for finding in self.findings:
+            lines.append(
+                f"  FINDING {finding.rule}: {finding.module}:"
+                f"{finding.lineno} in {finding.qualname} — {finding.detail}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "extraction": {
+                kind: ext.to_dict() for kind, ext in self.extraction.items()
+            },
+            "mutations": [site.to_dict() for site in self.mutations],
+            "proofs": self.proofs,
+            "exempted": self.exempted,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _check_extraction(
+    extraction: dict[str, KindExtraction], findings: list
+) -> None:
+    for kind, expected in EXPECTED_EMBEDDINGS.items():
+        ext = extraction.get(kind)
+        got = ext.classes if ext is not None else frozenset()
+        missing = expected - got
+        if missing:
+            findings.append(
+                Finding(
+                    "extraction-coverage", "-", kind, 0,
+                    f"bee kind {kind!r} expected to embed "
+                    f"{sorted(expected)} but extraction only proves "
+                    f"{sorted(got)} (missing {sorted(missing)}) — the "
+                    "analysis has degraded",
+                )
+            )
+    for kind, ext in extraction.items():
+        if "settings.flags" in ext.classes:
+            findings.append(
+                Finding(
+                    "settings-never-embedded", "-", kind, 0,
+                    f"bee kind {kind!r} embeds BeeSettings flags; a "
+                    "settings swap would stale the bee with no "
+                    "invalidation edge defined",
+                )
+            )
+
+
+def _check_rules(
+    graph: CallGraph, mutations: list, report: AuditReport
+) -> None:
+    for rule in RULES:
+        for site in mutations:
+            if site.invariant != rule.invariant:
+                continue
+            if site.verb not in rule.verbs:
+                continue
+            exemption = EXEMPTIONS.get((rule.name, site.qualname))
+            if exemption is not None:
+                report.exempted.append({
+                    "rule": rule.name,
+                    "function": site.qualname,
+                    "line": site.lineno,
+                    "reason": exemption,
+                })
+                continue
+            if not rule.targets:
+                report.findings.append(
+                    Finding(rule.name, site.module, site.qualname,
+                            site.lineno, rule.rationale)
+                )
+                continue
+            path = graph.reaches(site.qualname, rule.targets)
+            if path is None:
+                report.findings.append(
+                    Finding(
+                        rule.name, site.module, site.qualname, site.lineno,
+                        f"no call path from {site.qualname} "
+                        f"({site.detail}) to any of "
+                        f"{sorted(rule.targets)} — {rule.rationale}",
+                    )
+                )
+            else:
+                report.proofs.append({
+                    "rule": rule.name,
+                    "function": site.qualname,
+                    "line": site.lineno,
+                    "witness": path,
+                })
+
+
+def _has_unlink(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unlink"
+        ):
+            return True
+    return False
+
+
+def _has_subscript_delete(fn: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == attr
+                ):
+                    return True
+    return False
+
+
+def _check_integrity(graph: CallGraph, findings: list) -> None:
+    for name, qualname, description in INTEGRITY_CHECKS:
+        info = graph.functions.get(qualname)
+        if info is None:
+            findings.append(
+                Finding(name, "-", qualname, 0,
+                        f"{qualname} not found — {description}")
+            )
+            continue
+        if name in ("disk-eviction-unlinks", "stale-load-unlinks"):
+            ok = _has_unlink(info.node)
+        else:  # query-budget-evicts
+            ok = _has_subscript_delete(info.node, "query_bees")
+        if not ok:
+            findings.append(
+                Finding(name, info.module, qualname, info.lineno, description)
+            )
+
+
+def run_audit(source: EngineSource | None = None) -> AuditReport:
+    """Run the full three-pass audit; see the module docstring."""
+    source = source or EngineSource()
+    extraction = extract_embeddings(source)
+    graph = CallGraph(source)
+    mutations = scan_mutations(source, graph)
+    report = AuditReport(extraction, mutations)
+    _check_extraction(extraction, report.findings)
+    _check_rules(graph, mutations, report)
+    _check_integrity(graph, report.findings)
+    return report
+
+
+__all__ = ["AuditReport", "Finding", "run_audit"]

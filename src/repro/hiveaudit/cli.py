@@ -1,0 +1,60 @@
+"""Command line driver: ``python -m repro.hiveaudit``.
+
+Runs the whole-engine audit, then (unless ``--no-selftest``) the
+bug-injection self-test, prints a summary, and writes the combined
+report to ``<out>/report.json``.  Exit status is 0 iff the audit has no
+findings and every planted bug was caught with correct attribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.hiveaudit.audit import run_audit
+from repro.hiveaudit.selftest import run_selftest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hiveaudit",
+        description="Whole-engine bee-cache invalidation soundness audit.",
+    )
+    parser.add_argument(
+        "--out", default="results/hiveaudit",
+        help="directory for report.json (default: results/hiveaudit)",
+    )
+    parser.add_argument(
+        "--no-selftest", action="store_true",
+        help="skip the bug-injection self-test",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_audit()
+    print(report.summary())
+
+    selftest: list[dict] = []
+    all_caught = True
+    if not args.no_selftest:
+        selftest = run_selftest(baseline=report)
+        caught = sum(1 for r in selftest if r["caught"])
+        all_caught = caught == len(selftest)
+        print(f"self-test:          {caught}/{len(selftest)} planted bugs "
+              "caught")
+        for result in selftest:
+            if not result["caught"]:
+                print(f"  MISSED {result['case']}: {result['description']}")
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = report.to_dict()
+    payload["selftest"] = selftest
+    out_path = out_dir / "report.json"
+    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"report:             {out_path}")
+
+    return 0 if report.ok and all_caught else 1
+
+
+__all__ = ["main"]

@@ -1,0 +1,40 @@
+"""Access to the engine's own source tree, with injectable overrides.
+
+Every hiveaudit pass reads modules through :class:`EngineSource` so the
+self-test can analyze *patched* source text (an invalidation call
+deleted or rewired) without ever touching the files on disk.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+
+ENGINE_ROOT = Path(repro.__file__).parent
+
+
+class EngineSource:
+    """The ``repro`` package source, keyed by package-relative path.
+
+    ``overrides`` maps module paths (e.g. ``"db.py"``,
+    ``"catalog/catalog.py"``) to replacement source text; unlisted
+    modules are read from disk.  Parsed trees are cached per instance.
+    """
+
+    def __init__(self, overrides: dict[str, str] | None = None) -> None:
+        self.overrides = dict(overrides or {})
+        self._trees: dict[str, ast.Module] = {}
+
+    def text(self, module: str) -> str:
+        if module in self.overrides:
+            return self.overrides[module]
+        return (ENGINE_ROOT / module).read_text()
+
+    def tree(self, module: str) -> ast.Module:
+        cached = self._trees.get(module)
+        if cached is None:
+            cached = ast.parse(self.text(module), filename=module)
+            self._trees[module] = cached
+        return cached

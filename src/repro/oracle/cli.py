@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "oracle reports divergences")
     parser.add_argument("--no-minimize", action="store_true",
                         help="skip repro minimization (faster)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="do not gate generated bees on beecheck "
+                             "(verification is on by default; injection "
+                             "modes always run unverified so planted bugs "
+                             "reach execution)")
     parser.add_argument("--json", type=Path, default=None, metavar="PATH",
                         help="also write the report as JSON")
     parser.add_argument("--divergence-dir", type=Path, default=None,
@@ -87,6 +92,8 @@ def _write_outputs(report, args) -> None:
 def run(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     settings = _SETTINGS[args.bees]()
+    if not args.no_verify and args.inject_bug is None and not args.self_test:
+        settings = settings.verified()
 
     if args.self_test:
         reports = run_self_test(args.seed, args.iterations)

@@ -135,7 +135,12 @@ class DifferentialOracle:
         minimize_cap: int = 8,
     ) -> None:
         self.seed = seed
-        self.bee_settings = bee_settings or BeeSettings.all_bees()
+        # Campaigns gate every emitted bee on beecheck by default: a
+        # routine the static verifier rejects should never reach the
+        # differential comparison (pass explicit settings to opt out).
+        self.bee_settings = (
+            bee_settings or BeeSettings.all_bees().verified()
+        )
         self.minimize = minimize
         self.minimize_trials = minimize_trials
         self.minimize_cap = minimize_cap
@@ -399,7 +404,12 @@ def run_self_test(seed: int, iterations: int) -> dict[str, OracleReport]:
     reports = {}
     for kind in ("gcl", "evp"):
         with inject_bug(kind):
+            # Verification stays off here: beecheck would reject the
+            # broken routine at generation time, and this test must
+            # prove the *runtime* oracle catches what slips through.
             reports[kind] = run_campaign(
-                seed, iterations, minimize=False
+                seed, iterations,
+                bee_settings=BeeSettings.all_bees(),
+                minimize=False,
             )
     return reports

@@ -103,3 +103,58 @@ class TestRelationBeeGC:
         assert collector.collect_relation("gctab") is True
         assert collector.collect_relation("gctab") is False
         assert collector.collected_relation_bees == 1
+
+
+class TestInvalidationEdges:
+    """Regression tests for the invalidation edges hiveaudit proves.
+
+    Each of these corresponds to an injection case in
+    ``repro.hiveaudit.selftest`` — the static analysis flags the edge's
+    removal; these tests pin the runtime behavior the edge provides.
+    """
+
+    def test_alter_event_reconstructs_bee_and_evicts_query_memos(self):
+        db = Database(BeeSettings.all_bees())
+        db.sql("CREATE TABLE t (a int NOT NULL, b int NOT NULL)")
+        db.sql("INSERT INTO t VALUES (1, 2)")
+        bee_before = db.relation("t").bee
+        db.sql("SELECT a FROM t WHERE b > 1")
+        module = db.bee_module
+        assert module._evp_by_expr
+        module.register_query_bee("plan-x")
+
+        db.catalog.alter_relation(db.relation("t").schema)
+
+        assert db.relation("t").bee is not bee_before
+        assert not module._evp_by_expr
+        assert not module.cache.query_bees
+        assert module.collector.collected_query_bees >= 1
+
+    def test_load_from_unlinks_stale_bee_file(self, tmp_path):
+        db = Database(BeeSettings.all_bees(), bee_cache_dir=str(tmp_path))
+        db.sql("CREATE TABLE keepme (id int NOT NULL)")
+        db.sql("CREATE TABLE dropme (id int NOT NULL)")
+        assert db.bee_module.flush_to_disk() == 2
+        stale = tmp_path / "dropme.bee.json"
+        assert stale.exists()
+
+        # A fresh server whose catalog no longer contains `dropme` must
+        # discard the orphaned file during load, not resurrect the bee.
+        reborn = Database(BeeSettings.all_bees(), bee_cache_dir=str(tmp_path))
+        reborn.sql("CREATE TABLE keepme (id int NOT NULL)")
+        layouts = {"keepme": reborn.relation("keepme").layout}
+        loaded = reborn.bee_module.cache.load_from(
+            tmp_path, reborn.bee_module.maker, layouts
+        )
+        assert loaded == 1
+        assert not stale.exists()
+        assert reborn.bee_module.cache.get_relation_bee("dropme") is None
+
+    def test_drop_purges_idx_routine_memo(self):
+        db = Database(BeeSettings.future())
+        db.sql("CREATE TABLE t (a int NOT NULL, b int NOT NULL)")
+        db.create_index("t", "t_a", ["a"])
+        module = db.bee_module
+        assert ("t", "t_a") in module._idx_by_index
+        db.sql("DROP TABLE t")
+        assert ("t", "t_a") not in module._idx_by_index

@@ -1,7 +1,8 @@
 """Golden-source snapshots of generated bee code.
 
-Every representative layout's generated GCL/SCL (and two EVP variants)
-is pinned byte-for-byte under ``tests/golden/``.  A codegen change shows
+Every representative layout's generated GCL/SCL — plus two EVP
+variants, all four EVJ templates, an AGG transition pair, and an IDX
+extractor — is pinned byte-for-byte under ``tests/golden/``.  A codegen change shows
 up as a reviewable diff instead of a silent behavior shift; regenerate
 deliberately with::
 
@@ -16,8 +17,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.bees.routines.agg import generate_agg
+from repro.bees.routines.evj import JOIN_TYPES, instantiate_evj
 from repro.bees.routines.evp import generate_evp
 from repro.bees.routines.gcl import generate_gcl
+from repro.bees.routines.idx import generate_idx
 from repro.bees.routines.scl import generate_scl
 from repro.catalog import BOOL, INT4, INT8, NUMERIC, char, make_schema, varchar
 from repro.cost.ledger import Ledger
@@ -75,6 +79,21 @@ def _evp_expr() -> E.Expr:
     )
 
 
+def _agg_specs():
+    from repro.engine.aggregates import AggSpec
+
+    columns = ["p", "d"]
+    revenue = E.bind(
+        E.Arith("*", E.Col("p"), E.Arith("-", E.Const(1), E.Col("d"))),
+        columns,
+    )
+    return [
+        AggSpec("sum", revenue, name="rev"),
+        AggSpec("count", name="n"),
+        AggSpec("avg", E.bind(E.Col("p"), columns), name="avg_p"),
+    ]
+
+
 def _generate(name: str) -> str:
     ledger = Ledger()
     if name.startswith("gcl_"):
@@ -87,6 +106,17 @@ def _generate(name: str) -> str:
         return generate_evp(
             _evp_expr(), ledger, "EVP_DIRECT", assume_not_null=True
         ).source
+    if name.startswith("evj_"):
+        join_type = name[4:]
+        return instantiate_evj(join_type, 2, f"evj_{join_type}").source
+    if name == "agg_guarded":
+        return generate_agg(_agg_specs(), ledger, "AGG_GUARDED").source
+    if name == "agg_direct":
+        return generate_agg(
+            _agg_specs(), ledger, "AGG_DIRECT", assume_not_null=True
+        ).source
+    if name == "idx_pair":
+        return generate_idx([2, 0], ledger, "IDX_PAIR").source
     raise KeyError(name)
 
 
@@ -94,6 +124,8 @@ SNAPSHOTS = (
     [f"gcl_{key}" for key in LAYOUTS]
     + [f"scl_{key}" for key in LAYOUTS]
     + ["evp_guarded", "evp_direct"]
+    + [f"evj_{join_type}" for join_type in JOIN_TYPES]
+    + ["agg_guarded", "agg_direct", "idx_pair"]
 )
 
 
