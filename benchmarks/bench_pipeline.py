@@ -1,0 +1,174 @@
+"""Pipeline-bee benchmark: stock vs routine bees vs fused pipelines.
+
+Runs all 22 TPC-H queries, warm cache, on three databases sharing one
+generated dataset:
+
+* **stock** — no specialization,
+* **bees** — the paper's evaluated system (GCL/SCL/EVP/EVJ/tuple bees),
+* **pipelines** — the same plus fused pipeline bees.
+
+For each query we record the best-of-``--repeat`` wall-clock seconds and
+the (deterministic) priced instruction count, assert the three engines
+agree on every result, and report per-query ratios plus geometric means.
+The JSON report lands in ``results/BENCH_pipeline.json``; ``--check``
+additionally gates the headline claim — pipelines beat routine bees on
+the wall-clock geomean — for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --sf 0.01 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.bees.settings import BeeSettings
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import QUERIES
+
+ENGINES = ("stock", "bees", "pipelines")
+
+
+def build_databases(scale_factor: float, seed: int):
+    rows = generate_rows(TPCHGenerator(scale_factor, seed))
+    return {
+        "stock": build_tpch_database(BeeSettings.stock(), rows=rows),
+        "bees": build_tpch_database(BeeSettings.all_bees(), rows=rows),
+        "pipelines": build_tpch_database(
+            BeeSettings.pipelined(), rows=rows
+        ),
+    }
+
+
+def run_query(db, query_number: int, repeat: int):
+    """Best-of-*repeat* wall seconds + priced instructions + result."""
+    best_wall = math.inf
+    run = None
+    for _ in range(repeat):
+        db.warm_cache()
+        started = time.perf_counter()
+        run = db.measure(lambda: QUERIES[query_number](db))
+        best_wall = min(best_wall, time.perf_counter() - started)
+    return best_wall, run.instructions, run.result
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(databases, repeat: int) -> dict:
+    queries = {}
+    for number in sorted(QUERIES):
+        per_engine = {}
+        results = {}
+        for engine in ENGINES:
+            wall, instructions, result = run_query(
+                databases[engine], number, repeat
+            )
+            per_engine[engine] = {
+                "wall_seconds": wall,
+                "instructions": instructions,
+            }
+            results[engine] = result
+        if not (results["stock"] == results["bees"] == results["pipelines"]):
+            raise AssertionError(
+                f"q{number}: engines disagree — benchmark numbers would "
+                f"be meaningless"
+            )
+        for engine in ("bees", "pipelines"):
+            per_engine[engine]["wall_ratio_vs_bees"] = (
+                per_engine[engine]["wall_seconds"]
+                / per_engine["bees"]["wall_seconds"]
+            )
+            per_engine[engine]["instr_ratio_vs_stock"] = (
+                per_engine[engine]["instructions"]
+                / per_engine["stock"]["instructions"]
+            )
+        queries[f"q{number}"] = per_engine
+    return queries
+
+
+def summarize(queries: dict) -> dict:
+    def ratio(metric, a, b):
+        return geomean(
+            q[a][metric] / q[b][metric] for q in queries.values()
+        )
+
+    return {
+        "wall_geomean_pipelines_vs_bees": ratio(
+            "wall_seconds", "pipelines", "bees"
+        ),
+        "wall_geomean_pipelines_vs_stock": ratio(
+            "wall_seconds", "pipelines", "stock"
+        ),
+        "instr_geomean_pipelines_vs_bees": ratio(
+            "instructions", "pipelines", "bees"
+        ),
+        "instr_geomean_bees_vs_stock": ratio(
+            "instructions", "bees", "stock"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="TPC-H pipeline-bee benchmark (stock / bees / fused)."
+    )
+    parser.add_argument("--sf", type=float, default=0.01,
+                        help="TPC-H scale factor (default 0.01)")
+    parser.add_argument("--seed", type=int, default=20120401)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="wall-clock runs per query; best is kept")
+    parser.add_argument("--out", type=Path,
+                        default=Path("results") / "BENCH_pipeline.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless fused pipelines beat "
+                             "routine bees on the wall-clock geomean")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="--check passes while the pipelines/bees "
+                             "wall geomean is below this (default 1.0)")
+    args = parser.parse_args(argv)
+
+    databases = build_databases(args.sf, args.seed)
+    queries = run_suite(databases, args.repeat)
+    summary = summarize(queries)
+    report = {
+        "scale_factor": args.sf,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "engines": {
+            name: databases[name].settings.label() or "stock"
+            for name in ENGINES
+        },
+        "summary": summary,
+        "queries": queries,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, value in summary.items():
+        print(f"{name}: {value:.3f}")
+    print(f"report: {args.out}")
+
+    if args.check:
+        ratio = summary["wall_geomean_pipelines_vs_bees"]
+        if ratio >= args.tolerance:
+            print(
+                f"CHECK FAILED: pipelines/bees wall geomean {ratio:.3f} "
+                f">= {args.tolerance}"
+            )
+            return 1
+        print(f"check passed: {ratio:.3f} < {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

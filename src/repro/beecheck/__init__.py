@@ -14,10 +14,10 @@ and execution (see ``docs/BEECHECK.md``).  Four passes:
   generic ``layout.decode``/``encode``/``Expr.evaluate`` paths.
 
 Entry points: ``check_gcl`` / ``check_scl`` / ``check_evp`` /
-``check_evj`` / ``check_agg`` / ``check_idx`` return reports, the
-``verify_*`` variants raise :class:`BeecheckError`, and
-``python -m repro.beecheck`` sweeps every schema plus a fuzzed query
-corpus.
+``check_evj`` / ``check_agg`` / ``check_idx`` / ``check_pipeline``
+return reports, the ``verify_*`` variants raise
+:class:`BeecheckError`, and ``python -m repro.beecheck`` sweeps every
+schema plus a fuzzed query corpus.
 """
 
 from repro.beecheck.checker import (
@@ -26,6 +26,7 @@ from repro.beecheck.checker import (
     check_evp,
     check_gcl,
     check_idx,
+    check_pipeline,
     check_scl,
     enforce,
     verify_agg,
@@ -33,6 +34,7 @@ from repro.beecheck.checker import (
     verify_evp,
     verify_gcl,
     verify_idx,
+    verify_pipeline,
     verify_scl,
 )
 from repro.beecheck.report import (
@@ -52,6 +54,7 @@ __all__ = [
     "check_evp",
     "check_gcl",
     "check_idx",
+    "check_pipeline",
     "check_scl",
     "enforce",
     "verify_agg",
@@ -59,5 +62,6 @@ __all__ = [
     "verify_evp",
     "verify_gcl",
     "verify_idx",
+    "verify_pipeline",
     "verify_scl",
 ]

@@ -905,3 +905,117 @@ def check_idx(routine, key_indexes) -> list[str]:
             f"{list(key_indexes)}"
         )
     return findings
+
+
+# -- PIPE --------------------------------------------------------------------
+
+_RE_PIPE_SLOW = re.compile(r"v(\d+) = _r\[(\d+)\]")
+_RE_PIPE_VLOCAL = re.compile(r"v(\d+)")
+
+
+def check_pipeline(routine, spec) -> list[str]:
+    """Prove definite assignment over the fused loop's hoisted locals.
+
+    The pruned deform assigns ``v<attnum>`` locals on the fast path and
+    copies the same attnums out of the generic slow path; every local the
+    qualification or sink then *reads* must be assigned on **both**
+    branches of the NULL guard — a pruning bug (an attr decoded on one
+    branch only, or referenced but never decoded) is a data-dependent
+    ``NameError`` or, worse, a stale value carried over from the previous
+    tuple.  Bee-resident attrs must come from valid data-section slots of
+    the layout the spec embeds.
+    """
+    layout = spec.layout
+    findings: list[str] = []
+    try:
+        tree = ast.parse(routine.source)
+    except SyntaxError:
+        return ["source does not parse"]
+    fn = tree.body[0]
+    loops = [
+        node
+        for node in ast.walk(fn)
+        if isinstance(node, ast.For)
+        and isinstance(node.target, ast.Name)
+        and node.target.id == "raw"
+    ]
+    if len(loops) != 1:
+        return ["pipeline must have exactly one batch loop"]
+    loop = loops[0]
+
+    body = list(loop.body)
+    slow_assigned: set[int] = set()
+    fast_assigned: set[int] = set()
+    guarded = (
+        body
+        and isinstance(body[0], ast.If)
+        and ast.unparse(body[0].test).startswith("raw[")
+    )
+    if guarded:
+        guard = body.pop(0)
+        for stmt in guard.body:
+            m = _RE_PIPE_SLOW.fullmatch(ast.unparse(stmt))
+            if m:
+                if m.group(1) != m.group(2):
+                    findings.append(
+                        f"slow path copies _r[{m.group(2)}] into "
+                        f"v{m.group(1)} — attnum mismatch"
+                    )
+                slow_assigned.add(int(m.group(1)))
+        for stmt in guard.orelse:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    m = _RE_PIPE_VLOCAL.fullmatch(node.id)
+                    if m:
+                        fast_assigned.add(int(m.group(1)))
+        if slow_assigned != fast_assigned:
+            findings.append(
+                f"slow path materializes attrs {sorted(slow_assigned)} but "
+                f"the fast deform decodes {sorted(fast_assigned)}"
+            )
+
+    out_of_range = sorted(
+        attnum
+        for attnum in slow_assigned | fast_assigned
+        if attnum >= layout.schema.natts
+    )
+    if out_of_range:
+        findings.append(
+            f"deform assigns v-locals {out_of_range} beyond the layout's "
+            f"{layout.schema.natts} attributes"
+        )
+
+    # Every v-local *read* after the guard must have been assigned.
+    read: set[int] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                m = _RE_PIPE_VLOCAL.fullmatch(node.id)
+                if m:
+                    read.add(int(m.group(1)))
+    unassigned = sorted(read - (slow_assigned | fast_assigned))
+    if unassigned:
+        findings.append(
+            f"pipeline reads undeformed locals {sorted(unassigned)} "
+            f"(deform covers {sorted(slow_assigned | fast_assigned)})"
+        )
+
+    # Bee-resident attrs: valid slots, correct attnum-to-slot wiring.
+    slot_of = {
+        layout.schema.attnum(name): slot
+        for name, slot in layout.bee_slot.items()
+    }
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        m = _RE_GCL_BEE.fullmatch(ast.unparse(node))
+        if m:
+            attnum, slot = int(m.group(1)), int(m.group(2))
+            if slot_of.get(attnum) != slot:
+                findings.append(
+                    f"v{attnum} read from data-section slot {slot}; the "
+                    f"layout stores it in slot {slot_of.get(attnum)!r}"
+                )
+    return findings

@@ -95,6 +95,25 @@ def check_agg(routine, specs, assume_not_null: bool = False) -> RoutineReport:
     return report
 
 
+def check_pipeline(routine, spec) -> RoutineReport:
+    """Run all passes over one fused pipeline bee.
+
+    *spec* is the :class:`repro.bees.pipeline.codegen.PipelineSpec` the
+    routine was generated from — the lint keys its grammar off the sink,
+    and the translation validator replays the spec's unfused semantics.
+    """
+    report = RoutineReport(
+        routine.name, "pipeline", f"{spec.relation}/{spec.sink}"
+    )
+    report.add(
+        "lint", lint.lint_pipeline(routine.source, routine.name, spec.sink)
+    )
+    report.add("absint", absint.check_pipeline(routine, spec))
+    report.add("costaudit", costaudit.audit_pipeline(routine, spec))
+    report.add("transval", transval.validate_pipeline(routine, spec))
+    return report
+
+
 def check_idx(routine, key_indexes) -> RoutineReport:
     """Run all passes over one generated IDX key-extraction routine."""
     report = RoutineReport(routine.name, "idx", repr(list(key_indexes)))
@@ -115,3 +134,7 @@ def verify_agg(routine, specs, assume_not_null: bool = False) -> None:
 
 def verify_idx(routine, key_indexes) -> None:
     enforce(check_idx(routine, key_indexes))
+
+
+def verify_pipeline(routine, spec) -> None:
+    enforce(check_pipeline(routine, spec))

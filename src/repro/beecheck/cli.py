@@ -1,15 +1,20 @@
 """``python -m repro.beecheck`` — the full verification sweep.
 
-Three stages, one report:
+Four stages, one report:
 
 1. **Schema sweep** — generate GCL/SCL pairs for every TPC-H and TPC-C
    relation (TPC-H annotated relations additionally in their tuple-bee
    variant) and run all four passes over each routine.
-2. **Query corpus** — drive a live bee-enabled :class:`~repro.db.Database`
-   with a seeded oracle statement stream (default 200 statements), then
-   verify every bee the engine actually built: the relation bees in the
-   module cache and every memoized EVP routine against its expression.
-3. **Injection self-test** — prove the verifier itself fires on broken
+2. **Generator sweeps** — enumerate the query-bee generators beyond EVP
+   (EVJ templates, AGG, IDX) and a deterministic fused-pipeline spec
+   corpus covering every sink (rows / all four probe join types /
+   grouped and grand-total agg).
+3. **Query corpus** — drive a live bee-enabled :class:`~repro.db.Database`
+   (pipelines on) with a seeded oracle statement stream (default 200
+   statements), then verify every bee the engine actually built: the
+   relation bees in the module cache, every memoized EVP/EVJ/AGG/IDX
+   routine, and every cached pipeline bee against its spec.
+4. **Injection self-test** — prove the verifier itself fires on broken
    generators (see :mod:`repro.beecheck.selftest`).
 
 The machine-readable report lands in ``results/beecheck/report.json``;
@@ -30,6 +35,7 @@ from repro.beecheck.checker import (
     check_evp,
     check_gcl,
     check_idx,
+    check_pipeline,
     check_scl,
 )
 from repro.beecheck.report import SweepReport
@@ -124,6 +130,90 @@ def sweep_futures(report: SweepReport) -> None:
         report.routine_reports.append(check_idx(routine, key_indexes))
 
 
+def sweep_pipelines(report: SweepReport) -> None:
+    """Verify fused pipeline bees over every sink on TPC-H layouts.
+
+    One deterministic spec corpus — filtered/projected and full-row
+    ``rows`` pipelines over the tuple-bee-annotated lineitem layout, all
+    four join types on the ``probe`` sink, grouped and grand-total
+    ``agg`` sinks — independent of what the fuzzed query corpus happens
+    to fuse.
+    """
+    from repro.bees.pipeline.codegen import PipelineSpec, generate_pipeline
+    from repro.cost.ledger import Ledger
+    from repro.engine import expr as E
+    from repro.engine.aggregates import AggSpec
+    from repro.storage.layout import TupleLayout
+    from repro.workloads.tpch.schema import ALL_SCHEMAS, ANNOTATIONS
+
+    def bound(expr, schema):
+        return E.bind(expr, [a.name for a in schema.attributes])
+
+    counter = 0
+
+    def run(spec: PipelineSpec) -> None:
+        nonlocal counter
+        counter += 1
+        routine = generate_pipeline(spec, Ledger(), f"PIPE_sweep{counter}")
+        report.routine_reports.append(check_pipeline(routine, spec))
+
+    li_schema = ALL_SCHEMAS["lineitem"]()
+    li_layout = TupleLayout(li_schema, ANNOTATIONS["lineitem"])
+    qual = bound(
+        E.And(
+            E.Cmp(">", E.Col("l_quantity"), E.Const(10.0)),
+            E.Cmp("<", E.Col("l_discount"), E.Const(0.05)),
+        ),
+        li_schema,
+    )
+    output = [
+        bound(E.Col("l_orderkey"), li_schema),
+        bound(
+            E.Arith(
+                "*",
+                E.Col("l_extendedprice"),
+                E.Arith("-", E.Const(1), E.Col("l_discount")),
+            ),
+            li_schema,
+        ),
+    ]
+    run(PipelineSpec("lineitem", li_layout, qual=qual, output=output))
+    run(PipelineSpec("lineitem", li_layout))  # full-row, unfiltered
+
+    o_schema = ALL_SCHEMAS["orders"]()
+    o_layout = TupleLayout(o_schema)
+    o_qual = bound(E.Cmp("<", E.Col("o_orderkey"), E.Const(5000)), o_schema)
+    custkey = o_schema.attnum("o_custkey")
+    for join_type in ("inner", "left", "semi", "anti"):
+        run(
+            PipelineSpec(
+                "orders",
+                o_layout,
+                qual=o_qual,
+                sink="probe",
+                join_type=join_type,
+                probe_idx=(custkey,),
+                build_width=2,
+            )
+        )
+
+    aggs = (
+        AggSpec("sum", bound(E.Col("l_quantity"), li_schema), name="s"),
+        AggSpec("count", name="n"),
+        AggSpec("count", bound(E.Col("l_discount"), li_schema), name="nd"),
+    )
+    run(
+        PipelineSpec(
+            "lineitem",
+            li_layout,
+            sink="agg",
+            group_exprs=(bound(E.Col("l_returnflag"), li_schema),),
+            aggs=aggs,
+        )
+    )
+    run(PipelineSpec("lineitem", li_layout, sink="agg", aggs=aggs))
+
+
 def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
     """Drive a live database and verify every bee it built."""
     from repro.bees.settings import BeeSettings
@@ -131,7 +221,7 @@ def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
     from repro.oracle.generator import StatementGenerator
     from repro.oracle.normalize import run_statement
 
-    db = Database(BeeSettings.all_bees())
+    db = Database(BeeSettings.all_bees().enabling(pipelines=True))
     generator = StatementGenerator(seed)
     pending = list(generator.bootstrap())
     executed = 0
@@ -153,6 +243,8 @@ def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
         report.routine_reports.append(check_agg(routine, list(specs)))
     for key_indexes, routine in module._idx_by_index.values():
         report.routine_reports.append(check_idx(routine, key_indexes))
+    for _anchor, spec, routine in module._pipeline_by_node.values():
+        report.routine_reports.append(check_pipeline(routine, spec))
 
 
 def write_report(report: SweepReport, out_dir: Path) -> Path:
@@ -193,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     report = SweepReport(seed=args.seed, statements=0)
     sweep_schemas(report)
     sweep_futures(report)
+    sweep_pipelines(report)
     if args.statements > 0:
         sweep_corpus(report, args.seed, args.statements)
     if not args.no_selftest:

@@ -330,3 +330,144 @@ def audit_idx(routine, key_indexes) -> list[str]:
             f"{generic} — no win from specialization"
         )
     return findings
+
+
+# -- PIPE --------------------------------------------------------------------
+
+_RE_PIPE_VLDATA = re.compile(
+    r"v(\d+) = raw\[off \+ \d+:off \+ \d+ \+ ln\]\.decode\(\)"
+)
+_RE_PIPE_APPEND = re.compile(r"_append\(\[(.*)\]\)")
+
+
+def audit_pipeline(routine, spec) -> list[str]:
+    """Recount the fused pipeline's batch-charge constants and cross-check.
+
+    A pipeline charges from four namespace constants instead of one
+    ``_COST``: ``_C0`` (per batch), ``_C1`` (per input row — the
+    specialized next + pruned deform + qualification), and the per-sink
+    ``_C2``/``_C3``/``_C4`` terms.  ``_C1`` is recounted from the AST the
+    way :func:`audit_gcl` recounts a full deform — every read the source
+    actually emits, priced by the GCL constants — and the sink terms are
+    recomputed from the spec's own expressions.  No bytecode band: the
+    loop shape amortizes differently from straight-line bees and the
+    per-row cost is not the whole function's cost.
+    """
+    from repro.bees.routines.agg import AGG_SPECIALIZED_PER_AGG
+    from repro.engine import expr as E
+
+    findings: list[str] = []
+    layout = spec.layout
+    namespace = routine.namespace or {}
+    try:
+        texts = _stmt_texts(routine.source)
+    except (SyntaxError, IndexError):
+        return ["source does not parse"]
+
+    if namespace.get("_C0") != C.PIPE_BATCH_OVERHEAD:
+        findings.append(
+            f"_C0={namespace.get('_C0')!r}, model gives "
+            f"{C.PIPE_BATCH_OVERHEAD} per batch"
+        )
+    if namespace.get("_C1") != routine.cost:
+        findings.append(
+            f"routine charges _C1={namespace.get('_C1')!r} per row but "
+            f"declares {routine.cost}"
+        )
+
+    # Recount the pruned deform from the emitted reads.
+    n_varlena = sum(1 for t in texts if _RE_VL_READ.fullmatch(t))
+    n_bee = sum(1 for t in texts if _RE_BEE_READ.fullmatch(t))
+    fixed: set[int] = set()
+    varlena: set[int] = set()
+    for t in texts:
+        if _RE_SCALAR_READ.fullmatch(t) or _RE_CHAR_READ.fullmatch(t):
+            fixed.add(int(re.match(r"v(\d+)", t).group(1)))
+            continue
+        m = _RE_PIPE_VLDATA.fullmatch(t)
+        if m:
+            varlena.add(int(m.group(1)))
+            continue
+        m = _RE_PREFIX.fullmatch(t)
+        if m:
+            fixed.update(int(v.strip()[1:]) for v in m.group(1).split(","))
+    n_nullable = sum(
+        1
+        for attnum in fixed | varlena
+        if layout.schema.attributes[attnum].nullable
+    )
+    deform = (
+        C.GCL_ISNULL_ZERO * ((layout.schema.natts + 7) // 8)
+        + C.GCL_FIXED * len(fixed)
+        + C.GCL_VARLENA * n_varlena
+        + C.GCL_TUPLE_BEE * n_bee
+        + C.GCL_NULLABLE * n_nullable
+    )
+    qual_cost = spec.qual.evp_cost if spec.qual is not None else 0
+    recomputed = C.PIPE_NEXT + deform + qual_cost
+    if recomputed != routine.cost:
+        findings.append(
+            f"AST recount gives per-row cost {recomputed}, routine "
+            f"declares {routine.cost}"
+        )
+
+    if spec.sink == "rows":
+        if spec.output is None:
+            n_out = layout.schema.natts
+            expr_cost = 0
+        else:
+            n_out = len(spec.output)
+            expr_cost = sum(
+                e.evp_cost
+                for e in spec.output
+                if not isinstance(e, E.Col)
+            )
+        model = C.PIPE_EMIT_BASE + C.PIPE_EMIT_PER_COLUMN * n_out + expr_cost
+        if namespace.get("_C2") != model:
+            findings.append(
+                f"_C2={namespace.get('_C2')!r}, emission model gives {model}"
+            )
+        appends = [
+            m for t in texts + _expr_texts(routine.source)
+            for m in [_RE_PIPE_APPEND.fullmatch(t)] if m
+        ]
+        if appends:
+            emitted = len(appends[0].group(1).split(","))
+            if emitted != n_out:
+                findings.append(
+                    f"emits {emitted}-column rows, spec projects {n_out}"
+                )
+    elif spec.sink == "probe":
+        checks = (
+            ("_C2", C.JOIN_HASH_COMPUTE + C.JOIN_HASH_PROBE, "probe model"),
+            ("_C3", C.EVJ_COMPARE * len(spec.probe_idx), "compare model"),
+            ("_C4", C.JOIN_EMIT, "emit model"),
+        )
+        for key, model, what in checks:
+            if namespace.get(key) != model:
+                findings.append(
+                    f"{key}={namespace.get(key)!r}, {what} gives {model}"
+                )
+    else:  # agg
+        model = (
+            C.AGG_HASH_LOOKUP
+            + sum(e.evp_cost for e in spec.group_exprs)
+            + AGG_SPECIALIZED_PER_AGG * len(spec.aggs)
+            + sum(a.arg.evp_cost for a in spec.aggs if a.arg is not None)
+        )
+        if namespace.get("_C2") != model:
+            findings.append(
+                f"_C2={namespace.get('_C2')!r}, transition model gives "
+                f"{model}"
+            )
+    return findings
+
+
+def _expr_texts(source: str) -> list[str]:
+    """Expression statements of the routine (``_append(...)`` calls)."""
+    tree = ast.parse(source)
+    return [
+        ast.unparse(stmt)
+        for stmt in ast.walk(tree.body[0])
+        if isinstance(stmt, ast.Expr)
+    ]

@@ -535,6 +535,249 @@ def lint_agg(source: str, name: str) -> list[str]:
     return findings
 
 
+# -- PIPE --------------------------------------------------------------------
+
+#: Pipeline bees are the one bee kind allowed a loop: exactly one batch
+#: loop (``for raw in batch:``) plus, on the probe sink, the candidate
+#: emission loop (``for _b in _cands:``).  Everything else stays banned.
+_PIPE_BANNED: tuple = tuple(n for n in _BANNED_NODES if n is not ast.For)
+
+_PIPE_PARAMS = {
+    "rows": ("batch", "sections"),
+    "probe": ("batch", "sections", "table"),
+    "agg": ("batch", "sections", "groups", "make_states"),
+}
+
+_PIPE_CHARGE = {
+    "rows": "_charge('{name}', _C0 + _C1 * len(batch) + _C2 * len(out))",
+    "probe": (
+        "_charge('{name}', _C0 + _C1 * len(batch) + _C2 * _np + "
+        "_C3 * _nc + _C4 * len(out))"
+    ),
+    "agg": "_charge('{name}', _C0 + _C1 * len(batch) + _C2 * _np)",
+}
+
+_PIPE_NAMES = re.compile(
+    r"v\d+|t\d+|k\d+|re\d+|in\d+|fn\d+|raw|batch|sections|out|row|off|ln"
+    r"|_r|_bv|_slow|_charge|_append|_PREFIX|_VL|_S\d+|_C[0-4]|_k|_st"
+    r"|_cands|_get|_b|_np|_nc|_PAD|_CS|groups|make_states|table|bool|len"
+)
+
+_PIPE_METHODS = _METHODS | {"append", "get", "update"}
+
+_PIPE_GUARD_TEST = re.compile(
+    rf"raw\[{HEADER_INFOMASK_BYTE}\] & {INFOMASK_HAS_NULLS}"
+)
+
+_PIPE_SLOW_SHAPE = re.compile(rf"{_V} = _r\[\d+\]")
+
+#: The inlined (pruned) relation-bee deform: the GCL offset grammar with
+#: locals assigned instead of a list returned, plus the ``pass`` filler
+#: for a deform that decodes nothing.
+_PIPE_DEFORM_SHAPES = [
+    re.compile(p)
+    for p in (
+        rf"_bv = sections\[raw\[{BEEID_LO_BYTE}\] \|"
+        rf" raw\[{BEEID_HI_BYTE}\] << 8\]",
+        rf"{_V} = _bv\[\d+\]",
+        rf"{_V}(, {_V})*,? = _PREFIX\.unpack_from\(raw, \d+\)",
+        rf"({_V}) = \1\.decode\(\)\.rstrip\(' '\)",
+        rf"({_V}) = bool\(\1\)",
+        r"off = \d+",
+        r"off = off \+ \d+ & -\d+",
+        r"ln = _VL\.unpack_from\(raw, off\)\[0\]",
+        rf"{_V} = raw\[off \+ {_VLB}:off \+ {_VLB} \+ ln\]\.decode\(\)",
+        rf"off = off \+ {_VLB} \+ ln",
+        rf"{_V} = _S\d+\.unpack_from\(raw, off\)\[0\]",
+        rf"{_V} = raw\[off:off \+ \d+\]\.decode\(\)\.rstrip\(' '\)",
+        r"off = off \+ \d+",
+        r"pass",
+    )
+]
+
+_PIPE_PROLOGUE_SHAPES = [
+    re.compile(p)
+    for p in (
+        r"out = \[\]",
+        r"_append = out\.append",
+        r"_np = 0",
+        r"_nc = 0",
+        r"_get = table\.get",
+        r"_st = groups\[\(\)\]",
+    )
+]
+
+#: Simple statements allowed inside the batch loop (after the NULL
+#: guard): guarded-expression temps, the loop counters, and the three
+#: sinks' emission/lookup statements.  Expression *text* is not pinned —
+#: names and node kinds are already constrained, and semantic drift is
+#: the translation validator's lane (as for EVP).
+_PIPE_STMT_SHAPES = [
+    re.compile(p)
+    for p in (
+        r"t\d+ = .+",
+        r"_np \+= 1",
+        r"_nc \+= len\(_cands\)",
+        r"_append\(\[.*\]\)",
+        r"_append\(row \+ _b\)",
+        r"_append\(row \+ _PAD\)",
+        r"_cands = _get\(\(.+\), \(\)\)(?: if .+ else \(\))?",
+        r"row = \[.*\]",
+        r"_k = \(.+\)",
+        r"_st = groups\.get\(_k\)",
+        r"_st = make_states\(\)",
+        r"groups\[_k\] = _st",
+        r"_st\[\d+\]\.update\(.+\)",
+    )
+]
+
+#: If-tests allowed inside the loop beyond reject-and-continue: CASE arm
+#: selection, NULL guards, new-group detection, and candidate presence.
+_PIPE_IF_TEST = re.compile(
+    r"t\d+ is True|.+ is not None|_st is None|_cands|not _cands"
+)
+
+
+def _lint_pipe_stmt(stmt: ast.stmt, findings: list[str]) -> None:
+    """One statement of the batch-loop body (guard already consumed)."""
+    if isinstance(stmt, ast.For):
+        if not (
+            isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "_b"
+            and isinstance(stmt.iter, ast.Name)
+            and stmt.iter.id == "_cands"
+            and not stmt.orelse
+        ):
+            findings.append(
+                f"PIPE inner loop must be 'for _b in _cands': "
+                f"{ast.unparse(stmt)!r}"
+            )
+        for inner in stmt.body:
+            _lint_pipe_stmt(inner, findings)
+        return
+    if isinstance(stmt, ast.If):
+        rejects = (
+            len(stmt.body) == 1
+            and isinstance(stmt.body[0], ast.Continue)
+            and not stmt.orelse
+        )
+        if rejects:
+            return  # qualification / empty-candidate rejection
+        if not _PIPE_IF_TEST.fullmatch(ast.unparse(stmt.test)):
+            findings.append(
+                f"PIPE branch test not allowed: {ast.unparse(stmt.test)!r}"
+            )
+        for inner in stmt.body + stmt.orelse:
+            _lint_pipe_stmt(inner, findings)
+        return
+    if isinstance(stmt, ast.Continue):
+        return
+    text = ast.unparse(stmt)
+    if not any(shape.fullmatch(text) for shape in _PIPE_STMT_SHAPES):
+        findings.append(f"PIPE statement has no allowed shape: {text!r}")
+
+
+def _lint_pipe_guard(stmt: ast.If, findings: list[str]) -> None:
+    """The per-tuple NULL guard: slow-path escape, else inlined deform."""
+    body = stmt.body
+    if not body or ast.unparse(body[0]) != "_r = _slow(raw, sections)":
+        findings.append(
+            "PIPE NULL-guard slow path must start with "
+            "'_r = _slow(raw, sections)'"
+        )
+        return
+    for inner in body[1:]:
+        text = ast.unparse(inner)
+        if not _PIPE_SLOW_SHAPE.fullmatch(text):
+            findings.append(
+                f"PIPE slow-path statement has no allowed shape: {text!r}"
+            )
+    if not stmt.orelse:
+        findings.append("PIPE NULL guard has no fast-path deform branch")
+    _match_shapes(stmt.orelse, _PIPE_DEFORM_SHAPES, findings, "PIPE deform")
+
+
+def lint_pipeline(source: str, name: str, sink: str) -> list[str]:
+    """Lint one generated pipeline routine against the fused-loop grammar."""
+    findings: list[str] = []
+    if sink not in _PIPE_PARAMS:
+        return [f"unknown pipeline sink {sink!r}"]
+    fn = _parse_routine(source, name, _PIPE_PARAMS[sink], findings)
+    if fn is None:
+        return findings
+    for node in ast.walk(fn):
+        if isinstance(node, _PIPE_BANNED):
+            findings.append(
+                f"banned construct {type(node).__name__} in pipeline body"
+            )
+        elif isinstance(node, ast.FunctionDef) and node is not fn:
+            findings.append("nested function definition in pipeline body")
+    _check_names(fn, _PIPE_NAMES, findings, methods=_PIPE_METHODS)
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+
+    loops = [s for s in body if isinstance(s, ast.For)]
+    if len(loops) != 1:
+        findings.append(
+            f"pipeline must have exactly one batch loop, found {len(loops)}"
+        )
+        return findings
+    loop = loops[0]
+    if not (
+        isinstance(loop.target, ast.Name)
+        and loop.target.id == "raw"
+        and isinstance(loop.iter, ast.Name)
+        and loop.iter.id == "batch"
+        and not loop.orelse
+    ):
+        findings.append("batch loop must be exactly 'for raw in batch:'")
+
+    _match_shapes(
+        body[: body.index(loop)],
+        _PIPE_PROLOGUE_SHAPES,
+        findings,
+        "PIPE prologue",
+    )
+
+    epilogue = body[body.index(loop) + 1 :]
+    expected_charge = _PIPE_CHARGE[sink].format(name=name)
+    if not epilogue or ast.unparse(epilogue[0]) != expected_charge:
+        got = ast.unparse(epilogue[0]) if epilogue else "<missing>"
+        findings.append(
+            f"statement after the batch loop must be {expected_charge!r}, "
+            f"got {got!r}"
+        )
+    returns = [n for n in ast.walk(fn) if isinstance(n, ast.Return)]
+    if sink == "agg":
+        if len(epilogue) != 1:
+            findings.append(
+                "agg pipeline must end at the batch charge "
+                f"({len(epilogue)} statements after the loop)"
+            )
+        if returns:
+            findings.append("agg pipelines mutate groups and must not return")
+    else:
+        if len(epilogue) != 2 or ast.unparse(epilogue[-1]) != "return out":
+            findings.append("pipeline must end with 'return out'")
+        if len(returns) != 1:
+            findings.append(
+                f"exactly one return expected, found {len(returns)}"
+            )
+
+    loop_body = list(loop.body)
+    if (
+        loop_body
+        and isinstance(loop_body[0], ast.If)
+        and _PIPE_GUARD_TEST.fullmatch(ast.unparse(loop_body[0].test))
+    ):
+        _lint_pipe_guard(loop_body.pop(0), findings)
+    for stmt in loop_body:
+        _lint_pipe_stmt(stmt, findings)
+    return findings
+
+
 # -- IDX ---------------------------------------------------------------------
 
 _IDX_NAMES = re.compile(r"values|_charge|_COST")

@@ -34,6 +34,7 @@ from repro.beecheck.checker import (
     check_evp,
     check_gcl,
     check_idx,
+    check_pipeline,
     check_scl,
 )
 
@@ -161,5 +162,50 @@ def run_selftest() -> dict[str, bool]:
     idx = generate_idx([2, 0], Ledger(), "IDX_selftest")
     tampered = _tamper(idx, "(values[2], values[0])", "(values[0], values[2])")
     results["tamper-idx-order"] = not check_idx(tampered, [2, 0]).ok
+
+    # -- pipeline bees: injected fusion bug + source tampers --
+    from repro.bees.pipeline.codegen import PipelineSpec
+
+    columns = [attr.name for attr in layout.schema.attributes]
+    pipe_spec = PipelineSpec(
+        "orders",
+        layout,
+        qual=E.bind(
+            E.Cmp("<", E.Col("o_orderkey"), E.Const(1000)), columns
+        ),
+        output=[
+            E.bind(E.Col("o_orderkey"), columns),
+            E.bind(E.Col("o_comment"), columns),
+        ],
+    )
+
+    # The injected bug drops the residual qual at generation time; the
+    # validator replays the *spec's* semantics, so the filterless routine
+    # diverges on every enumerated row the qual rejects.
+    with inject_bug("pipeline"):
+        routine = maker_mod.generate_pipeline(
+            pipe_spec, Ledger(), "PIPE_selftest"
+        )
+    report = check_pipeline(routine, pipe_spec)
+    results["inject-pipeline"] = "transval" in _passes_fired(report)
+
+    pipe = maker_mod.generate_pipeline(pipe_spec, Ledger(), "PIPE_selftest")
+
+    tampered = _tamper(
+        pipe, "raw[off + 4 : off + 4 + ln]", "raw[off + 5 : off + 5 + ln]"
+    )
+    results["tamper-pipe-offset"] = caught_statically(
+        check_pipeline(tampered, pipe_spec)
+    )
+
+    tampered = _tamper(pipe, "_C1 * len(batch)", "_C1 * len(out)")
+    results["tamper-pipe-charge"] = caught_statically(
+        check_pipeline(tampered, pipe_spec)
+    )
+
+    tampered = dataclasses.replace(pipe, cost=pipe.cost + 10)
+    results["tamper-pipe-cost"] = caught_statically(
+        check_pipeline(tampered, pipe_spec)
+    )
 
     return results

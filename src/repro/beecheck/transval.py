@@ -550,3 +550,212 @@ def validate_idx(routine, key_indexes) -> list[str]:
                     f"{got!r}, expected {expected!r}"
                 )
     return findings
+
+
+# -- PIPE --------------------------------------------------------------------
+
+
+def _batches_eq(a: list, b: list) -> bool:
+    return len(a) == len(b) and all(_rows_eq(x, y) for x, y in zip(a, b))
+
+
+def _pipe_qual_pass(spec, row) -> bool:
+    """The generic Filter admission rule: only a strict ``True`` passes."""
+    return spec.qual is None or spec.qual.evaluate(row) is True
+
+
+def _pipe_eval_all(spec, row) -> None:
+    """Dry-run every spec expression over *row* (raises out-of-contract)."""
+    if spec.qual is not None and spec.qual.evaluate(row) is not True:
+        return  # rejected rows never reach the sink expressions
+    for expr in spec.output or ():
+        expr.evaluate(row)
+    for expr in spec.group_exprs:
+        expr.evaluate(row)
+    for agg in spec.aggs:
+        if agg.arg is not None:
+            agg.arg.evaluate(row)
+
+
+def _pipe_reference(spec, rows: list, table: dict) -> list:
+    """The unfused Volcano semantics over decoded *rows* (non-agg sinks)."""
+    out: list = []
+    for row in rows:
+        if not _pipe_qual_pass(spec, row):
+            continue
+        if spec.sink == "rows":
+            if spec.output is None:
+                out.append(list(row))
+            else:
+                out.append([e.evaluate(row) for e in spec.output])
+            continue
+        key = tuple(row[i] for i in spec.probe_idx)
+        cands = () if None in key else table.get(key, ())
+        if spec.join_type == "inner":
+            for build_row in cands:
+                out.append(list(row) + list(build_row))
+        elif spec.join_type == "left":
+            if cands:
+                for build_row in cands:
+                    out.append(list(row) + list(build_row))
+            else:
+                out.append(list(row) + [None] * spec.build_width)
+        elif spec.join_type == "semi":
+            if cands:
+                out.append(list(row))
+        else:  # anti
+            if not cands:
+                out.append(list(row))
+    return out
+
+
+def _pipe_reference_agg(spec, rows: list, groups: dict, make_states) -> None:
+    """The generic HashAgg transition loop over decoded *rows*."""
+    from repro.engine.agg import _COUNT_STAR
+
+    for row in rows:
+        if not _pipe_qual_pass(spec, row):
+            continue
+        key = tuple(e.evaluate(row) for e in spec.group_exprs)
+        states = groups.get(key)
+        if states is None:
+            states = make_states()
+            groups[key] = states
+        for i, agg in enumerate(spec.aggs):
+            if agg.arg is None:
+                states[i].update(_COUNT_STAR)
+                continue
+            value = agg.arg.evaluate(row)
+            if value is not None or agg.func != "count":
+                states[i].update(value)
+
+
+def validate_pipeline(routine, spec) -> list[str]:
+    """Cross-check the fused pipeline against the interpreted plan.
+
+    One enumerated batch per layout — every value row plus the NULL
+    patterns, each encoded under its **own** beeID so a whole batch can
+    share one data-section dict — is pushed through the compiled function
+    and through a reference that replicates the unfused node semantics
+    (``Filter`` admission, ``Project`` evaluation, ``HashJoin`` probe
+    emission per join type, ``HashAgg`` transition) over the generically
+    decoded rows.  Rows where the interpreter itself raises are dropped
+    as out-of-contract, as in :func:`validate_evp`.
+    """
+    findings: list[str] = []
+    layout = spec.layout
+    schema = layout.schema
+
+    batch: list = []
+    decoded: list = []
+    sections: dict = {}
+    candidates = list(_layout_rows(layout))
+    base = candidates[0]
+    for isnull in _null_patterns(layout):
+        candidates.append(
+            [None if isnull[i] else base[i] for i in range(schema.natts)]
+        )
+    for n, values in enumerate(candidates):
+        bee_id = 0x0101 + n if layout.has_beeid else 0
+        isnull = [v is None for v in values]
+        has_nulls = any(isnull)
+        try:
+            bee_values = layout.bee_key(values) if layout.has_beeid else None
+            raw = layout.encode(values, isnull if has_nulls else None, bee_id)
+        except (TypeError, ValueError):
+            continue  # bee-resident NULLs etc.: not encodable, skip
+        full, exp_null = layout.decode(raw, bee_values)
+        row = [
+            None if exp_null[i] else full[i] for i in range(schema.natts)
+        ]
+        try:
+            _pipe_eval_all(spec, row)
+        except Exception:  # noqa: BLE001 — out of contract
+            continue
+        if layout.has_beeid:
+            sections[bee_id] = bee_values
+        batch.append(raw)
+        decoded.append(row)
+
+    # Probe sinks need a build table: cover hit (1 and 2 candidates) and
+    # miss keys, deterministically, with build rows of the spec's width.
+    table: dict = {}
+    if spec.sink == "probe":
+        seen_keys: list = []
+        for row in decoded:
+            key = tuple(row[i] for i in spec.probe_idx)
+            if None not in key and key not in seen_keys:
+                seen_keys.append(key)
+        for j, key in enumerate(seen_keys):
+            if j % 3 == 0:
+                continue  # probe miss
+            table[key] = [
+                [f"b{j}.{c}.{i}" for i in range(spec.build_width)]
+                for c in range(1 + j % 2)
+            ]
+
+    with ledger_guard(routine):
+        runs = [([], "empty batch"), (batch, "enumerated batch")]
+        for batch_rows, label in runs:
+            kept = decoded[: len(batch_rows)]
+            if spec.sink == "agg":
+                make_states = lambda: [a.make_state() for a in spec.aggs]  # noqa: E731
+                got_groups: dict = {}
+                exp_groups: dict = {}
+                if not spec.group_exprs:
+                    got_groups[()] = make_states()
+                    exp_groups[()] = make_states()
+                try:
+                    routine.fn(batch_rows, sections, got_groups, make_states)
+                except Exception as exc:  # noqa: BLE001
+                    findings.append(
+                        f"raised {type(exc).__name__} on {label}: {exc}"
+                    )
+                    continue
+                _pipe_reference_agg(spec, kept, exp_groups, make_states)
+                if set(got_groups) != set(exp_groups):
+                    findings.append(
+                        f"group keys diverge on {label}: got "
+                        f"{sorted(map(repr, got_groups))}, generic gives "
+                        f"{sorted(map(repr, exp_groups))}"
+                    )
+                    continue
+                for key, states in got_groups.items():
+                    got = [state.result() for state in states]
+                    expected = [
+                        state.result() for state in exp_groups[key]
+                    ]
+                    if not _rows_eq(got, expected):
+                        findings.append(
+                            f"accumulators diverge for group {key!r}: got "
+                            f"{got!r}, generic transition gives {expected!r}"
+                        )
+                        if len(findings) >= MAX_FINDINGS:
+                            break
+                continue
+            args = (batch_rows, sections)
+            if spec.sink == "probe":
+                args = (batch_rows, sections, table)
+            try:
+                got = routine.fn(*args)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    f"raised {type(exc).__name__} on {label}: {exc}"
+                )
+                continue
+            expected = _pipe_reference(spec, kept, table)
+            if not _batches_eq(got, expected):
+                findings.append(
+                    f"pipeline output diverges on {label}: "
+                    f"{len(got)} rows vs {len(expected)} generic rows"
+                    + next(
+                        (
+                            f"; first mismatch at {i}: got {g!r}, "
+                            f"generic gives {e!r}"
+                            for i, (g, e) in enumerate(zip(got, expected))
+                            if not _rows_eq(g, e)
+                        ),
+                        "",
+                    )
+                )
+    return findings

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bees.datasection import DataSectionStore
+from repro.bees.pipeline.codegen import PipelineSpec, generate_pipeline
 from repro.bees.routines.base import BeeRoutine
 from repro.bees.routines.evj import EVJRoutine, instantiate_evj
 from repro.bees.routines.evp import generate_evp
@@ -75,6 +76,7 @@ class BeeMaker:
         self.verify = verify
         self._evp_counter = 0
         self._evj_counter = 0
+        self._pipeline_counter = 0
 
     def make_relation_bee(self, layout: TupleLayout) -> RelationBee:
         """Create the relation bee for *layout* (schema-definition time)."""
@@ -101,6 +103,17 @@ class BeeMaker:
             from repro.beecheck import verify_evp
 
             verify_evp(routine, expr)
+        return routine
+
+    def make_pipeline(self, spec: PipelineSpec) -> BeeRoutine:
+        """Compile a fused pipeline bee for one fusable plan segment."""
+        self._pipeline_counter += 1
+        fn_name = f"PIPE_{self._pipeline_counter}"
+        routine = generate_pipeline(spec, self.ledger, fn_name)
+        if self.verify:
+            from repro.beecheck import verify_pipeline
+
+            verify_pipeline(routine, spec)
         return routine
 
     def make_evj(self, join_type: str, n_keys: int) -> EVJRoutine:

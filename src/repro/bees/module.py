@@ -48,6 +48,12 @@ class GenericBeeModule:
         self._agg_by_specs: dict[int, tuple] = {}
         self._agg_counter = 0
         self._idx_by_index: dict[tuple[str, str], tuple[list[int], BeeRoutine]] = {}
+        # Pipeline bees, keyed by the anchor plan node they replaced
+        # (the anchor reference in the value pins its id); the spec is
+        # kept so beecheck can re-verify cached routines post hoc.
+        self._pipeline_by_node: dict[
+            int, tuple[object, object, BeeRoutine]
+        ] = {}
 
     # -- relation bees (schema definition time) ---------------------------------
 
@@ -82,14 +88,21 @@ class GenericBeeModule:
         self.collector.collect_relation(relation)
         for key in [k for k in self._idx_by_index if k[0] == relation]:
             del self._idx_by_index[key]
+        for key in [
+            k
+            for k, (_anchor, spec, _routine) in self._pipeline_by_node.items()
+            if spec.relation == relation
+        ]:
+            del self._pipeline_by_node[key]
 
     def invalidate_query_bees(self) -> int:
         """Evict every query bee and memoized query routine (ALTER path).
 
-        Plans — and the EVP/AGG/IDX routines memoized off them — may bind
-        column positions and constants from the old schema.  EVJ templates
-        survive: they embed only the join type and key arity, which no
-        schema change affects.  Returns the number of entries evicted.
+        Plans — and the EVP/AGG/IDX/pipeline routines memoized off them —
+        may bind column positions and constants from the old schema.  EVJ
+        templates survive: they embed only the join type and key arity,
+        which no schema change affects.  Returns the number of entries
+        evicted.
         """
         n_query_bees = len(self.cache.query_bees)
         evicted = (
@@ -97,11 +110,13 @@ class GenericBeeModule:
             + len(self._evp_by_expr)
             + len(self._agg_by_specs)
             + len(self._idx_by_index)
+            + len(self._pipeline_by_node)
         )
         self.cache.query_bees.clear()
         self._evp_by_expr.clear()
         self._agg_by_specs.clear()
         self._idx_by_index.clear()
+        self._pipeline_by_node.clear()
         self.collector.collected_query_bees += n_query_bees
         return evicted
 
@@ -163,6 +178,21 @@ class GenericBeeModule:
             entry = (list(key_indexes), routine)
             self._idx_by_index[key] = entry
         return entry[1]
+
+    def get_pipeline(self, spec, anchor) -> BeeRoutine:
+        """Pipeline bee for a fused plan segment (memoized by anchor node).
+
+        *anchor* is the generic plan node the pipeline driver replaced;
+        plans are rebuilt per query, so the memo keys routine reuse to
+        repeated executions of the same prepared plan, and the whole memo
+        is evicted with the other query bees on DDL.
+        """
+        entry = self._pipeline_by_node.get(id(anchor))
+        if entry is not None and entry[0] is anchor:
+            return entry[2]
+        routine = self.maker.make_pipeline(spec)
+        self._pipeline_by_node[id(anchor)] = (anchor, spec, routine)
+        return routine
 
     def get_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
         """EVJ routine for a join shape (clone of a pre-compiled template)."""
@@ -236,6 +266,7 @@ class GenericBeeModule:
             "query_bees": len(self.cache.query_bees),
             "evp_routines": len(self._evp_by_expr),
             "evj_routines": len(self._evj_by_shape),
+            "pipeline_routines": len(self._pipeline_by_node),
             "tuple_bees": tuple_bees,
             "collected_relation_bees": self.collector.collected_relation_bees,
         }

@@ -1,0 +1,136 @@
+"""Pipeline driver nodes: the executor side of fused pipeline bees.
+
+Each driver wraps one :class:`~repro.bees.pipeline.codegen.PipelineSpec`
+plus the *anchor* — the generic subtree it replaced, kept both for
+EXPLAIN and as the cache key for the generated routine (pipeline bees
+are memoized per plan node in :class:`repro.bees.module.GenericBeeModule`
+and evicted with the other query bees on DDL).
+
+Drivers expose the usual ``rows(ctx)`` generator for compatibility, but
+also ``batches(ctx)`` yielding page-sized lists of output rows; the
+executor prefers ``batches`` so emission cost is charged per batch.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.cost import constants as C
+from repro.engine.nodes import ExecContext, PlanNode, Row
+
+
+def _page_batches(rel) -> Iterator[list]:
+    """Yield each heap page's live raw tuples as one batch, charging
+    buffer access + PAGE_ACCESS per page exactly like ``HeapFile.scan``."""
+    heap = rel.heap
+    access = heap.buffer_pool.access
+    charge = heap.ledger.charge
+    name = heap.name
+    for pageno, page in enumerate(heap.pages):
+        access(name, pageno, sequential=True)
+        charge(C.PAGE_ACCESS)
+        batch = [raw for _slot, raw in page.live_tuples()]
+        if batch:
+            yield batch
+
+
+class _PipelineNode(PlanNode):
+    """Shared driver plumbing: spec + anchor + routine resolution."""
+
+    def __init__(self, spec, anchor: PlanNode) -> None:
+        self.spec = spec
+        self.anchor = anchor
+        self.columns = list(anchor.columns)
+
+    def node_label(self) -> str:
+        fused = " <- ".join(self.spec.fused_nodes)
+        return f"{type(self).__name__}[{fused}]"
+
+    def _routine(self, ctx: ExecContext):
+        return ctx.bees.get_pipeline(self.spec, self.anchor)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        for batch in self.batches(ctx):
+            yield from batch
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        raise NotImplementedError
+
+
+class PipelineScan(_PipelineNode):
+    """Fused Scan -> Filter* -> Project pipeline (the ``rows`` sink)."""
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        rel = ctx.db.relation(self.spec.relation)
+        sections = rel.sections_list()
+        fn = self._routine(ctx).fn
+        for batch in _page_batches(rel):
+            out = fn(batch, sections)
+            if out:
+                yield out
+
+
+class PipelineJoin(_PipelineNode):
+    """Hash join whose probe side is fused (the ``probe`` sink).
+
+    The build side stays a generic (possibly itself fused) subtree; the
+    build phase below is charged exactly like :class:`HashJoin`'s.
+    """
+
+    def __init__(self, spec, anchor, build: PlanNode) -> None:
+        super().__init__(spec, anchor)
+        self.build = build
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.build,)
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        charge = ctx.ledger.charge
+        build_idx = self.anchor.build_idx
+        n_keys = len(build_idx)
+        build_cost = (
+            C.NODE_OVERHEAD + C.JOIN_HASH_COMPUTE + C.EXPR_COLUMN * n_keys
+        )
+        table: dict[tuple, list[Row]] = defaultdict(list)
+        for row in self.build.rows(ctx):
+            charge(build_cost)
+            key = tuple(row[i] for i in build_idx)
+            if None in key:
+                continue  # NULL keys never match
+            table[key].append(row)
+        table = dict(table)   # drop defaultdict insertion-on-miss
+        rel = ctx.db.relation(self.spec.relation)
+        sections = rel.sections_list()
+        fn = self._routine(ctx).fn
+        for batch in _page_batches(rel):
+            out = fn(batch, sections, table)
+            if out:
+                yield out
+
+
+class PipelineAgg(_PipelineNode):
+    """Hash aggregation whose input is fused (the ``agg`` sink).
+
+    The fused function advances accumulators in place; the final pass
+    (one row per group, NODE_OVERHEAD each) mirrors ``HashAgg.rows``.
+    """
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        charge = ctx.ledger.charge
+        aggs = self.spec.aggs
+        make_states = lambda: [spec.make_state() for spec in aggs]
+        groups: dict[tuple, list] = {}
+        if not self.spec.group_exprs:
+            groups[()] = make_states()
+        rel = ctx.db.relation(self.spec.relation)
+        sections = rel.sections_list()
+        fn = self._routine(ctx).fn
+        for batch in _page_batches(rel):
+            fn(batch, sections, groups, make_states)
+        out = []
+        for key, states in groups.items():
+            charge(C.NODE_OVERHEAD)
+            out.append(list(key) + [state.result() for state in states])
+        if out:
+            yield out

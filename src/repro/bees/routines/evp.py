@@ -23,13 +23,22 @@ from repro.engine import expr as E
 
 
 class _Emitter:
-    """Shared state while generating one EVP routine."""
+    """Shared state while generating one EVP routine.
 
-    def __init__(self) -> None:
+    *col_ref* is the source template for a bound column load; EVP reads
+    from the deformed row (``row[{}]``), while the pipeline-bee codegen
+    substitutes its hoisted per-tuple locals (``v{}``).
+    """
+
+    def __init__(self, col_ref: str = "row[{}]") -> None:
         self.lines: list[str] = []
         self.namespace: dict = {}
+        self.col_ref = col_ref
         self._temp = 0
         self._const = 0
+
+    def col(self, index: int) -> str:
+        return self.col_ref.format(index)
 
     def temp(self) -> str:
         self._temp += 1
@@ -53,7 +62,7 @@ def _emit_direct(expr: E.Expr, em: _Emitter) -> str:
     if isinstance(expr, E.Const):
         return em.const(expr.value)
     if isinstance(expr, E.Col):
-        return f"row[{expr.index}]"
+        return em.col(expr.index)
     if isinstance(expr, E.Cmp):
         left = _emit_direct(expr.left, em)
         right = _emit_direct(expr.right, em)
@@ -107,7 +116,7 @@ def _emit_guarded(expr: E.Expr, em: _Emitter) -> str:
     if isinstance(expr, E.Const):
         em.add(f"{out} = {em.const(expr.value)}")
     elif isinstance(expr, E.Col):
-        em.add(f"{out} = row[{expr.index}]")
+        em.add(f"{out} = {em.col(expr.index)}")
     elif isinstance(expr, (E.Cmp, E.Arith)):
         left = _emit_guarded(expr.left, em)
         right = _emit_guarded(expr.right, em)

@@ -35,6 +35,7 @@ class BeeSettings:
     tuple_bees: bool = False
     agg: bool = False      # experimental: the paper's Section VIII future work
     idx: bool = False      # experimental: index-maintenance specialization
+    pipelines: bool = False   # fused batch-at-a-time pipeline bees
     verify_on_generate: bool = False   # gate every emitted bee on beecheck
 
     @classmethod
@@ -57,13 +58,24 @@ class BeeSettings:
         """Everything plus the experimental AGG routine (Section VIII)."""
         return cls(
             gcl=True, scl=True, evp=True, evj=True, tuple_bees=True,
-            agg=True, idx=True,
+            agg=True, idx=True, pipelines=True,
+        )
+
+    @classmethod
+    def pipelined(cls) -> "BeeSettings":
+        """The paper's evaluated system plus fused pipeline bees."""
+        return cls(
+            gcl=True, scl=True, evp=True, evj=True, tuple_bees=True,
+            pipelines=True,
         )
 
     def with_routines(self, *names: str) -> "BeeSettings":
         """Return a copy with exactly the named routine flags enabled
         (``verify_on_generate`` is preserved — it is not a routine)."""
-        valid = {"gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx"}
+        valid = {
+            "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
+            "pipelines",
+        }
         unknown = set(names) - valid
         if unknown:
             raise ValueError(f"unknown bee routine flags: {sorted(unknown)}")
@@ -85,14 +97,18 @@ class BeeSettings:
         """True when at least one bee routine family is on."""
         return (
             self.gcl or self.scl or self.evp or self.evj
-            or self.tuple_bees or self.agg or self.idx
+            or self.tuple_bees or self.agg or self.idx or self.pipelines
         )
 
     def label(self) -> str:
         """Short human-readable form, e.g. ``GCL+EVP``."""
+        short = {"tuple_bees": "TB", "pipelines": "PIPE"}
         parts = [
-            name.upper() if name != "tuple_bees" else "TB"
-            for name in ("gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx")
+            short.get(name, name.upper())
+            for name in (
+                "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
+                "pipelines",
+            )
             if getattr(self, name)
         ]
         return "+".join(parts) if parts else "stock"

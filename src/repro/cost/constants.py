@@ -134,6 +134,19 @@ ICACHE_MISS_PENALTY_CYCLES = 20
 
 NODE_OVERHEAD = 110            # ExecProcNode indirection per node per row
 
+# --------------------------------------------------------------------------
+# Pipeline bees (fused batch-at-a-time compilation over the Volcano chain).
+# One generated function per fusable pipeline runs the whole
+# deform -> qual -> project/probe/transition loop over a page's tuples;
+# the ExecProcNode ping-pong (NODE_OVERHEAD per node per row), the slot
+# store between nodes, and the per-call routine prologues all fold away.
+# --------------------------------------------------------------------------
+PIPE_BATCH_OVERHEAD = 90      # per page batch: fused call + loop setup
+PIPE_NEXT = 170               # per tuple: line-pointer advance + visibility
+                              # check, amortized inside the fused loop
+PIPE_EMIT_BASE = 25           # per emitted row: append into the batch vector
+PIPE_EMIT_PER_COLUMN = 10     # per output column of an emitted row
+
 # Index maintenance (key extraction + structure modification per entry).
 IDX_GENERIC_BASE = 30         # generic key-extraction loop over key columns
 IDX_GENERIC_PER_COL = 10

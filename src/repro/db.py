@@ -367,7 +367,12 @@ class Database:
         finally:
             self.settings = previous
 
-    def sql(self, statement: str, bees: bool | BeeSettings | None = None):
+    def sql(
+        self,
+        statement: str,
+        bees: bool | BeeSettings | None = None,
+        pipelines: bool | None = None,
+    ):
         """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
 
         Returns a :class:`repro.sql.SQLResult`; SELECT results are in
@@ -375,11 +380,17 @@ class Database:
         DDL clause for tuple-bee attributes.  ``bees=False`` runs this one
         statement through the generic code paths (see
         :meth:`resolve_settings`); results must be identical either way —
-        the invariant the differential oracle checks.
+        the invariant the differential oracle checks.  *pipelines*
+        overrides the :attr:`BeeSettings.pipelines` flag for this one
+        statement (``db.sql(q, pipelines=False)`` disables plan fusion
+        without touching the other bee families).
         """
         from repro.sql.session import execute_sql
 
-        with self.use_settings(self.resolve_settings(bees)):
+        settings = self.resolve_settings(bees)
+        if pipelines is not None:
+            settings = settings.enabling(pipelines=bool(pipelines))
+        with self.use_settings(settings):
             return execute_sql(self, statement)
 
     def relation(self, name: str) -> Relation:

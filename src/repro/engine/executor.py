@@ -13,17 +13,42 @@ def execute(db, plan: PlanNode, emit: bool = True, settings=None) -> list[tuple]
     output row is charged the printtup-style emission cost; internal
     subplan executions pass ``emit=False``.  *settings* overrides the
     database's bee settings for this execution only.
+
+    With ``settings.pipelines`` on, the plan is first rewritten around
+    fused pipeline bees (:mod:`repro.bees.pipeline`); drivers that expose
+    ``batches(ctx)`` are drained batch-at-a-time, with the per-row
+    executor + emission cost — fixed per plan, since the row width is —
+    charged once per batch.
     """
     ctx = ExecContext(db, settings)
+    if getattr(ctx.settings, "pipelines", False):
+        from repro.bees.pipeline import fuse_plan
+
+        plan = fuse_plan(plan, db)
     charge = ctx.ledger.charge
-    width = 0
-    results = []
+    results: list[tuple] = []
+    per_row = 0
+    batches = getattr(plan, "batches", None)
+    if batches is not None:
+        for batch in batches(ctx):
+            if not batch:
+                continue
+            if not per_row:
+                per_row = C.EXECUTOR_PER_ROW
+                if emit:
+                    per_row += (
+                        C.EMIT_ROW_BASE
+                        + C.EMIT_ROW_PER_COLUMN * len(batch[0])
+                    )
+            charge(per_row * len(batch))
+            results.extend(map(tuple, batch))
+        return results
     for row in plan.rows(ctx):
-        if not width:
-            width = len(row)
-        charge(C.EXECUTOR_PER_ROW)
-        if emit:
-            charge(C.EMIT_ROW_BASE + C.EMIT_ROW_PER_COLUMN * len(row))
+        if not per_row:
+            per_row = C.EXECUTOR_PER_ROW
+            if emit:
+                per_row += C.EMIT_ROW_BASE + C.EMIT_ROW_PER_COLUMN * len(row)
+        charge(per_row)
         results.append(tuple(row))
     return results
 

@@ -82,6 +82,8 @@ GENERATORS = (
           specs={"plan.constants"}),
     _spec("idx", "bees/routines/idx.py", "generate_idx",
           key_indexes={"catalog.schema"}),
+    _spec("pipeline", "bees/pipeline/codegen.py", "generate_pipeline",
+          spec={"plan.constants", "catalog.schema", "layout.offsets"}),
     _spec("tuple", "bees/datasection.py", "DataSectionStore.get_or_create",
           key={"datasection.values"}),
     _spec("relation-bee", "bees/maker.py", "BeeMaker.make_relation_bee",
@@ -97,6 +99,7 @@ EXPECTED_EMBEDDINGS = {
     "evj": frozenset({"plan.constants"}),
     "agg": frozenset({"plan.constants"}),
     "idx": frozenset({"catalog.schema"}),
+    "pipeline": frozenset({"plan.constants", "layout.offsets"}),
     "tuple": frozenset({"datasection.values"}),
     "relation-bee": frozenset({"catalog.schema"}),
 }

@@ -68,8 +68,9 @@ RULES = (
         "catalog.schema",
         {"replace"},
         {"GenericBeeModule.invalidate_query_bees"},
-        "Memoized EVP/AGG/IDX routines bind column positions and "
-        "constants against the old schema and must be evicted on ALTER.",
+        "Memoized EVP/AGG/IDX/pipeline routines bind column positions "
+        "and constants against the old schema and must be evicted on "
+        "ALTER.",
     ),
     _rule(
         "annotation-reaches-bee-lifecycle",

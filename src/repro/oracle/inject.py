@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-BUG_KINDS = ("gcl", "evp")
+BUG_KINDS = ("gcl", "evp", "pipeline")
 
 
 def _first_int_attnum(layout) -> int | None:
@@ -34,6 +34,9 @@ def inject_bug(kind: str):
       offset arithmetic).
     * ``'evp'`` — the specialized predicate routine inverts definite
       verdicts (True <-> False), leaving NULL verdicts alone.
+    * ``'pipeline'`` — the fused pipeline bee drops the residual
+      qualification (a classic fusion bug: the matcher consumes the
+      Filter node but the generated loop forgets its predicate).
 
     Only bees generated while the context is active are affected, so the
     oracle (and its databases) must be constructed inside the ``with``.
@@ -85,5 +88,20 @@ def inject_bug(kind: str):
             yield
         finally:
             maker.generate_evp = original
+    elif kind == "pipeline":
+        import dataclasses
+
+        original = maker.generate_pipeline
+
+        def patched(spec, ledger, fn_name):
+            if spec.qual is not None:
+                spec = dataclasses.replace(spec, qual=None)
+            return original(spec, ledger, fn_name)
+
+        maker.generate_pipeline = patched
+        try:
+            yield
+        finally:
+            maker.generate_pipeline = original
     else:
         raise ValueError(f"unknown bug kind {kind!r} (use {BUG_KINDS})")

@@ -204,6 +204,7 @@ class DifferentialOracle:
 
         if stmt.kind == "select" and out_bee[0] == "rows":
             self._check_bees_off(stmt, out_bee)
+            self._check_pipeline_vs_interpreter(stmt, out_bee)
         if stmt.tlp is not None and out_stock[0] == "rows" and out_bee[0] == "rows":
             self._check_metamorphic(stmt, out_stock, out_bee)
         if stmt.columnar is not None and out_stock[0] == "rows":
@@ -231,6 +232,38 @@ class DifferentialOracle:
             stmt,
             f"bees={describe_outcome(out_bee)} "
             f"generic-on-same-storage={describe_outcome(out_off)}",
+            recheck,
+        )
+
+    def _check_pipeline_vs_interpreter(
+        self, stmt: GenStatement, out_bee
+    ) -> None:
+        """The fused-execution lane: every eligible SELECT re-runs with
+        the per-query pipeline toggle on; the fused pipeline bees and the
+        per-tuple Volcano interpreter read the same storage and must
+        produce the same rows.  Queries whose plans have no fusable
+        pipeline fall back to the generic executor and compare trivially
+        — the lane still runs them, so a fusion matcher that misfires on
+        an 'unsupported' shape is caught too."""
+        self._count(self.check_counts, "pipeline-vs-interpreter")
+        out_pipe = run_statement(self.bee, stmt.sql, pipelines=True)
+        if outcomes_equal(out_bee, out_pipe, ordered=stmt.ordered):
+            return
+
+        def recheck(prefix: list[GenStatement]) -> bool:
+            try:
+                _, bee = self._replay(prefix)
+                a = run_statement(bee, stmt.sql)
+                b = run_statement(bee, stmt.sql, pipelines=True)
+                return not outcomes_equal(a, b, ordered=stmt.ordered)
+            except Exception:  # noqa: BLE001 — replay failure != repro
+                return False
+
+        self._record(
+            "pipeline-vs-interpreter",
+            stmt,
+            f"fused={describe_outcome(out_pipe)} "
+            f"interpreter={describe_outcome(out_bee)}",
             recheck,
         )
 
@@ -402,7 +435,7 @@ def run_self_test(seed: int, iterations: int) -> dict[str, OracleReport]:
     that the campaign reports divergences.  Returns reports by bug kind;
     the caller decides what a miss means (the CLI exits nonzero)."""
     reports = {}
-    for kind in ("gcl", "evp"):
+    for kind in ("gcl", "evp", "pipeline"):
         with inject_bug(kind):
             # Verification stays off here: beecheck would reject the
             # broken routine at generation time, and this test must

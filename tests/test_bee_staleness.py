@@ -123,3 +123,37 @@ class TestDMLThenQuery:
         assert _both_ways(
             db, "SELECT id FROM items WHERE price > 5.0"
         ) == [(1,), (3,)]
+
+
+class TestPipelineStaleness:
+    """Fused pipeline bees inline layout offsets AND plan constants, so
+    they are stale after every edge the relation and query bees are —
+    these drive the pipeline memo through the same DDL transitions."""
+
+    def test_drop_recreate_then_fused_query(self):
+        db = _fresh_db()
+        db.sql("SELECT id FROM items WHERE price > 15.0", pipelines=True)
+        assert db.bee_module._pipeline_by_node
+        db.sql("DROP TABLE items")
+        assert not any(
+            spec.relation == "items"
+            for _anchor, spec, _routine in
+            db.bee_module._pipeline_by_node.values()
+        ), "DROP must evict the dropped relation's pipeline bees"
+        db.sql("CREATE TABLE items (name char(4) NOT NULL, n int NOT NULL)")
+        db.sql("INSERT INTO items VALUES ('wxyz', 7), ('qrst', 8)")
+        query = "SELECT name, n FROM items WHERE n > 7"
+        fused = db.sql(query, pipelines=True).rows
+        plain = db.sql(query, pipelines=False).rows
+        assert fused == plain == [("qrst", 8)]
+
+    def test_reannotate_evicts_pipeline_memo(self):
+        db = _fresh_db()
+        query = "SELECT id FROM items WHERE kind = 'aaa'"
+        db.sql(query, pipelines=True)
+        assert db.bee_module._pipeline_by_node
+        db.reannotate("items", [])
+        assert not db.bee_module._pipeline_by_node, (
+            "ALTER must evict memoized pipeline bees"
+        )
+        assert db.sql(query, pipelines=True).rows == [(1,), (3,)]

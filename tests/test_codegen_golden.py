@@ -1,8 +1,10 @@
 """Golden-source snapshots of generated bee code.
 
 Every representative layout's generated GCL/SCL — plus two EVP
-variants, all four EVJ templates, an AGG transition pair, and an IDX
-extractor — is pinned byte-for-byte under ``tests/golden/``.  A codegen change shows
+variants, all four EVJ templates, an AGG transition pair, an IDX
+extractor, and five fused pipeline bees (filtered rows, tuple-bee
+rows, inner/anti probe, grouped agg) — is pinned byte-for-byte under
+``tests/golden/``.  A codegen change shows
 up as a reviewable diff instead of a silent behavior shift; regenerate
 deliberately with::
 
@@ -94,6 +96,62 @@ def _agg_specs():
     ]
 
 
+def _pipeline_spec(name: str):
+    from repro.bees.pipeline.codegen import PipelineSpec
+    from repro.engine.aggregates import AggSpec
+
+    if name == "pipe_rows":
+        layout = LAYOUTS["varlena"]
+        cols = [attr.name for attr in layout.schema.attributes]
+        return PipelineSpec(
+            "varlena",
+            layout,
+            qual=E.bind(E.Cmp(">", E.Col("n1"), E.Const(5)), cols),
+            output=[
+                E.bind(E.Col("v1"), cols),
+                E.bind(E.Arith("*", E.Col("q1"), E.Const(2)), cols),
+            ],
+        )
+    if name == "pipe_rows_bees":
+        layout = LAYOUTS["holes"]
+        cols = [attr.name for attr in layout.schema.attributes]
+        return PipelineSpec(
+            "holes",
+            layout,
+            output=[
+                E.bind(E.Col("k"), cols),
+                E.bind(E.Col("tag"), cols),
+                E.bind(E.Col("amount"), cols),
+            ],
+        )
+    if name in ("pipe_probe_inner", "pipe_probe_anti"):
+        layout = LAYOUTS["notnull"]
+        cols = [attr.name for attr in layout.schema.attributes]
+        return PipelineSpec(
+            "notnull",
+            layout,
+            qual=E.bind(E.Cmp("<", E.Col("a"), E.Const(10)), cols),
+            sink="probe",
+            join_type=name.rsplit("_", 1)[-1],
+            probe_idx=(layout.schema.attnum("b"),),
+            build_width=2,
+        )
+    if name == "pipe_agg":
+        layout = LAYOUTS["notnull"]
+        cols = [attr.name for attr in layout.schema.attributes]
+        return PipelineSpec(
+            "notnull",
+            layout,
+            sink="agg",
+            group_exprs=(E.bind(E.Col("c"), cols),),
+            aggs=(
+                AggSpec("sum", E.bind(E.Col("d"), cols), name="s"),
+                AggSpec("count", name="n"),
+            ),
+        )
+    raise KeyError(name)
+
+
 def _generate(name: str) -> str:
     ledger = Ledger()
     if name.startswith("gcl_"):
@@ -117,6 +175,12 @@ def _generate(name: str) -> str:
         ).source
     if name == "idx_pair":
         return generate_idx([2, 0], ledger, "IDX_PAIR").source
+    if name.startswith("pipe_"):
+        from repro.bees.pipeline.codegen import generate_pipeline
+
+        return generate_pipeline(
+            _pipeline_spec(name), ledger, name.upper()
+        ).source
     raise KeyError(name)
 
 
@@ -126,6 +190,13 @@ SNAPSHOTS = (
     + ["evp_guarded", "evp_direct"]
     + [f"evj_{join_type}" for join_type in JOIN_TYPES]
     + ["agg_guarded", "agg_direct", "idx_pair"]
+    + [
+        "pipe_rows",
+        "pipe_rows_bees",
+        "pipe_probe_inner",
+        "pipe_probe_anti",
+        "pipe_agg",
+    ]
 )
 
 
