@@ -1,18 +1,21 @@
 """Pipeline-bee benchmark: stock vs routine bees vs fused pipelines.
 
-Runs all 22 TPC-H queries, warm cache, on three databases sharing one
+Runs all 22 TPC-H queries, warm cache, on four databases sharing one
 generated dataset:
 
 * **stock** — no specialization,
 * **bees** — the paper's evaluated system (GCL/SCL/EVP/EVJ/tuple bees),
-* **pipelines** — the same plus fused pipeline bees.
+* **noshield** — the same with beeshield's guarded invocation disabled,
+* **pipelines** — bees plus fused pipeline bees.
 
 For each query we record the best-of-``--repeat`` wall-clock seconds and
-the (deterministic) priced instruction count, assert the three engines
-agree on every result, and report per-query ratios plus geometric means.
+the (deterministic) priced instruction count, assert the engines agree
+on every result, and report per-query ratios plus geometric means.
 The JSON report lands in ``results/BENCH_pipeline.json``; ``--check``
-additionally gates the headline claim — pipelines beat routine bees on
-the wall-clock geomean — for CI.
+additionally gates two claims for CI: pipelines beat routine bees on
+the wall-clock geomean, and the shield's healthy-path overhead
+(bees vs noshield, same run, same machine) stays under
+``--shield-tolerance`` (default 1.05 — the zero-overhead guardrail).
 
 Usage::
 
@@ -33,7 +36,7 @@ from repro.workloads.tpch.dbgen import TPCHGenerator
 from repro.workloads.tpch.loader import build_tpch_database, generate_rows
 from repro.workloads.tpch.queries import QUERIES
 
-ENGINES = ("stock", "bees", "pipelines")
+ENGINES = ("stock", "bees", "noshield", "pipelines")
 
 
 def build_databases(scale_factor: float, seed: int):
@@ -41,6 +44,9 @@ def build_databases(scale_factor: float, seed: int):
     return {
         "stock": build_tpch_database(BeeSettings.stock(), rows=rows),
         "bees": build_tpch_database(BeeSettings.all_bees(), rows=rows),
+        "noshield": build_tpch_database(
+            BeeSettings.all_bees().enabling(shield=False), rows=rows
+        ),
         "pipelines": build_tpch_database(
             BeeSettings.pipelined(), rows=rows
         ),
@@ -78,12 +84,13 @@ def run_suite(databases, repeat: int) -> dict:
                 "instructions": instructions,
             }
             results[engine] = result
-        if not (results["stock"] == results["bees"] == results["pipelines"]):
+        baseline = results["stock"]
+        if any(results[engine] != baseline for engine in ENGINES):
             raise AssertionError(
                 f"q{number}: engines disagree — benchmark numbers would "
                 f"be meaningless"
             )
-        for engine in ("bees", "pipelines"):
+        for engine in ("bees", "noshield", "pipelines"):
             per_engine[engine]["wall_ratio_vs_bees"] = (
                 per_engine[engine]["wall_seconds"]
                 / per_engine["bees"]["wall_seconds"]
@@ -115,6 +122,11 @@ def summarize(queries: dict) -> dict:
         "instr_geomean_bees_vs_stock": ratio(
             "instructions", "bees", "stock"
         ),
+        # The zero-overhead guardrail: shielded vs unshielded bees in
+        # the same run, so machine speed cancels out of the ratio.
+        "wall_geomean_bees_vs_noshield": ratio(
+            "wall_seconds", "bees", "noshield"
+        ),
     }
 
 
@@ -135,6 +147,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=1.0,
                         help="--check passes while the pipelines/bees "
                              "wall geomean is below this (default 1.0)")
+    parser.add_argument("--shield-tolerance", type=float, default=1.05,
+                        help="--check also fails when the shielded/"
+                             "unshielded wall geomean reaches this "
+                             "(default 1.05: beeshield may cost at most "
+                             "5%% on the healthy path)")
     args = parser.parse_args(argv)
 
     databases = build_databases(args.sf, args.seed)
@@ -166,7 +183,18 @@ def main(argv: list[str] | None = None) -> int:
                 f">= {args.tolerance}"
             )
             return 1
-        print(f"check passed: {ratio:.3f} < {args.tolerance}")
+        overhead = summary["wall_geomean_bees_vs_noshield"]
+        if overhead >= args.shield_tolerance:
+            print(
+                f"CHECK FAILED: shield overhead {overhead:.3f} "
+                f">= {args.shield_tolerance} (shielded vs unshielded "
+                f"wall geomean)"
+            )
+            return 1
+        print(
+            f"check passed: pipelines/bees {ratio:.3f} < {args.tolerance}, "
+            f"shield overhead {overhead:.3f} < {args.shield_tolerance}"
+        )
     return 0
 
 

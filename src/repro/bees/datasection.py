@@ -30,6 +30,11 @@ class DataSectionStore:
         self.attr_names = attr_names
         self._slabs: list[list[tuple | None]] = []
         self._by_key: dict[tuple, int] = {}
+        # ECC-style shadow of every section (sections are the *only*
+        # copy of annotated attribute values, read by the generic and
+        # bee paths alike); :meth:`scrub` repairs flipped entries from
+        # it.  See repro.resilience (the "section-flip" chaos site).
+        self._shadow: dict[int, tuple] = {}
         self.count = 0
         self.overflowed = False   # True once the soft cap was exceeded
 
@@ -66,6 +71,7 @@ class DataSectionStore:
         slab, slot = self._slab_slot(bee_id)
         slab[slot] = key
         self._by_key[key] = bee_id
+        self._shadow[bee_id] = key
         self.count += 1
         if self.count > SOFT_CAP:
             self.overflowed = True
@@ -82,6 +88,28 @@ class DataSectionStore:
         value = slab[slot]
         assert value is not None
         return value
+
+    def scrub(self) -> list[int]:
+        """Verify every section against its shadow copy, repairing any
+        divergence in place; returns the repaired beeIDs.
+
+        Called by beeshield before scans of tuple-bee relations: a
+        corrupted section would silently poison results on both the
+        specialized and generic read paths, so it is the one fault class
+        that must be repaired rather than degraded around.
+        """
+        repaired: list[int] = []
+        for bee_id in range(self.count):
+            slab, slot = self._slab_slot(bee_id)
+            expected = self._shadow[bee_id]
+            if slab[slot] != expected:
+                slab[slot] = expected
+                repaired.append(bee_id)
+        if repaired:
+            self._by_key = {
+                key: bee_id for bee_id, key in self._shadow.items()
+            }
+        return repaired
 
     def as_list(self) -> list[tuple]:
         """All sections as a beeID-indexable list (the hot read path)."""

@@ -32,6 +32,7 @@ class GenericBeeModule:
         ledger,
         settings: BeeSettings,
         disk_dir: str | Path | None = None,
+        registry=None,
     ) -> None:
         self.ledger = ledger
         self.settings = settings
@@ -40,6 +41,13 @@ class GenericBeeModule:
         self.collector = BeeCollector(self.cache, disk_dir)
         self.placement = BeePlacementOptimizer()
         self.disk_dir = Path(disk_dir) if disk_dir else None
+        # Beeshield integration: the resilience registry (quarantine and
+        # fault accounting) shares invalidation edges with the bee
+        # memos, and every memoized query routine is stamped with the
+        # invalidation epoch it was generated under so the guard can
+        # detect a memo that survived a DDL event it should not have.
+        self.registry = registry
+        self.query_epoch = 0
         # Query-bee routine memoization, keyed by expression / join identity.
         # The expression object is kept in the value: holding the reference
         # pins its id(), which would otherwise be recycled after GC.
@@ -81,6 +89,10 @@ class GenericBeeModule:
         ):
             bee.data_sections = old.data_sections
         self.cache.put_relation_bee(bee)
+        if self.registry is not None:
+            self.registry.clear_prefix(
+                f"GCL_{layout.schema.name}", f"SCL_{layout.schema.name}"
+            )
         return bee
 
     def drop_relation_bee(self, relation: str) -> None:
@@ -94,6 +106,14 @@ class GenericBeeModule:
             if spec.relation == relation
         ]:
             del self._pipeline_by_node[key]
+        if self.registry is not None:
+            # Quarantine state describes bees that no longer exist.
+            self.registry.clear_prefix(
+                f"GCL_{relation}",
+                f"SCL_{relation}",
+                f"IDX_{relation}_",
+                f"PIPE:{relation}:",
+            )
 
     def invalidate_query_bees(self) -> int:
         """Evict every query bee and memoized query routine (ALTER path).
@@ -118,6 +138,13 @@ class GenericBeeModule:
         self._idx_by_index.clear()
         self._pipeline_by_node.clear()
         self.collector.collected_query_bees += n_query_bees
+        self.query_epoch += 1
+        if self.registry is not None:
+            # The invalidation edge also clears quarantine state: the
+            # routines it described are gone, and the regenerated ones
+            # deserve a fresh health record (EVJ templates survive the
+            # eviction, but conservative re-admission is harmless).
+            self.registry.clear_prefix("EVP:", "EVJ:", "AGG:", "IDX_", "PIPE:")
         return evicted
 
     # -- query bees (query preparation time) ------------------------------------
@@ -128,6 +155,7 @@ class GenericBeeModule:
         if entry is not None and entry[0] is expr:
             return entry[1]
         routine = self.maker.make_evp(expr, assume_not_null)
+        routine.epoch = self.query_epoch
         self._evp_by_expr[id(expr)] = (expr, routine)
         return routine
 
@@ -152,6 +180,7 @@ class GenericBeeModule:
             from repro.beecheck import verify_agg
 
             verify_agg(routine, list(specs), assume_not_null)
+        routine.epoch = self.query_epoch
         self._agg_by_specs[key] = (specs, routine)
         return routine
 
@@ -175,6 +204,7 @@ class GenericBeeModule:
                 from repro.beecheck import verify_idx
 
                 verify_idx(routine, key_indexes)
+            routine.epoch = self.query_epoch
             entry = (list(key_indexes), routine)
             self._idx_by_index[key] = entry
         return entry[1]
@@ -191,6 +221,7 @@ class GenericBeeModule:
         if entry is not None and entry[0] is anchor:
             return entry[2]
         routine = self.maker.make_pipeline(spec)
+        routine.epoch = self.query_epoch
         self._pipeline_by_node[id(anchor)] = (anchor, spec, routine)
         return routine
 
@@ -202,6 +233,54 @@ class GenericBeeModule:
             routine = self.maker.make_evj(join_type, n_keys)
             self._evj_by_shape[shape] = routine
         return routine
+
+    def evict_routine(self, routine) -> bool:
+        """Evict one memoized query routine (beeshield staleness repair).
+
+        Returns True when the routine was found in a memo.  The next
+        acquisition regenerates it under the current epoch.
+        """
+        for key, (_expr, cached) in list(self._evp_by_expr.items()):
+            if cached is routine:
+                del self._evp_by_expr[key]
+                return True
+        for key, (_specs, cached) in list(self._agg_by_specs.items()):
+            if cached is routine:
+                del self._agg_by_specs[key]
+                return True
+        for key, (_key_idx, cached) in list(self._idx_by_index.items()):
+            if cached is routine:
+                del self._idx_by_index[key]
+                return True
+        for key, (_anchor, _spec, cached) in list(self._pipeline_by_node.items()):
+            if cached is routine:
+                del self._pipeline_by_node[key]
+                return True
+        return False
+
+    def stable_key(self, routine_name: str) -> str | None:
+        """Map a generated routine name to its stable health key.
+
+        Relation-scoped names (``GCL_orders``, ``IDX_rel_idx``) are
+        already stable; counter-suffixed query routines (``EVP_17``,
+        ``AGG_3``, ``PIPE_2``) are looked up in the memos so the
+        resilience registry can track them across statements.  Cold
+        path: only called while attributing a fault.
+        """
+        if routine_name.startswith(("GCL_", "SCL_", "IDX_", "EVJ_")):
+            return routine_name
+        from repro.resilience.guard import agg_key, evp_key, pipeline_key
+
+        for expr, routine in self._evp_by_expr.values():
+            if routine.name == routine_name:
+                return evp_key(expr)
+        for specs, routine in self._agg_by_specs.values():
+            if routine.name == routine_name:
+                return agg_key(specs)
+        for _anchor, spec, routine in self._pipeline_by_node.values():
+            if routine.name == routine_name:
+                return pipeline_key(spec)
+        return None
 
     def register_query_bee(self, query_id: str) -> QueryBee:
         """Create (or fetch) the query bee grouping a plan's routines."""

@@ -9,6 +9,11 @@ and evicted with the other query bees on DDL).
 Drivers expose the usual ``rows(ctx)`` generator for compatibility, but
 also ``batches(ctx)`` yielding page-sized lists of output rows; the
 executor prefers ``batches`` so emission cost is charged per batch.
+
+Under beeshield (``ctx.shield``), routine acquisition is guarded: a
+quarantined or generation-faulted pipeline bee makes the driver drain
+its anchor subtree — the generic plan it replaced — instead, and
+wrong-width output batches raise the statement-retry signal.
 """
 
 from __future__ import annotations
@@ -18,6 +23,9 @@ from typing import Iterator
 
 from repro.cost import constants as C
 from repro.engine.nodes import ExecContext, PlanNode, Row
+
+#: Fallback batch size when draining the generic anchor subtree.
+_GENERIC_BATCH = 256
 
 
 def _page_batches(rel) -> Iterator[list]:
@@ -47,8 +55,30 @@ class _PipelineNode(PlanNode):
         fused = " <- ".join(self.spec.fused_nodes)
         return f"{type(self).__name__}[{fused}]"
 
-    def _routine(self, ctx: ExecContext):
-        return ctx.bees.get_pipeline(self.spec, self.anchor)
+    def _acquire(self, ctx: ExecContext):
+        """Resolve the pipeline routine: ``(fn_or_None, health_key)``.
+
+        ``None`` means the driver must fall back to the anchor subtree
+        (quarantined bee, or the generator faulted under the shield).
+        """
+        shield = ctx.shield
+        if shield is None:
+            return ctx.bees.get_pipeline(self.spec, self.anchor).fn, None
+        routine, key = shield.pipeline(ctx, self.spec, self.anchor)
+        if routine is None:
+            return None, key
+        return shield.maybe_timed(routine.fn, "pipelines", key), key
+
+    def _anchor_batches(self, ctx: ExecContext) -> Iterator[list]:
+        """Generic fallback: drain the replaced subtree, chunked."""
+        batch: list[Row] = []
+        for row in self.anchor.rows(ctx):
+            batch.append(row)
+            if len(batch) >= _GENERIC_BATCH:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         for batch in self.batches(ctx):
@@ -62,12 +92,21 @@ class PipelineScan(_PipelineNode):
     """Fused Scan -> Filter* -> Project pipeline (the ``rows`` sink)."""
 
     def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
         rel = ctx.db.relation(self.spec.relation)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
         sections = rel.sections_list()
-        fn = self._routine(ctx).fn
+        width = len(self.columns)
         for batch in _page_batches(rel):
             out = fn(batch, sections)
             if out:
+                if shield is not None and len(out[0]) != width:
+                    shield.fault("pipelines", key, "arity")
                 yield out
 
 
@@ -86,6 +125,10 @@ class PipelineJoin(_PipelineNode):
         return (self.build,)
 
     def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
         charge = ctx.ledger.charge
         build_idx = self.anchor.build_idx
         n_keys = len(build_idx)
@@ -95,17 +138,22 @@ class PipelineJoin(_PipelineNode):
         table: dict[tuple, list[Row]] = defaultdict(list)
         for row in self.build.rows(ctx):
             charge(build_cost)
-            key = tuple(row[i] for i in build_idx)
-            if None in key:
+            build_key = tuple(row[i] for i in build_idx)
+            if None in build_key:
                 continue  # NULL keys never match
-            table[key].append(row)
+            table[build_key].append(row)
         table = dict(table)   # drop defaultdict insertion-on-miss
         rel = ctx.db.relation(self.spec.relation)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
         sections = rel.sections_list()
-        fn = self._routine(ctx).fn
+        width = len(self.columns)
         for batch in _page_batches(rel):
             out = fn(batch, sections, table)
             if out:
+                if shield is not None and len(out[0]) != width:
+                    shield.fault("pipelines", key, "arity")
                 yield out
 
 
@@ -117,6 +165,10 @@ class PipelineAgg(_PipelineNode):
     """
 
     def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, _key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
         charge = ctx.ledger.charge
         aggs = self.spec.aggs
         make_states = lambda: [spec.make_state() for spec in aggs]
@@ -124,13 +176,15 @@ class PipelineAgg(_PipelineNode):
         if not self.spec.group_exprs:
             groups[()] = make_states()
         rel = ctx.db.relation(self.spec.relation)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
         sections = rel.sections_list()
-        fn = self._routine(ctx).fn
         for batch in _page_batches(rel):
             fn(batch, sections, groups, make_states)
         out = []
-        for key, states in groups.items():
+        for group_key, states in groups.items():
             charge(C.NODE_OVERHEAD)
-            out.append(list(key) + [state.result() for state in states])
+            out.append(list(group_key) + [state.result() for state in states])
         if out:
             yield out

@@ -26,6 +26,13 @@ class BeeSettings:
     (lint, offset abstract interpretation, cost audit, translation
     validation) and raises :class:`repro.beecheck.BeecheckError` instead
     of handing a bad routine to the executor.
+
+    ``shield`` is likewise orthogonal: when set (the default), every bee
+    call site runs under beeshield (:mod:`repro.resilience`) — faults in
+    specialized routines are caught, recorded, and transparently
+    re-executed on the generic interpreter path.  Disabling it exposes
+    raw bee exceptions to the caller (used by the resilience self-test
+    and the bench's overhead gate).
     """
 
     gcl: bool = False
@@ -37,6 +44,7 @@ class BeeSettings:
     idx: bool = False      # experimental: index-maintenance specialization
     pipelines: bool = False   # fused batch-at-a-time pipeline bees
     verify_on_generate: bool = False   # gate every emitted bee on beecheck
+    shield: bool = True    # guarded bee invocation (repro.resilience)
 
     @classmethod
     def stock(cls) -> "BeeSettings":
@@ -71,7 +79,8 @@ class BeeSettings:
 
     def with_routines(self, *names: str) -> "BeeSettings":
         """Return a copy with exactly the named routine flags enabled
-        (``verify_on_generate`` is preserved — it is not a routine)."""
+        (``verify_on_generate`` and ``shield`` are preserved — they are
+        not routines)."""
         valid = {
             "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
             "pipelines",
@@ -81,6 +90,7 @@ class BeeSettings:
             raise ValueError(f"unknown bee routine flags: {sorted(unknown)}")
         return BeeSettings(
             verify_on_generate=self.verify_on_generate,
+            shield=self.shield,
             **{name: name in names for name in valid},
         )
 

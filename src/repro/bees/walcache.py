@@ -56,18 +56,59 @@ def _decode_record(line: str) -> dict | None:
 
 
 class BeeCacheWAL:
-    """Append-only undo/redo log for bee-cache mutations."""
+    """Append-only undo/redo log for bee-cache mutations.
 
-    def __init__(self, path: str | Path) -> None:
+    *registry* is an optional :class:`repro.resilience.ResilienceRegistry`
+    that receives a ``wal_truncated`` event whenever :meth:`repair` drops
+    a torn trailing record.
+    """
+
+    def __init__(self, path: str | Path, registry=None) -> None:
         self.path = Path(path)
+        self.registry = registry
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if not self.path.exists():
             self.path.touch()
+        else:
+            # Heal a torn tail *now*: appending to an unterminated
+            # partial record would concatenate the next record onto it,
+            # turning a recoverable torn write into permanent mid-file
+            # corruption on the following recovery.
+            self.repair()
 
     def _append(self, line: str) -> None:
         with open(self.path, "a") as handle:
             handle.write(line + "\n")
             handle.flush()
+
+    # -- torn-write repair ----------------------------------------------------------
+
+    def repair(self) -> int:
+        """Truncate a torn trailing record to the last valid line.
+
+        A crash mid-``_append`` leaves the file without a final newline.
+        If the unterminated tail still decodes (only the newline was
+        lost), it is kept and re-terminated; otherwise the partial line
+        is physically dropped.  Returns the number of bytes removed and
+        logs a ``wal_truncated`` event to the resilience registry when
+        anything was repaired.  Corruption *before* the end of the file
+        is never touched here — :meth:`committed_records` raises
+        :class:`WALCorruptionError` for it.
+        """
+        text = self.path.read_text()
+        if not text or text.endswith("\n"):
+            return 0
+        head, _sep, tail = text.rpartition("\n")
+        if tail == _COMMIT or _decode_record(tail) is not None:
+            # Complete content, torn newline: keep the record.
+            self.path.write_text(text + "\n")
+            dropped = 0
+        else:
+            self.path.write_text(head + "\n" if head else "")
+            dropped = len(tail)
+        if self.registry is not None:
+            self.registry.record_wal_truncation(str(self.path), dropped)
+        return dropped
 
     # -- logging -------------------------------------------------------------------
 
@@ -108,10 +149,19 @@ class BeeCacheWAL:
         """All records up to the last COMMIT, in order.
 
         Records after the last commit marker are the undo set and are
-        dropped; torn trailing lines are ignored; a corrupt record
-        *before* the last commit raises :class:`WALCorruptionError`.
+        dropped; a torn trailing partial line (unterminated — a crash
+        mid-append) is ignored even when a COMMIT precedes it; a corrupt
+        record anywhere *before* the end of the file raises
+        :class:`WALCorruptionError` — mid-file corruption is data loss
+        the undo/redo protocol cannot explain.
         """
-        lines = self.path.read_text().splitlines()
+        text = self.path.read_text()
+        lines = text.splitlines()
+        if lines and text and not text.endswith("\n"):
+            # Unterminated tail: a torn write, never a committed record.
+            tail = lines.pop()
+            if tail == _COMMIT or _decode_record(tail) is not None:
+                lines.append(tail)   # only the newline was torn
         last_commit = -1
         for i, line in enumerate(lines):
             if line == _COMMIT:
@@ -147,12 +197,16 @@ class StableBeeCache:
     LOG_NAME = "beecache.wal"
 
     def __init__(
-        self, cache: BeeCache, maker: BeeMaker, directory: str | Path
+        self,
+        cache: BeeCache,
+        maker: BeeMaker,
+        directory: str | Path,
+        registry=None,
     ) -> None:
         self.cache = cache
         self.maker = maker
         self.directory = Path(directory)
-        self.wal = BeeCacheWAL(self.directory / self.LOG_NAME)
+        self.wal = BeeCacheWAL(self.directory / self.LOG_NAME, registry)
 
     def put(self, bee: RelationBee) -> None:
         """Install a relation bee and log it."""
@@ -183,11 +237,17 @@ class StableBeeCache:
         directory: str | Path,
         maker: BeeMaker,
         layouts: dict,
+        registry=None,
     ) -> "StableBeeCache":
-        """Rebuild the cache: checkpoint files first, then committed WAL."""
+        """Rebuild the cache: checkpoint files first, then committed WAL.
+
+        Torn trailing records are repaired (truncated to the last valid
+        line) when the WAL is opened; *registry* receives the
+        ``wal_truncated`` event.
+        """
         cache = BeeCache()
         cache.load_from(directory, maker, layouts)
-        stable = cls(cache, maker, directory)
+        stable = cls(cache, maker, directory, registry)
         for record in stable.wal.committed_records():
             relation = record["relation"]
             if record["op"] == "put":

@@ -85,6 +85,18 @@ class Ledger:
             pages_hit=self.pages_hit,
         )
 
+    def rollback_to(self, snap: "LedgerSnapshot") -> None:
+        """Restore counters to *snap* (statement retry / clean timeout).
+
+        Per-function attribution accumulated since the snapshot is *not*
+        unwound — ``by_function`` is a profiling aid, and profiling runs
+        do not exercise the retry path.
+        """
+        self.total = snap.total
+        self.seq_pages_read = snap.seq_pages_read
+        self.rand_pages_read = snap.rand_pages_read
+        self.pages_hit = snap.pages_hit
+
     def delta_since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
         """Return counters accumulated since *snap* was taken."""
         return LedgerSnapshot(

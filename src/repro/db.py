@@ -24,6 +24,8 @@ from repro.engine import dml
 from repro.engine.deform import GenericDeformer, GenericFiller
 from repro.engine.executor import execute as _execute
 from repro.engine.nodes import PlanNode
+from repro.resilience.guard import BeeGuard
+from repro.resilience.registry import ResilienceRegistry
 from repro.storage import BufferPool, HeapFile, TupleLayout, build_index
 from repro.storage.buffer import DEFAULT_CAPACITY_PAGES
 
@@ -62,15 +64,19 @@ class Relation:
             self.schema.attnum(col) for col in key_columns
         ]
 
-    def set_idx_routine(self, index_name: str, routine) -> None:
-        """Install an IDX bee routine for one index (future-work flag)."""
-        self._idx_routines[index_name] = routine
+    def set_idx_routine(self, index_name: str, extractor) -> None:
+        """Install an IDX key extractor for one index (future-work flag).
+
+        *extractor* is a plain ``values -> key tuple`` callable: the IDX
+        bee routine's ``fn``, or its beeshield-guarded wrapper.
+        """
+        self._idx_routines[index_name] = extractor
 
     def _extract_key(self, name: str, values: list) -> tuple:
         """Key extraction for one index: IDX bee routine or generic loop."""
         routine = self._idx_routines.get(name)
         if routine is not None:
-            return routine.fn(values)   # charges its own specialized cost
+            return routine(values)   # charges its own specialized cost
         from repro.bees.routines.idx import generic_idx_cost
 
         key_idx = self._index_keys[name]
@@ -124,11 +130,15 @@ class Database:
         self.ledger = Ledger()
         self.catalog = Catalog()
         self.buffer_pool = BufferPool(self.ledger, buffer_capacity_pages)
+        self.resilience = ResilienceRegistry()
+        self.shield = BeeGuard(self.resilience, self.ledger)
         self.bee_module = GenericBeeModule(
-            self.ledger, self.settings, bee_cache_dir
+            self.ledger, self.settings, bee_cache_dir,
+            registry=self.resilience,
         )
         self.time_model = TimeModel()
         self._relations: dict[str, Relation] = {}
+        self._deadline: float | None = None
         self.catalog.on("drop", self._on_drop)
         self.catalog.on("alter", self._on_alter)
 
@@ -179,9 +189,16 @@ class Database:
         rel.add_index(index, columns)
         if getattr(self.settings, "idx", False):
             key_idx = [rel.schema.attnum(col) for col in columns]
-            rel.set_idx_routine(
-                name, self.bee_module.get_idx(relation, name, key_idx)
-            )
+            if getattr(self.settings, "shield", True):
+                extractor = self._guarded_idx_extractor(
+                    relation, name, key_idx
+                )
+                if extractor is not None:
+                    rel.set_idx_routine(name, extractor)
+            else:
+                rel.set_idx_routine(
+                    name, self.bee_module.get_idx(relation, name, key_idx).fn
+                )
         sections = rel.sections_list()
         key_idx = [rel.schema.attnum(col) for col in columns]
         for tid, raw in rel.heap.scan():
@@ -189,6 +206,36 @@ class Database:
                 raw, sections[rel.layout.read_bee_id(raw)] if sections else None
             )
             index.insert(tuple(values[i] for i in key_idx), tid)
+
+    def _guarded_idx_extractor(self, relation, name, key_idx):
+        """Beeshield wrapper for one index's IDX routine; None when the
+        generator faults (the relation then uses the generic loop)."""
+        try:
+            routine = self.bee_module.get_idx(relation, name, key_idx)
+        except Exception as exc:  # noqa: BLE001 — the guard is the handler
+            from repro.resilience.errors import is_verification_refusal
+
+            if is_verification_refusal(exc):
+                raise
+            self.resilience.record_failure(
+                f"IDX_{relation}_{name}", site="idx", kind="generate", error=exc
+            )
+            return None
+
+        def make_generic():
+            from repro.bees.routines.idx import generic_idx_cost
+
+            cost = generic_idx_cost(len(key_idx))
+            ledger = self.ledger
+            indexes = list(key_idx)
+
+            def generic_extract(values):
+                ledger.charge_fn("index_key_extract", cost)
+                return tuple(values[i] for i in indexes)
+
+            return generic_extract
+
+        return self.shield.idx(routine, key_idx, make_generic)
 
     def drop_table(self, name: str) -> None:
         """Drop a relation: catalog, storage, buffer pages, and its bees."""
@@ -326,14 +373,23 @@ class Database:
     def execute(
         self, plan: PlanNode, emit: bool = True,
         settings: BeeSettings | None = None,
+        timeout: float | None = None,
     ) -> list[tuple]:
         """Run a plan and return result rows.
 
         *settings* overrides this database's bee settings for the one
         execution (``BeeSettings.stock()`` forces the generic code paths
-        over the same physical data).
+        over the same physical data).  *timeout* is a wall-clock budget
+        in seconds; exceeding it raises
+        :class:`repro.resilience.QueryTimeout` with the ledger rolled
+        back to the statement start.
         """
-        return _execute(self, plan, emit=emit, settings=settings)
+        from time import perf_counter
+
+        deadline = None if timeout is None else perf_counter() + timeout
+        return _execute(
+            self, plan, emit=emit, settings=settings, deadline=deadline
+        )
 
     def resolve_settings(
         self, bees: bool | BeeSettings | None
@@ -372,6 +428,7 @@ class Database:
         statement: str,
         bees: bool | BeeSettings | None = None,
         pipelines: bool | None = None,
+        timeout: float | None = None,
     ):
         """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
 
@@ -384,14 +441,26 @@ class Database:
         overrides the :attr:`BeeSettings.pipelines` flag for this one
         statement (``db.sql(q, pipelines=False)`` disables plan fusion
         without touching the other bee families).
+
+        *timeout* is a per-statement wall-clock budget in seconds,
+        checked at batch boundaries in the executor; exceeding it raises
+        :class:`repro.resilience.QueryTimeout` with the ledger rolled
+        back, leaving the database usable.
         """
         from repro.sql.session import execute_sql
 
         settings = self.resolve_settings(bees)
         if pipelines is not None:
             settings = settings.enabling(pipelines=bool(pipelines))
-        with self.use_settings(settings):
-            return execute_sql(self, statement)
+        if timeout is not None:
+            from time import perf_counter
+
+            self._deadline = perf_counter() + timeout
+        try:
+            with self.use_settings(settings):
+                return execute_sql(self, statement)
+        finally:
+            self._deadline = None
 
     def relation(self, name: str) -> Relation:
         """Runtime relation state; raises KeyError for unknown names."""
@@ -445,6 +514,13 @@ class Database:
     def snapshot(self) -> LedgerSnapshot:
         """Convenience pass-through to the ledger."""
         return self.ledger.snapshot()
+
+    def stats(self) -> dict:
+        """Observability roll-up: bee population + resilience health."""
+        return {
+            "bees": self.bee_module.statistics(),
+            "resilience": self.resilience.report(),
+        }
 
     def table_names(self) -> list[str]:
         return list(self._relations)

@@ -53,8 +53,19 @@ class HashAgg(PlanNode):
         # work): the transition loop is generated with argument
         # expressions constant-folded; it charges its own specialized cost.
         agg_routine = None
+        agg_fn = None
         if getattr(ctx.settings, "agg", False) and aggs:
-            agg_routine = ctx.bees.get_agg(tuple(aggs))
+            shield = ctx.shield
+            if shield is None:
+                agg_routine = ctx.bees.get_agg(tuple(aggs))
+                agg_fn = agg_routine.fn
+            else:
+                entry = shield.agg(ctx, tuple(aggs))
+                if entry is not None:
+                    agg_routine, agg_bee_key = entry
+                    agg_fn = shield.maybe_timed(
+                        agg_routine.fn, "agg", agg_bee_key
+                    )
         if agg_routine is not None:
             per_row = C.NODE_OVERHEAD + C.AGG_HASH_LOOKUP + key_cost
         else:
@@ -80,8 +91,8 @@ class HashAgg(PlanNode):
             if states is None:
                 states = [spec.make_state() for spec in aggs]
                 groups[key] = states
-            if agg_routine is not None:
-                agg_routine.fn(row, states)
+            if agg_fn is not None:
+                agg_fn(row, states)
                 continue
             for spec, state in zip(aggs, states):
                 if spec.arg is None:

@@ -23,7 +23,13 @@ class RowWriter:
         settings = db.settings
         bee = self.rel.bee
         if settings.scl and bee is not None:
-            self._fill = bee.scl.fn          # charges its own cost
+            shield = getattr(db, "shield", None)
+            if shield is not None and getattr(settings, "shield", True):
+                # Beeshield: per-call guard — fill is stateless, so a
+                # faulting SCL is redone generically for that row.
+                self._fill = shield.fill(bee.scl, self.rel.generic_filler)
+            else:
+                self._fill = bee.scl.fn      # charges its own cost
         else:
             self._fill = self.rel.generic_filler
         self._layout = self.rel.layout

@@ -91,9 +91,15 @@ class HashJoin(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         ledger = ctx.ledger
         charge = ledger.charge
+        shield = ctx.shield
         n_keys = len(self.probe_idx)
+        evj = None
         if ctx.settings.evj:
-            evj = ctx.bees.get_evj(self.join_type, n_keys)
+            if shield is None:
+                evj = ctx.bees.get_evj(self.join_type, n_keys)
+            else:
+                evj = shield.evj(ctx, self.join_type, n_keys)
+        if evj is not None:
             compare_cost = evj.cost_per_compare
             compare_fn_name = evj.name
         else:
@@ -123,16 +129,19 @@ class HashJoin(PlanNode):
         )
         join_type = self.join_type
         extra = self.extra_qual
+        extra_fn = None
+        extra_cost = 0
         if extra is not None and ctx.settings.evj:
-            extra_routine = ctx.bees.get_evp(extra, self.not_null)
-            extra_fn = extra_routine.fn
-            extra_cost = 0   # the routine charges itself
-        elif extra is not None:
+            if shield is None:
+                extra_fn = ctx.bees.get_evp(extra, self.not_null).fn
+            else:
+                entry = shield.predicate(ctx, extra, self.not_null, checked=True)
+                if entry is not None:
+                    extra_fn = entry[0]
+            # extra_cost stays 0: the routine charges itself.
+        if extra is not None and extra_fn is None:
             extra_fn = extra.evaluate
             extra_cost = extra.generic_cost
-        else:
-            extra_fn = None
-            extra_cost = 0
 
         build_width = len(self.build.columns)
         for row in self.probe.rows(ctx):
@@ -213,25 +222,34 @@ class NestLoop(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         ledger = ctx.ledger
         charge = ledger.charge
+        shield = ctx.shield
         inner_rows = list(self.inner.rows(ctx))
         charge(C.MATERIALIZE_ROW * len(inner_rows))
+        evj = None
         if ctx.settings.evj:
-            evj = ctx.bees.get_evj(self.join_type, 0)
+            if shield is None:
+                evj = ctx.bees.get_evj(self.join_type, 0)
+            else:
+                evj = shield.evj(ctx, self.join_type, 0)
+        if evj is not None:
             pair_cost = evj.cost_per_compare
             fn_name = evj.name
         else:
             pair_cost = GENERIC_JOIN.per_compare(0)
             fn_name = "ExecNestLoop"
         qual = self.qual
+        qual_fn = None
+        qual_cost = 0
         if qual is not None and ctx.settings.evp:
-            qual_fn = ctx.bees.get_evp(qual, self.not_null).fn
-            qual_cost = 0
-        elif qual is not None:
+            if shield is None:
+                qual_fn = ctx.bees.get_evp(qual, self.not_null).fn
+            else:
+                entry = shield.predicate(ctx, qual, self.not_null, checked=True)
+                if entry is not None:
+                    qual_fn = entry[0]
+        if qual is not None and qual_fn is None:
             qual_fn = qual.evaluate
             qual_cost = qual.generic_cost
-        else:
-            qual_fn = None
-            qual_cost = 0
         join_type = self.join_type
         inner_width = len(self.inner.columns)
 
@@ -314,8 +332,14 @@ class MergeJoin(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         ledger = ctx.ledger
         charge = ledger.charge
+        shield = ctx.shield
+        evj = None
         if ctx.settings.evj:
-            evj = ctx.bees.get_evj(self.join_type, 1)
+            if shield is None:
+                evj = ctx.bees.get_evj(self.join_type, 1)
+            else:
+                evj = shield.evj(ctx, self.join_type, 1)
+        if evj is not None:
             compare_cost = evj.cost_per_compare
             fn_name = evj.name
         else:

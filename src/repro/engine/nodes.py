@@ -32,6 +32,15 @@ class ExecContext:
         self.ledger = db.ledger
         self.settings = settings if settings is not None else db.settings
         self.bees = db.bee_module
+        # Beeshield: the database's guard, active unless the settings
+        # disable it.  ``shield_used`` collects the health keys of bees
+        # served this execution so the executor can close re-admission
+        # probes when the statement finishes cleanly.
+        shield = getattr(db, "shield", None)
+        if shield is not None and not getattr(self.settings, "shield", True):
+            shield = None
+        self.shield = shield
+        self.shield_used: list[str] = []
 
 
 class PlanNode:
@@ -76,16 +85,35 @@ class SeqScan(PlanNode):
         rel = ctx.db.relation(self.relation)
         if not self.columns:
             self.bind_schema(rel.schema)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
         sections = rel.sections_list()
+        specialized = False
         if ctx.settings.gcl and rel.bee is not None:
-            deform = rel.bee.gcl.fn
+            if shield is not None:
+                deform = shield.admit_deform(ctx, rel.bee.gcl, rel.generic_deformer)
+                specialized = deform is not rel.generic_deformer
+            else:
+                deform = rel.bee.gcl.fn
         else:
             deform = rel.generic_deformer
         per_row = C.SEQSCAN_NEXT + C.SLOT_STORE + C.NODE_OVERHEAD
         charge = ctx.ledger.charge
-        for _tid, raw in rel.heap.scan():
-            charge(per_row)
-            yield deform(raw, sections)
+        if specialized:
+            gcl_name = rel.bee.gcl.name
+            deform = shield.maybe_timed(deform, "gcl", gcl_name)
+            natts = rel.layout.schema.natts
+            for _tid, raw in rel.heap.scan():
+                charge(per_row)
+                row = deform(raw, sections)
+                if len(row) != natts:
+                    shield.fault("gcl", gcl_name, "arity")
+                yield row
+        else:
+            for _tid, raw in rel.heap.scan():
+                charge(per_row)
+                yield deform(raw, sections)
 
 
 class IndexScan(PlanNode):
@@ -121,17 +149,37 @@ class IndexScan(PlanNode):
             tids = index.lookup(self.equal)
         else:
             tids = index.range_lookup(self.low, self.high)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
         sections = rel.sections_list()
+        specialized = False
         if ctx.settings.gcl and rel.bee is not None:
-            deform = rel.bee.gcl.fn
+            if shield is not None:
+                deform = shield.admit_deform(ctx, rel.bee.gcl, rel.generic_deformer)
+                specialized = deform is not rel.generic_deformer
+            else:
+                deform = rel.bee.gcl.fn
         else:
             deform = rel.generic_deformer
         per_row = C.INDEXSCAN_NEXT + C.SLOT_STORE + C.NODE_OVERHEAD
         charge = ctx.ledger.charge
-        for tid in tids:
-            charge(per_row)
-            raw = rel.heap.fetch(tid, sequential=False)
-            yield deform(raw, sections)
+        if specialized:
+            gcl_name = rel.bee.gcl.name
+            deform = shield.maybe_timed(deform, "gcl", gcl_name)
+            natts = rel.layout.schema.natts
+            for tid in tids:
+                charge(per_row)
+                raw = rel.heap.fetch(tid, sequential=False)
+                row = deform(raw, sections)
+                if len(row) != natts:
+                    shield.fault("gcl", gcl_name, "arity")
+                yield row
+        else:
+            for tid in tids:
+                charge(per_row)
+                raw = rel.heap.fetch(tid, sequential=False)
+                yield deform(raw, sections)
 
 
 class Filter(PlanNode):
@@ -155,20 +203,34 @@ class Filter(PlanNode):
         charge = ctx.ledger.charge
         overhead = C.NODE_OVERHEAD
         if ctx.settings.evp:
-            routine = ctx.bees.get_evp(self.qual, self.not_null)
-            predicate = routine.fn   # charges its own (specialized) cost
-            for row in self.child.rows(ctx):
-                charge(overhead)
-                if predicate(row) is True:
-                    yield row
-        else:
-            qual = self.qual
-            cost = qual.generic_cost + overhead
-            evaluate = qual.evaluate
-            for row in self.child.rows(ctx):
-                charge(cost)
-                if evaluate(row) is True:
-                    yield row
+            shield = ctx.shield
+            if shield is None:
+                routine = ctx.bees.get_evp(self.qual, self.not_null)
+                predicate = routine.fn   # charges its own (specialized) cost
+                for row in self.child.rows(ctx):
+                    charge(overhead)
+                    if predicate(row) is True:
+                        yield row
+                return
+            entry = shield.predicate(ctx, self.qual, self.not_null)
+            if entry is not None:
+                predicate, key = entry
+                for row in self.child.rows(ctx):
+                    charge(overhead)
+                    result = predicate(row)
+                    if result is True:
+                        yield row
+                    elif result is not False and result is not None:
+                        shield.fault("evp", key, "type")
+                return
+            # Quarantined or generation faulted: generic interpretation.
+        qual = self.qual
+        cost = qual.generic_cost + overhead
+        evaluate = qual.evaluate
+        for row in self.child.rows(ctx):
+            charge(cost)
+            if evaluate(row) is True:
+                yield row
 
 
 class Project(PlanNode):

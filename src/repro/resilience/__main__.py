@@ -1,0 +1,7 @@
+"""``python -m repro.resilience`` — see :mod:`repro.resilience.cli`."""
+
+import sys
+
+from repro.resilience.cli import run
+
+sys.exit(run())

@@ -1,0 +1,100 @@
+"""Command-line front-end: ``python -m repro.resilience``.
+
+Examples::
+
+    python -m repro.resilience                       # full chaos campaign
+    python -m repro.resilience --site gcl-raise      # one site only
+    python -m repro.resilience --self-test           # harness self-test
+    python -m repro.resilience --check               # campaign + self-test
+    python -m repro.resilience --json results/resilience/report.json
+
+Exit status is 0 when every site passed (and, under ``--self-test`` or
+``--check``, when the deliberately unshielded runs WERE caught) and 1
+otherwise, so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.resilience.campaign import run_campaign, run_self_test
+from repro.resilience.chaos import SITE_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Beeshield chaos campaign: fault injection at named "
+                    "bee sites, with stock-result cross-checking.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--scale-factor", type=float, default=0.002,
+                        metavar="SF",
+                        help="TPC-H scale factor for the campaign dataset "
+                             "(default 0.002)")
+    parser.add_argument("--site", choices=sorted(SITE_NAMES), action="append",
+                        default=None,
+                        help="run only the named site(s); repeatable")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="print the chaos-site catalog and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run only the harness self-test (unshielded "
+                             "faults must be reported)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: full campaign plus self-test")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the campaign report as JSON")
+    return parser
+
+
+def _print_self_test(verdicts: dict) -> int:
+    status = 0
+    for name, verdict in verdicts.items():
+        caught = verdict["caught"]
+        print(f"self-test [{name}]: {'CAUGHT' if caught else 'MISSED'} "
+              f"(expected {verdict['expected']}; "
+              f"escapes={verdict['escapes']} "
+              f"mismatches={verdict['mismatches']})")
+        if not caught:
+            status = 1
+    return status
+
+
+def run(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_sites:
+        from repro.resilience.chaos import SITES
+
+        for name in SITE_NAMES:
+            print(f"{name:16} {SITES[name].description}")
+        return 0
+
+    if args.self_test:
+        return _print_self_test(
+            run_self_test(args.seed, args.scale_factor)
+        )
+
+    report = run_campaign(
+        args.seed, args.scale_factor,
+        sites=tuple(args.site) if args.site else None,
+    )
+    print(report.summary())
+    status = 0 if report.ok else 1
+
+    self_test = None
+    if args.check:
+        self_test = run_self_test(args.seed, args.scale_factor)
+        status = max(status, _print_self_test(self_test))
+
+    if args.json is not None:
+        payload = report.to_dict()
+        if self_test is not None:
+            payload["self_test"] = self_test
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return status

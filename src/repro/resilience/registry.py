@@ -1,0 +1,189 @@
+"""Per-bee health registry: failure accounting, quarantine, backoff.
+
+Keys are *stable* identities, not generated routine names (an EVP is
+``EVP_17`` in one statement and ``EVP_23`` in the next): relation bees
+use their routine name (``GCL_orders``), query bees use a content key
+(``EVP:<expr repr>``, ``AGG:<spec signature>``, ``PIPE:<relation>:<sink>``).
+
+State machine per bee (see docs/RESILIENCE.md):
+
+    healthy --(CONSECUTIVE_FAILURES faults in a row)--> quarantined
+    quarantined --(window admissions denied)--> probing
+    probing --(one successful specialized call)--> healthy
+    probing --(fault)--> quarantined (window doubled, capped)
+
+The backoff window is counted in *denied admissions* rather than wall
+clock so behaviour is deterministic under test and under the chaos
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Consecutive faults before a bee is quarantined.
+CONSECUTIVE_FAILURES = 3
+# First backoff window (admissions denied before a probe), then doubled
+# per re-quarantine up to the cap.
+BACKOFF_BASE = 8
+BACKOFF_MAX = 256
+# How many raw events report() retains.
+EVENT_LOG_LIMIT = 200
+
+
+@dataclass
+class BeeHealth:
+    key: str
+    failures: int = 0
+    consecutive: int = 0
+    quarantined: bool = False
+    probing: bool = False
+    quarantines: int = 0
+    window: int = 0
+    denied: int = 0
+    last_site: str = ""
+    last_kind: str = ""
+    last_error: str = ""
+
+
+@dataclass
+class ResilienceRegistry:
+    """Shared fault log + quarantine book-keeping for one Database."""
+
+    _health: dict[str, BeeHealth] = field(default_factory=dict)
+    _events: list[dict] = field(default_factory=list)
+    _counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    wal_truncations: int = 0
+    # Optional per-call wall-clock budget for specialized routines, in
+    # seconds.  None (the default) compiles guards without any timing
+    # code, keeping the hot path free of clock reads.
+    call_budget_s: float | None = None
+
+    # ------------------------------------------------------------------
+    # event log
+
+    def record_event(self, event: str, **fields) -> None:
+        entry = {"event": event, **fields}
+        self._events.append(entry)
+        if len(self._events) > EVENT_LOG_LIMIT:
+            del self._events[: len(self._events) - EVENT_LOG_LIMIT]
+
+    # ------------------------------------------------------------------
+    # fault accounting
+
+    def health_or_none(self, key: str) -> BeeHealth | None:
+        """Fast-path lookup: healthy bees have no entry at all."""
+        return self._health.get(key)
+
+    def record_failure(
+        self, key: str, *, site: str, kind: str, error: BaseException | None = None
+    ) -> BeeHealth:
+        """Record one guarded fault; returns the (possibly new) health entry."""
+        h = self._health.get(key)
+        if h is None:
+            h = self._health[key] = BeeHealth(key)
+        h.failures += 1
+        h.consecutive += 1
+        h.last_site = site
+        h.last_kind = kind
+        h.last_error = "" if error is None else f"{type(error).__name__}: {error}"
+        self._counts[(site, kind)] = self._counts.get((site, kind), 0) + 1
+        self.record_event(
+            "bee_fault", bee=key, site=site, kind=kind, error=h.last_error
+        )
+        if h.probing or (not h.quarantined and h.consecutive >= CONSECUTIVE_FAILURES):
+            self._quarantine(h)
+        return h
+
+    def _quarantine(self, h: BeeHealth) -> None:
+        h.quarantined = True
+        h.probing = False
+        h.quarantines += 1
+        h.window = min(BACKOFF_BASE * (2 ** (h.quarantines - 1)), BACKOFF_MAX)
+        h.denied = 0
+        self.record_event("quarantine", bee=h.key, window=h.window)
+
+    def admit(self, key: str) -> bool:
+        """May the specialized path be used for this bee right now?"""
+        h = self._health.get(key)
+        if h is None:
+            return True
+        return self.admit_health(h)
+
+    def admit_health(self, h: BeeHealth) -> bool:
+        if not h.quarantined:
+            return True
+        h.denied += 1
+        if h.denied >= h.window:
+            h.quarantined = False
+            h.probing = True
+            h.consecutive = 0
+            self.record_event("probe", bee=h.key)
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        """A specialized call completed cleanly; closes an open probe."""
+        h = self._health.get(key)
+        if h is None:
+            return
+        h.consecutive = 0
+        if h.probing:
+            h.probing = False
+            self.record_event("readmitted", bee=h.key)
+
+    def record_wal_truncation(self, path: str, dropped: int) -> None:
+        self.wal_truncations += 1
+        self.record_event("wal_truncated", path=path, dropped_bytes=dropped)
+
+    # ------------------------------------------------------------------
+    # invalidation edges (ALTER/DROP): stale quarantine state must not
+    # outlive the bees it described.
+
+    def clear_prefix(self, *prefixes: str) -> int:
+        doomed = [
+            key
+            for key in self._health
+            if any(key.startswith(p) for p in prefixes)
+        ]
+        for key in doomed:
+            del self._health[key]
+        if doomed:
+            self.record_event("health_cleared", bees=sorted(doomed))
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def quarantined(self) -> list[str]:
+        return sorted(k for k, h in self._health.items() if h.quarantined)
+
+    def total_faults(self) -> int:
+        return sum(self._counts.values())
+
+    def report(self) -> dict:
+        return {
+            "faults": self.total_faults(),
+            "by_site": {
+                f"{site}/{kind}": n
+                for (site, kind), n in sorted(self._counts.items())
+            },
+            "wal_truncations": self.wal_truncations,
+            "quarantined": self.quarantined(),
+            "bees": {
+                key: {
+                    "failures": h.failures,
+                    "consecutive": h.consecutive,
+                    "quarantined": h.quarantined,
+                    "probing": h.probing,
+                    "quarantines": h.quarantines,
+                    "window": h.window,
+                    "denied": h.denied,
+                    "last_site": h.last_site,
+                    "last_kind": h.last_kind,
+                    "last_error": h.last_error,
+                }
+                for key, h in sorted(self._health.items())
+            },
+            "events": list(self._events),
+        }
