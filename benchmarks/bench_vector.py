@@ -1,0 +1,192 @@
+"""Vector-bee benchmark: stock vs bees vs fused pipelines vs vectors.
+
+Runs all 22 TPC-H queries, warm cache, on four databases sharing one
+generated dataset:
+
+* **stock** — no specialization,
+* **bees** — the paper's evaluated system (GCL/SCL/EVP/EVJ/tuple bees),
+* **pipelines** — bees plus fused per-row pipeline bees,
+* **vector** — the full ladder: NumPy columnar kernels over fused
+  pipelines over routine bees.
+
+For each query we record the best-of-``--repeat`` wall-clock seconds
+and the (deterministic) priced instruction count, assert the engines
+agree on every result, and report per-query ratios plus geometric
+means.  The JSON report lands in ``results/BENCH_vector.json``;
+``--check`` gates the tier's reason to exist for CI: the vector
+engine's wall-clock geomean must come in at or below ``--tolerance``
+(default 0.75) times the fused pipelines' — columnar execution has to
+buy a ≥25% speedup over the per-row tier, not merely tie it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vector.py --sf 0.01 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.bees.settings import BeeSettings
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import QUERIES
+
+ENGINES = ("stock", "bees", "pipelines", "vector")
+
+
+def build_databases(scale_factor: float, seed: int):
+    rows = generate_rows(TPCHGenerator(scale_factor, seed))
+    return {
+        "stock": build_tpch_database(BeeSettings.stock(), rows=rows),
+        "bees": build_tpch_database(BeeSettings.all_bees(), rows=rows),
+        "pipelines": build_tpch_database(BeeSettings.pipelined(), rows=rows),
+        "vector": build_tpch_database(BeeSettings.vectorized(), rows=rows),
+    }
+
+
+def run_query(db, query_number: int, repeat: int):
+    """Best-of-*repeat* wall seconds + priced instructions + result."""
+    best_wall = math.inf
+    run = None
+    for _ in range(repeat):
+        db.warm_cache()
+        started = time.perf_counter()
+        run = db.measure(lambda: QUERIES[query_number](db))
+        best_wall = min(best_wall, time.perf_counter() - started)
+    return best_wall, run.instructions, run.result
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(databases, repeat: int) -> dict:
+    queries = {}
+    for number in sorted(QUERIES):
+        per_engine = {}
+        results = {}
+        for engine in ENGINES:
+            wall, instructions, result = run_query(
+                databases[engine], number, repeat
+            )
+            per_engine[engine] = {
+                "wall_seconds": wall,
+                "instructions": instructions,
+            }
+            results[engine] = result
+        baseline = results["stock"]
+        if any(results[engine] != baseline for engine in ENGINES):
+            raise AssertionError(
+                f"q{number}: engines disagree — benchmark numbers would "
+                f"be meaningless"
+            )
+        for engine in ("bees", "pipelines", "vector"):
+            per_engine[engine]["wall_ratio_vs_pipelines"] = (
+                per_engine[engine]["wall_seconds"]
+                / per_engine["pipelines"]["wall_seconds"]
+            )
+            per_engine[engine]["instr_ratio_vs_stock"] = (
+                per_engine[engine]["instructions"]
+                / per_engine["stock"]["instructions"]
+            )
+        queries[f"q{number}"] = per_engine
+    return queries
+
+
+def summarize(queries: dict) -> dict:
+    def ratio(metric, a, b):
+        return geomean(
+            q[a][metric] / q[b][metric] for q in queries.values()
+        )
+
+    return {
+        # The tier's headline claim, and the --check gate.
+        "wall_geomean_vector_vs_pipelines": ratio(
+            "wall_seconds", "vector", "pipelines"
+        ),
+        "wall_geomean_vector_vs_bees": ratio(
+            "wall_seconds", "vector", "bees"
+        ),
+        "wall_geomean_vector_vs_stock": ratio(
+            "wall_seconds", "vector", "stock"
+        ),
+        "wall_geomean_pipelines_vs_stock": ratio(
+            "wall_seconds", "pipelines", "stock"
+        ),
+        "instr_geomean_vector_vs_pipelines": ratio(
+            "instructions", "vector", "pipelines"
+        ),
+        "instr_geomean_vector_vs_stock": ratio(
+            "instructions", "vector", "stock"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="TPC-H vector-bee benchmark (stock / bees / fused / "
+                    "columnar)."
+    )
+    parser.add_argument("--sf", type=float, default=0.01,
+                        help="TPC-H scale factor (default 0.01)")
+    parser.add_argument("--seed", type=int, default=20120401)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="wall-clock runs per query; best is kept")
+    parser.add_argument("--out", type=Path,
+                        default=Path("results") / "BENCH_vector.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the vector tier's wall "
+                             "geomean is at most --tolerance times the "
+                             "fused pipelines'")
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="--check passes while the vector/pipelines "
+                             "wall geomean is at or below this "
+                             "(default 0.75: columnar kernels must buy a "
+                             "real speedup, not a tie)")
+    args = parser.parse_args(argv)
+
+    databases = build_databases(args.sf, args.seed)
+    queries = run_suite(databases, args.repeat)
+    summary = summarize(queries)
+    report = {
+        "scale_factor": args.sf,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "engines": {
+            name: databases[name].settings.label() or "stock"
+            for name in ENGINES
+        },
+        "summary": summary,
+        "queries": queries,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, value in summary.items():
+        print(f"{name}: {value:.3f}")
+    print(f"report: {args.out}")
+
+    if args.check:
+        ratio = summary["wall_geomean_vector_vs_pipelines"]
+        if ratio > args.tolerance:
+            print(
+                f"CHECK FAILED: vector/pipelines wall geomean {ratio:.3f} "
+                f"> {args.tolerance}"
+            )
+            return 1
+        print(
+            f"check passed: vector/pipelines {ratio:.3f} "
+            f"<= {args.tolerance}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

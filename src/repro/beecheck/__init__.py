@@ -14,8 +14,8 @@ and execution (see ``docs/BEECHECK.md``).  Four passes:
   generic ``layout.decode``/``encode``/``Expr.evaluate`` paths.
 
 Entry points: ``check_gcl`` / ``check_scl`` / ``check_evp`` /
-``check_evj`` / ``check_agg`` / ``check_idx`` / ``check_pipeline``
-return reports, the ``verify_*`` variants raise
+``check_evj`` / ``check_agg`` / ``check_idx`` / ``check_pipeline`` /
+``check_vector`` return reports, the ``verify_*`` variants raise
 :class:`BeecheckError`, and ``python -m repro.beecheck`` sweeps every
 schema plus a fuzzed query corpus.
 """
@@ -28,6 +28,7 @@ from repro.beecheck.checker import (
     check_idx,
     check_pipeline,
     check_scl,
+    check_vector,
     enforce,
     verify_agg,
     verify_evj,
@@ -36,6 +37,7 @@ from repro.beecheck.checker import (
     verify_idx,
     verify_pipeline,
     verify_scl,
+    verify_vector,
 )
 from repro.beecheck.report import (
     BeecheckError,
@@ -56,6 +58,7 @@ __all__ = [
     "check_idx",
     "check_pipeline",
     "check_scl",
+    "check_vector",
     "enforce",
     "verify_agg",
     "verify_evj",
@@ -64,4 +67,5 @@ __all__ = [
     "verify_idx",
     "verify_pipeline",
     "verify_scl",
+    "verify_vector",
 ]

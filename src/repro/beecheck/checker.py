@@ -114,6 +114,27 @@ def check_pipeline(routine, spec) -> RoutineReport:
     return report
 
 
+def check_vector(routine, spec) -> RoutineReport:
+    """Run the vector passes over one columnar kernel.
+
+    *spec* is the same :class:`repro.bees.pipeline.codegen.PipelineSpec`
+    the pipeline tier fuses (vector bees compile the identical plan
+    shape to a different program).  No absint lane: kernels do no offset
+    arithmetic — chunk decode is generic library code — so the passes
+    are lint (columnar grammar), costaudit (charge constants), and
+    transval (kernel vs interpreter over enumerated chunks).
+    """
+    report = RoutineReport(
+        routine.name, "vector", f"{spec.relation}/{spec.sink}"
+    )
+    report.add(
+        "lint", lint.lint_vector(routine.source, routine.name, spec.sink)
+    )
+    report.add("costaudit", costaudit.audit_vector(routine, spec))
+    report.add("transval", transval.validate_vector(routine, spec))
+    return report
+
+
 def check_idx(routine, key_indexes) -> RoutineReport:
     """Run all passes over one generated IDX key-extraction routine."""
     report = RoutineReport(routine.name, "idx", repr(list(key_indexes)))
@@ -138,3 +159,7 @@ def verify_idx(routine, key_indexes) -> None:
 
 def verify_pipeline(routine, spec) -> None:
     enforce(check_pipeline(routine, spec))
+
+
+def verify_vector(routine, spec) -> None:
+    enforce(check_vector(routine, spec))

@@ -6,14 +6,17 @@ Four stages, one report:
    relation (TPC-H annotated relations additionally in their tuple-bee
    variant) and run all four passes over each routine.
 2. **Generator sweeps** — enumerate the query-bee generators beyond EVP
-   (EVJ templates, AGG, IDX) and a deterministic fused-pipeline spec
-   corpus covering every sink (rows / all four probe join types /
-   grouped and grand-total agg).
+   (EVJ templates, AGG, IDX) and a deterministic fused spec corpus
+   covering every sink (rows / all four probe join types / grouped and
+   grand-total agg), compiled through **both** fused tiers: pipeline
+   row loops and columnar vector kernels.
 3. **Query corpus** — drive a live bee-enabled :class:`~repro.db.Database`
    (pipelines on) with a seeded oracle statement stream (default 200
    statements), then verify every bee the engine actually built: the
    relation bees in the module cache, every memoized EVP/EVJ/AGG/IDX
-   routine, and every cached pipeline bee against its spec.
+   routine, and every cached pipeline bee against its spec.  A second
+   database runs the same stream with the vector tier on and verifies
+   every memoized kernel.
 4. **Injection self-test** — prove the verifier itself fires on broken
    generators (see :mod:`repro.beecheck.selftest`).
 
@@ -37,6 +40,7 @@ from repro.beecheck.checker import (
     check_idx,
     check_pipeline,
     check_scl,
+    check_vector,
 )
 from repro.beecheck.report import SweepReport
 from repro.beecheck.selftest import run_selftest
@@ -130,17 +134,16 @@ def sweep_futures(report: SweepReport) -> None:
         report.routine_reports.append(check_idx(routine, key_indexes))
 
 
-def sweep_pipelines(report: SweepReport) -> None:
-    """Verify fused pipeline bees over every sink on TPC-H layouts.
+def _fused_spec_corpus() -> list:
+    """The deterministic fused-spec corpus shared by both fused tiers.
 
-    One deterministic spec corpus — filtered/projected and full-row
-    ``rows`` pipelines over the tuple-bee-annotated lineitem layout, all
-    four join types on the ``probe`` sink, grouped and grand-total
-    ``agg`` sinks — independent of what the fuzzed query corpus happens
-    to fuse.
+    Filtered/projected and full-row ``rows`` specs over the
+    tuple-bee-annotated lineitem layout, all four join types on the
+    ``probe`` sink, grouped and grand-total ``agg`` sinks — independent
+    of what the fuzzed query corpus happens to fuse.  The pipeline and
+    vector sweeps compile the *same* specs to their respective programs.
     """
-    from repro.bees.pipeline.codegen import PipelineSpec, generate_pipeline
-    from repro.cost.ledger import Ledger
+    from repro.bees.pipeline.codegen import PipelineSpec
     from repro.engine import expr as E
     from repro.engine.aggregates import AggSpec
     from repro.storage.layout import TupleLayout
@@ -149,13 +152,10 @@ def sweep_pipelines(report: SweepReport) -> None:
     def bound(expr, schema):
         return E.bind(expr, [a.name for a in schema.attributes])
 
-    counter = 0
+    specs: list[PipelineSpec] = []
 
     def run(spec: PipelineSpec) -> None:
-        nonlocal counter
-        counter += 1
-        routine = generate_pipeline(spec, Ledger(), f"PIPE_sweep{counter}")
-        report.routine_reports.append(check_pipeline(routine, spec))
+        specs.append(spec)
 
     li_schema = ALL_SCHEMAS["lineitem"]()
     li_layout = TupleLayout(li_schema, ANNOTATIONS["lineitem"])
@@ -212,6 +212,27 @@ def sweep_pipelines(report: SweepReport) -> None:
         )
     )
     run(PipelineSpec("lineitem", li_layout, sink="agg", aggs=aggs))
+    return specs
+
+
+def sweep_pipelines(report: SweepReport) -> None:
+    """Verify fused pipeline bees over every sink on TPC-H layouts."""
+    from repro.bees.pipeline.codegen import generate_pipeline
+    from repro.cost.ledger import Ledger
+
+    for counter, spec in enumerate(_fused_spec_corpus(), start=1):
+        routine = generate_pipeline(spec, Ledger(), f"PIPE_sweep{counter}")
+        report.routine_reports.append(check_pipeline(routine, spec))
+
+
+def sweep_vectors(report: SweepReport) -> None:
+    """Verify columnar vector kernels over the same fused-spec corpus."""
+    from repro.bees.vector.codegen import generate_vector
+    from repro.cost.ledger import Ledger
+
+    for counter, spec in enumerate(_fused_spec_corpus(), start=1):
+        routine = generate_vector(spec, Ledger(), f"VEC_sweep{counter}")
+        report.routine_reports.append(check_vector(routine, spec))
 
 
 def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
@@ -245,6 +266,23 @@ def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
         report.routine_reports.append(check_idx(routine, key_indexes))
     for _anchor, spec, routine in module._pipeline_by_node.values():
         report.routine_reports.append(check_pipeline(routine, spec))
+
+    # Second pass with the vector tier on: the kernels the engine
+    # actually memoizes are what execution would run, so verify those
+    # (the pipeline-tier corpus above stays vector-free on purpose —
+    # with vectors enabled the pipeline drivers become fallback anchors
+    # and stop generating routines of their own).
+    vdb = Database(BeeSettings.vectorized())
+    generator = StatementGenerator(seed)
+    pending = list(generator.bootstrap())
+    executed = 0
+    while executed < statements:
+        stmt = pending.pop(0) if pending else generator.next_statement()
+        run_statement(vdb, stmt.sql)
+        executed += 1
+    report.statements += executed
+    for _anchor, spec, routine in vdb.bee_module._vector_by_node.values():
+        report.routine_reports.append(check_vector(routine, spec))
 
 
 def write_report(report: SweepReport, out_dir: Path) -> Path:
@@ -286,6 +324,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep_schemas(report)
     sweep_futures(report)
     sweep_pipelines(report)
+    sweep_vectors(report)
     if args.statements > 0:
         sweep_corpus(report, args.seed, args.statements)
     if not args.no_selftest:

@@ -471,3 +471,102 @@ def _expr_texts(source: str) -> list[str]:
         for stmt in ast.walk(tree.body[0])
         if isinstance(stmt, ast.Expr)
     ]
+
+
+_RE_VEC_ZIP = re.compile(r"out = _zip_rows\(\[(.*)\]\)")
+
+
+def audit_vector(routine, spec) -> list[str]:
+    """Recompute the vector kernel's charge constants and cross-check.
+
+    A kernel charges once, from three namespace constants:
+    ``_C0`` (per dispatch), ``_C1`` (per input row — the selection
+    mask), and ``_C2`` (per selected row — the sink emission).  All
+    three are recomputed from the spec through the same pricing helpers
+    codegen uses, so a tampered constant (or a generator whose pricing
+    drifts from the model) is caught without executing the kernel.  No
+    bytecode band: whole-column kernels amortize across the chunk, so
+    instruction count and per-row cost are unrelated by design.
+    """
+    from repro.bees.vector.codegen import (
+        _expr_charge,
+        _expr_nodes,
+        _vectorizable,
+    )
+
+    findings: list[str] = []
+    schema = spec.layout.schema
+    namespace = routine.namespace or {}
+    try:
+        texts = _stmt_texts(routine.source)
+    except (SyntaxError, IndexError):
+        return ["source does not parse"]
+
+    if namespace.get("_C0") != C.VEC_KERNEL_DISPATCH:
+        findings.append(
+            f"_C0={namespace.get('_C0')!r}, model gives "
+            f"{C.VEC_KERNEL_DISPATCH} per dispatch"
+        )
+    if namespace.get("_C1") != routine.cost:
+        findings.append(
+            f"routine charges _C1={namespace.get('_C1')!r} per row but "
+            f"declares {routine.cost}"
+        )
+
+    if spec.qual is None:
+        qual_cost = 0
+    elif _vectorizable(spec.qual, schema):
+        qual_cost = C.VEC_KERNEL_PER_VALUE * _expr_nodes(spec.qual)
+    else:
+        qual_cost = spec.qual.generic_cost
+    recomputed = C.VEC_SELECT_PER_ROW + qual_cost
+    if recomputed != routine.cost:
+        findings.append(
+            f"spec recount gives per-row cost {recomputed}, routine "
+            f"declares {routine.cost}"
+        )
+
+    if spec.sink == "rows":
+        if spec.output is None:
+            n_out = schema.natts
+            expr_cost = 0
+        else:
+            n_out = len(spec.output)
+            expr_cost = sum(_expr_charge(e, schema) for e in spec.output)
+        model = C.VEC_EMIT_BASE + C.VEC_EMIT_PER_COLUMN * n_out + expr_cost
+        if namespace.get("_C2") != model:
+            findings.append(
+                f"_C2={namespace.get('_C2')!r}, emission model gives {model}"
+            )
+        zips = [m for t in texts for m in [_RE_VEC_ZIP.fullmatch(t)] if m]
+        if zips:
+            body = zips[0].group(1).strip()
+            emitted = len(body.split(",")) if body else 0
+            if emitted != n_out:
+                findings.append(
+                    f"emits {emitted}-column rows, spec projects {n_out}"
+                )
+    elif spec.sink == "probe":
+        model = C.VEC_PROBE_PER_ROW + C.VEC_EMIT_PER_COLUMN * schema.natts
+        if namespace.get("_C2") != model:
+            findings.append(
+                f"_C2={namespace.get('_C2')!r}, probe model gives {model}"
+            )
+    else:  # agg
+        n_args = sum(1 for a in spec.aggs if a.arg is not None)
+        model = (
+            C.VEC_GROUP_PER_ROW
+            + C.VEC_EMIT_PER_COLUMN * (len(spec.group_exprs) + n_args)
+            + sum(_expr_charge(e, schema) for e in spec.group_exprs)
+            + sum(
+                _expr_charge(a.arg, schema)
+                for a in spec.aggs
+                if a.arg is not None
+            )
+        )
+        if namespace.get("_C2") != model:
+            findings.append(
+                f"_C2={namespace.get('_C2')!r}, transition model gives "
+                f"{model}"
+            )
+    return findings

@@ -778,6 +778,111 @@ def lint_pipeline(source: str, name: str, sink: str) -> list[str]:
     return findings
 
 
+# -- VEC ---------------------------------------------------------------------
+
+#: Vector kernels are whole-column programs: loops are allowed only for
+#: the sink epilogues (bucket build / finalize / probe emission), and
+#: comprehensions carry the object-lane and reduction work, so the
+#: pipeline bans are relaxed accordingly.  As with EVP, expression text
+#: is not pinned — names, loop shapes, and the charge line are; semantic
+#: drift is the translation validator's lane.
+_VEC_BANNED: tuple = tuple(
+    node
+    for node in _BANNED_NODES
+    if node
+    not in (ast.For, ast.ListComp, ast.SetComp, ast.GeneratorExp)
+)
+
+_VEC_PARAMS = {
+    "rows": ("cols", "nulls", "n"),
+    "probe": ("cols", "nulls", "n", "table"),
+    "agg": ("cols", "nulls", "n"),
+}
+
+_VEC_CHARGE = "_charge('{name}', _C0 + _C1 * n + _C2 * _m)"
+
+_VEC_NAMES = re.compile(
+    r"t\d+|_K\d+|_E\d+|_C[0-2]|cols|nulls|n|table|out|_np|_obj|_zip_rows"
+    r"|_materialize|_div|_idx|_m|_rows|_r|_b|_k|_ix|_i|_vals|_row|_buckets"
+    r"|_append|_get|_cands|_charge|_PAD|_NOSEL|len|range|sum|min|max|list|v"
+)
+
+_VEC_METHODS = frozenset(
+    {"nonzero", "fromiter", "bool_", "items", "append", "get", "evaluate"}
+)
+
+#: The only loops a kernel may contain, as (target, iterable) texts.
+_VEC_LOOPS = (
+    ("_i", "range(_m)"),          # agg bucket build
+    ("(_k, _ix)", "_buckets.items()"),   # agg finalize
+    ("_r", "_rows"),              # probe row walk
+    ("_b", "_cands"),             # probe candidate emission
+)
+
+
+def lint_vector(source: str, name: str, sink: str) -> list[str]:
+    """Lint one generated vector kernel against the columnar grammar."""
+    findings: list[str] = []
+    if sink not in _VEC_PARAMS:
+        return [f"unknown vector sink {sink!r}"]
+    fn = _parse_routine(source, name, _VEC_PARAMS[sink], findings)
+    if fn is None:
+        return findings
+    for node in ast.walk(fn):
+        if isinstance(node, _VEC_BANNED):
+            findings.append(
+                f"banned construct {type(node).__name__} in vector kernel"
+            )
+        elif isinstance(node, ast.FunctionDef) and node is not fn:
+            findings.append("nested function definition in vector kernel")
+    _check_names(fn, _VEC_NAMES, findings, methods=_VEC_METHODS)
+
+    # Loops only in the closed sink-epilogue set.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.For):
+            pair = (ast.unparse(node.target), ast.unparse(node.iter))
+            if pair not in _VEC_LOOPS or node.orelse:
+                findings.append(
+                    f"vector loop not allowed: 'for {pair[0]} in {pair[1]}'"
+                )
+
+    # Chunk arrays may only be read at constant attribute numbers.
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("cols", "nulls")
+            and not (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)
+            )
+        ):
+            findings.append(
+                f"chunk index must be a constant int: {ast.unparse(node)!r}"
+            )
+
+    body = list(fn.body)
+    if body and _is_docstring(body[0]):
+        body = body[1:]
+    if len(body) < 3:
+        findings.append("VEC body too short to be a kernel")
+        return findings
+    expected_charge = _VEC_CHARGE.format(name=name)
+    if ast.unparse(body[-2]) != expected_charge:
+        findings.append(
+            f"second-to-last statement must be {expected_charge!r}, got "
+            f"{ast.unparse(body[-2])!r}"
+        )
+    if ast.unparse(body[-1]) != "return out":
+        findings.append("vector kernel must end with 'return out'")
+    returns = [node for node in ast.walk(fn) if isinstance(node, ast.Return)]
+    if len(returns) != 1:
+        findings.append(
+            f"exactly one return expected, found {len(returns)}"
+        )
+    return findings
+
+
 # -- IDX ---------------------------------------------------------------------
 
 _IDX_NAMES = re.compile(r"values|_charge|_COST")

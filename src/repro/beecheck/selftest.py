@@ -36,6 +36,7 @@ from repro.beecheck.checker import (
     check_idx,
     check_pipeline,
     check_scl,
+    check_vector,
 )
 
 
@@ -206,6 +207,36 @@ def run_selftest() -> dict[str, bool]:
     tampered = dataclasses.replace(pipe, cost=pipe.cost + 10)
     results["tamper-pipe-cost"] = caught_statically(
         check_pipeline(tampered, pipe_spec)
+    )
+
+    # -- vector bees: injected mask drop + source tampers --
+    # The same spec shape the pipeline cases use; the vector tier
+    # compiles it to a whole-column kernel instead of a row loop.
+    with inject_bug("vector"):
+        routine = maker_mod.generate_vector(
+            pipe_spec, Ledger(), "VEC_selftest"
+        )
+    report = check_vector(routine, pipe_spec)
+    results["inject-vector"] = "transval" in _passes_fired(report)
+
+    vec = maker_mod.generate_vector(pipe_spec, Ledger(), "VEC_selftest")
+
+    # A flipped comparison direction survives the lint (expression text
+    # is not pinned) but diverges against the interpreter on nearly
+    # every enumerated row — the translation validator's lane.
+    tampered = _tamper(vec, "cols[0] < _K0", "cols[0] > _K0")
+    results["tamper-vec-op"] = "transval" in _passes_fired(
+        check_vector(tampered, pipe_spec)
+    )
+
+    tampered = _tamper(vec, "_C0 + _C1 * n + _C2 * _m", "_C0 + _C1 * n + _C2 * n")
+    results["tamper-vec-charge"] = caught_statically(
+        check_vector(tampered, pipe_spec)
+    )
+
+    tampered = dataclasses.replace(vec, cost=vec.cost + 10)
+    results["tamper-vec-cost"] = caught_statically(
+        check_vector(tampered, pipe_spec)
     )
 
     return results

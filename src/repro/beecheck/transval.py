@@ -759,3 +759,113 @@ def validate_pipeline(routine, spec) -> list[str]:
                     )
                 )
     return findings
+
+
+# -- VEC ---------------------------------------------------------------------
+
+
+def validate_vector(routine, spec) -> list[str]:
+    """Cross-check the columnar kernel against the interpreted plan.
+
+    The candidate set is the same as :func:`validate_pipeline` — every
+    enumerated value row plus the NULL patterns, canonicalized through
+    ``layout.encode``/``decode`` so ``CHAR(n)`` padding and varlena
+    round-trips match what a heap scan would hand the executor — but the
+    kernel consumes a :class:`repro.bees.vector.chunks.Chunk` built with
+    the same ``chunk_from_rows`` assembly the runtime decoder uses, and
+    is invoked **once** per run over the whole chunk.  Non-agg sinks
+    compare against :func:`_pipe_reference`; the agg sink compares the
+    kernel's finished rows (vector kernels group *and* finalize) against
+    the finalized generic transition states, in first-seen group order
+    on both sides.
+    """
+    from repro.bees.vector.chunks import chunk_from_rows
+
+    findings: list[str] = []
+    layout = spec.layout
+    schema = layout.schema
+
+    decoded: list = []
+    candidates = list(_layout_rows(layout))
+    base = candidates[0]
+    for isnull in _null_patterns(layout):
+        candidates.append(
+            [None if isnull[i] else base[i] for i in range(schema.natts)]
+        )
+    for n, values in enumerate(candidates):
+        bee_id = 0x0101 + n if layout.has_beeid else 0
+        isnull = [v is None for v in values]
+        has_nulls = any(isnull)
+        try:
+            bee_values = layout.bee_key(values) if layout.has_beeid else None
+            raw = layout.encode(values, isnull if has_nulls else None, bee_id)
+        except (TypeError, ValueError):
+            continue  # bee-resident NULLs etc.: not encodable, skip
+        full, exp_null = layout.decode(raw, bee_values)
+        row = [
+            None if exp_null[i] else full[i] for i in range(schema.natts)
+        ]
+        try:
+            _pipe_eval_all(spec, row)
+        except Exception:  # noqa: BLE001 — out of contract
+            continue
+        decoded.append(row)
+
+    # Probe sinks need a build table: cover hit (1 and 2 candidates) and
+    # miss keys, deterministically, with build rows of the spec's width.
+    table: dict = {}
+    if spec.sink == "probe":
+        seen_keys: list = []
+        for row in decoded:
+            key = tuple(row[i] for i in spec.probe_idx)
+            if None not in key and key not in seen_keys:
+                seen_keys.append(key)
+        for j, key in enumerate(seen_keys):
+            if j % 3 == 0:
+                continue  # probe miss
+            table[key] = [
+                [f"b{j}.{c}.{i}" for i in range(spec.build_width)]
+                for c in range(1 + j % 2)
+            ]
+
+    with ledger_guard(routine):
+        runs = [([], "empty chunk"), (decoded, "enumerated chunk")]
+        for rows, label in runs:
+            chunk = chunk_from_rows(schema, rows)
+            args = (chunk.cols, chunk.nulls, chunk.n)
+            if spec.sink == "probe":
+                args = (*args, table)
+            try:
+                got = routine.fn(*args)
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                findings.append(
+                    f"raised {type(exc).__name__} on {label}: {exc}"
+                )
+                continue
+            if spec.sink == "agg":
+                make_states = lambda: [a.make_state() for a in spec.aggs]  # noqa: E731
+                exp_groups: dict = {}
+                if not spec.group_exprs:
+                    exp_groups[()] = make_states()
+                _pipe_reference_agg(spec, rows, exp_groups, make_states)
+                expected = [
+                    list(key) + [state.result() for state in states]
+                    for key, states in exp_groups.items()
+                ]
+            else:
+                expected = _pipe_reference(spec, rows, table)
+            if not _batches_eq(got, expected):
+                findings.append(
+                    f"vector output diverges on {label}: "
+                    f"{len(got)} rows vs {len(expected)} generic rows"
+                    + next(
+                        (
+                            f"; first mismatch at {i}: got {g!r}, "
+                            f"generic gives {e!r}"
+                            for i, (g, e) in enumerate(zip(got, expected))
+                            if not _rows_eq(g, e)
+                        ),
+                        "",
+                    )
+                )
+    return findings

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.bees.datasection import DataSectionStore
 from repro.bees.pipeline.codegen import PipelineSpec, generate_pipeline
+from repro.bees.vector.codegen import generate_vector
 from repro.bees.routines.base import BeeRoutine
 from repro.bees.routines.evj import EVJRoutine, instantiate_evj
 from repro.bees.routines.evp import generate_evp
@@ -77,6 +78,7 @@ class BeeMaker:
         self._evp_counter = 0
         self._evj_counter = 0
         self._pipeline_counter = 0
+        self._vector_counter = 0
 
     def make_relation_bee(self, layout: TupleLayout) -> RelationBee:
         """Create the relation bee for *layout* (schema-definition time)."""
@@ -114,6 +116,17 @@ class BeeMaker:
             from repro.beecheck import verify_pipeline
 
             verify_pipeline(routine, spec)
+        return routine
+
+    def make_vector(self, spec: PipelineSpec) -> BeeRoutine:
+        """Compile a columnar vector kernel for one fusable plan segment."""
+        self._vector_counter += 1
+        fn_name = f"VEC_{self._vector_counter}"
+        routine = generate_vector(spec, self.ledger, fn_name)
+        if self.verify:
+            from repro.beecheck import verify_vector
+
+            verify_vector(routine, spec)
         return routine
 
     def make_evj(self, join_type: str, n_keys: int) -> EVJRoutine:

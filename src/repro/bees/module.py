@@ -62,6 +62,10 @@ class GenericBeeModule:
         self._pipeline_by_node: dict[
             int, tuple[object, object, BeeRoutine]
         ] = {}
+        # Vector bees: same keying discipline, one tier up.
+        self._vector_by_node: dict[
+            int, tuple[object, object, BeeRoutine]
+        ] = {}
 
     # -- relation bees (schema definition time) ---------------------------------
 
@@ -100,12 +104,13 @@ class GenericBeeModule:
         self.collector.collect_relation(relation)
         for key in [k for k in self._idx_by_index if k[0] == relation]:
             del self._idx_by_index[key]
-        for key in [
-            k
-            for k, (_anchor, spec, _routine) in self._pipeline_by_node.items()
-            if spec.relation == relation
-        ]:
-            del self._pipeline_by_node[key]
+        for memo in (self._pipeline_by_node, self._vector_by_node):
+            for key in [
+                k
+                for k, (_anchor, spec, _routine) in memo.items()
+                if spec.relation == relation
+            ]:
+                del memo[key]
         if self.registry is not None:
             # Quarantine state describes bees that no longer exist.
             self.registry.clear_prefix(
@@ -113,6 +118,7 @@ class GenericBeeModule:
                 f"SCL_{relation}",
                 f"IDX_{relation}_",
                 f"PIPE:{relation}:",
+                f"VEC:{relation}:",
             )
 
     def invalidate_query_bees(self) -> int:
@@ -131,12 +137,14 @@ class GenericBeeModule:
             + len(self._agg_by_specs)
             + len(self._idx_by_index)
             + len(self._pipeline_by_node)
+            + len(self._vector_by_node)
         )
         self.cache.query_bees.clear()
         self._evp_by_expr.clear()
         self._agg_by_specs.clear()
         self._idx_by_index.clear()
         self._pipeline_by_node.clear()
+        self._vector_by_node.clear()
         self.collector.collected_query_bees += n_query_bees
         self.query_epoch += 1
         if self.registry is not None:
@@ -144,7 +152,9 @@ class GenericBeeModule:
             # routines it described are gone, and the regenerated ones
             # deserve a fresh health record (EVJ templates survive the
             # eviction, but conservative re-admission is harmless).
-            self.registry.clear_prefix("EVP:", "EVJ:", "AGG:", "IDX_", "PIPE:")
+            self.registry.clear_prefix(
+                "EVP:", "EVJ:", "AGG:", "IDX_", "PIPE:", "VEC:"
+            )
         return evicted
 
     # -- query bees (query preparation time) ------------------------------------
@@ -225,6 +235,21 @@ class GenericBeeModule:
         self._pipeline_by_node[id(anchor)] = (anchor, spec, routine)
         return routine
 
+    def get_vector(self, spec, anchor) -> BeeRoutine:
+        """Vector bee for a fused plan segment (memoized by anchor node).
+
+        *anchor* is the pipeline driver (or generic node) the vector
+        driver replaced; keying and DDL eviction follow
+        :meth:`get_pipeline` exactly.
+        """
+        entry = self._vector_by_node.get(id(anchor))
+        if entry is not None and entry[0] is anchor:
+            return entry[2]
+        routine = self.maker.make_vector(spec)
+        routine.epoch = self.query_epoch
+        self._vector_by_node[id(anchor)] = (anchor, spec, routine)
+        return routine
+
     def get_evj(self, join_type: str, n_keys: int) -> EVJRoutine:
         """EVJ routine for a join shape (clone of a pre-compiled template)."""
         shape = (join_type, n_keys)
@@ -252,10 +277,11 @@ class GenericBeeModule:
             if cached is routine:
                 del self._idx_by_index[key]
                 return True
-        for key, (_anchor, _spec, cached) in list(self._pipeline_by_node.items()):
-            if cached is routine:
-                del self._pipeline_by_node[key]
-                return True
+        for memo in (self._pipeline_by_node, self._vector_by_node):
+            for key, (_anchor, _spec, cached) in list(memo.items()):
+                if cached is routine:
+                    del memo[key]
+                    return True
         return False
 
     def stable_key(self, routine_name: str) -> str | None:
@@ -269,7 +295,12 @@ class GenericBeeModule:
         """
         if routine_name.startswith(("GCL_", "SCL_", "IDX_", "EVJ_")):
             return routine_name
-        from repro.resilience.guard import agg_key, evp_key, pipeline_key
+        from repro.resilience.guard import (
+            agg_key,
+            evp_key,
+            pipeline_key,
+            vector_key,
+        )
 
         for expr, routine in self._evp_by_expr.values():
             if routine.name == routine_name:
@@ -280,6 +311,9 @@ class GenericBeeModule:
         for _anchor, spec, routine in self._pipeline_by_node.values():
             if routine.name == routine_name:
                 return pipeline_key(spec)
+        for _anchor, spec, routine in self._vector_by_node.values():
+            if routine.name == routine_name:
+                return vector_key(spec)
         return None
 
     def register_query_bee(self, query_id: str) -> QueryBee:
@@ -346,6 +380,7 @@ class GenericBeeModule:
             "evp_routines": len(self._evp_by_expr),
             "evj_routines": len(self._evj_by_shape),
             "pipeline_routines": len(self._pipeline_by_node),
+            "vector_routines": len(self._vector_by_node),
             "tuple_bees": tuple_bees,
             "collected_relation_bees": self.collector.collected_relation_bees,
         }

@@ -43,6 +43,7 @@ class BeeSettings:
     agg: bool = False      # experimental: the paper's Section VIII future work
     idx: bool = False      # experimental: index-maintenance specialization
     pipelines: bool = False   # fused batch-at-a-time pipeline bees
+    vectors: bool = False     # columnar NumPy vector bees (third tier)
     verify_on_generate: bool = False   # gate every emitted bee on beecheck
     shield: bool = True    # guarded bee invocation (repro.resilience)
 
@@ -77,13 +78,21 @@ class BeeSettings:
             pipelines=True,
         )
 
+    @classmethod
+    def vectorized(cls) -> "BeeSettings":
+        """The pipelined system plus the columnar vector tier on top."""
+        return cls(
+            gcl=True, scl=True, evp=True, evj=True, tuple_bees=True,
+            pipelines=True, vectors=True,
+        )
+
     def with_routines(self, *names: str) -> "BeeSettings":
         """Return a copy with exactly the named routine flags enabled
         (``verify_on_generate`` and ``shield`` are preserved — they are
         not routines)."""
         valid = {
             "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
-            "pipelines",
+            "pipelines", "vectors",
         }
         unknown = set(names) - valid
         if unknown:
@@ -108,16 +117,17 @@ class BeeSettings:
         return (
             self.gcl or self.scl or self.evp or self.evj
             or self.tuple_bees or self.agg or self.idx or self.pipelines
+            or self.vectors
         )
 
     def label(self) -> str:
         """Short human-readable form, e.g. ``GCL+EVP``."""
-        short = {"tuple_bees": "TB", "pipelines": "PIPE"}
+        short = {"tuple_bees": "TB", "pipelines": "PIPE", "vectors": "VEC"}
         parts = [
             short.get(name, name.upper())
             for name in (
                 "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
-                "pipelines",
+                "pipelines", "vectors",
             )
             if getattr(self, name)
         ]

@@ -1,0 +1,177 @@
+"""Columnar chunks: heap pages decoded page-at-a-time into typed arrays.
+
+A :class:`Chunk` is one relation's live tuples transposed into NumPy
+columns — ``int64``/``float64``/``bool_`` for scalar types, ``object``
+for CHAR/varchar — plus a boolean null mask per *nullable* attribute
+(``None`` for NOT NULL columns, so generated kernels can skip the mask
+statically).  NULL lanes hold a type-stable fill (``0``/``0.0``/
+``False``/``""``) that vectorized primitives can run over safely; the
+mask is consulted wherever NULL semantics matter.
+
+Decode goes through :meth:`repro.storage.layout.TupleLayout.decode` —
+the reference decoder — one page at a time, charging buffer access +
+``PAGE_ACCESS`` per page plus per-value decode work, exactly the costs
+the row tiers pay on their first pass.  The :class:`ChunkCache` then
+amortizes that across statements: entries are keyed by the heap file's
+``uid`` and validated against its mutation ``version`` and the
+relation's current layout *identity* (DDL builds a new
+:class:`TupleLayout`, so a stale entry can never serve a reannotated or
+altered relation).  A warm hit charges only ``VEC_CHUNK_HIT`` per page
+— the columnar chunk cache stands in for the buffer pool on the vector
+path, which is where the tier's cold/warm asymmetry comes from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost import constants as C
+
+#: struct format character -> ndarray dtype (strings stay object lanes).
+_DTYPES = {"i": np.int64, "q": np.int64, "d": np.float64, "B": np.bool_}
+
+#: struct format character -> NULL-lane fill value.
+_FILLS = {"i": 0, "q": 0, "d": 0.0, "B": False}
+
+
+@dataclass
+class Chunk:
+    """One relation's columns: ``cols[a]`` / ``nulls[a]`` per attnum."""
+
+    cols: list
+    nulls: list          # per attnum: bool ndarray, or None for NOT NULL
+    n: int
+
+
+def _dtype_and_fill(sql_type):
+    fmt = sql_type.struct_fmt
+    if fmt:
+        return _DTYPES[fmt], _FILLS[fmt]
+    return object, ""    # CHAR(n) / varchar decode to str
+
+
+def chunk_from_rows(schema, rows: list) -> Chunk:
+    """Transpose schema-ordered *rows* (``None`` = NULL) into a chunk.
+
+    The shared assembly path: page decode below and the beecheck
+    translation validator both build kernel inputs through it, so the
+    validated representation is the executed one.
+    """
+    natts = schema.natts
+    col_lists: list[list] = [[] for _ in range(natts)]
+    null_lists: list[list | None] = [
+        [] if attr.nullable else None for attr in schema.attributes
+    ]
+    fills = [_dtype_and_fill(attr.sql_type)[1] for attr in schema.attributes]
+    for row in rows:
+        for a in range(natts):
+            value = row[a]
+            if value is None:
+                col_lists[a].append(fills[a])
+                if null_lists[a] is not None:
+                    null_lists[a].append(True)
+            else:
+                col_lists[a].append(value)
+                if null_lists[a] is not None:
+                    null_lists[a].append(False)
+    cols = []
+    nulls: list = []
+    for a, attr in enumerate(schema.attributes):
+        dtype, _fill = _dtype_and_fill(attr.sql_type)
+        cols.append(np.array(col_lists[a], dtype=dtype))
+        if null_lists[a] is None:
+            nulls.append(None)
+        else:
+            nulls.append(np.array(null_lists[a], dtype=np.bool_))
+    return Chunk(cols, nulls, len(rows))
+
+
+def decode_relation(rel) -> Chunk:
+    """Decode every live tuple of *rel* into one chunk, page at a time.
+
+    Charges mirror a first sequential scan (buffer access + PAGE_ACCESS
+    per page) plus the transpose work the row tiers never pay:
+    ``VEC_DECODE_PER_VALUE`` per decoded value and ``VEC_CHUNK_BUILD``
+    per column per page for array assembly.
+    """
+    layout = rel.layout
+    schema = layout.schema
+    heap = rel.heap
+    sections = rel.sections_list()
+    access = heap.buffer_pool.access
+    charge = heap.ledger.charge
+    natts = schema.natts
+    rows: list[list] = []
+    for pageno, page in enumerate(heap.pages):
+        access(heap.name, pageno, sequential=True)
+        charge(C.PAGE_ACCESS + C.VEC_CHUNK_BUILD * natts)
+        page_rows = 0
+        for _slot, raw in page.live_tuples():
+            bee_values = (
+                sections[layout.read_bee_id(raw)] if sections else None
+            )
+            values, isnull = layout.decode(raw, bee_values)
+            for a, null in enumerate(isnull):
+                if null:
+                    values[a] = None
+            rows.append(values)
+            page_rows += 1
+        charge(C.VEC_DECODE_PER_VALUE * natts * page_rows)
+    return chunk_from_rows(schema, rows)
+
+
+class ChunkCache:
+    """Small LRU cache of per-relation chunks, validated by heap version.
+
+    Keyed by ``HeapFile.uid`` (monotonic, never recycled); an entry
+    serves only while the heap's ``version`` and the relation's layout
+    object are the ones it was decoded under.  DML bumps the version;
+    ALTER/reannotate build a new layout (or a new heap entirely), so
+    both invalidate without the cache having to observe DDL.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[int, tuple[int, object, Chunk]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, rel) -> Chunk:
+        """The current chunk for *rel*: cached, or decoded and cached."""
+        heap = rel.heap
+        entry = self._entries.get(heap.uid)
+        if (
+            entry is not None
+            and entry[0] == heap.version
+            and entry[1] is rel.layout
+        ):
+            self._entries.move_to_end(heap.uid)
+            self.hits += 1
+            heap.ledger.charge(C.VEC_CHUNK_HIT * max(1, heap.page_count))
+            return entry[2]
+        self.misses += 1
+        chunk = decode_relation(rel)
+        self._entries[heap.uid] = (heap.version, rel.layout, chunk)
+        self._entries.move_to_end(heap.uid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return chunk
+
+    def invalidate(self, uid: int | None = None) -> None:
+        """Drop one heap's entry, or everything."""
+        if uid is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(uid, None)
+
+    def statistics(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

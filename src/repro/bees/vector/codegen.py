@@ -1,0 +1,551 @@
+"""VEC — columnar NumPy kernel generation for fused pipelines.
+
+The vector tier compiles the *same* :class:`PipelineSpec` bundles the
+pipeline fuser matches — Scan→Filter*→Project, join probe, HashAgg
+input — but instead of a fused per-row Python loop it emits a **vector
+program**: a straight-line kernel over typed column arrays
+(:mod:`repro.bees.vector.chunks`) that evaluates the predicate as a
+boolean mask, compacts the selected row indexes once, and feeds the
+sink from gathered columns.
+
+NULL semantics are carried as parallel mask arrays under the invariant
+that every boolean value lane is ``False`` where its null lane is set
+(Kleene strict-true selection then needs no separate guard), and every
+data lane holds a type-stable fill.  Expressions outside the vectorized
+set — LIKE, functions, CASE, IN-lists, and any arithmetic touching
+integer/boolean columns (NumPy would wrap or round where Python is
+exact) — fall back to an *object lane*: the bound interpreter expression
+itself, evaluated over rows materialized from the chunk, so the kernel
+never trades correctness for vectorization.
+
+Emitted rows are converted back to plain Python values (``tolist`` +
+NULL re-materialization): downstream operators, the oracle's typed row
+tags, and the beecheck translation validator all see exactly what the
+interpreter produces.  Aggregation groups and finalizes *inside* the
+kernel with insertion-ordered buckets and sequential Python reductions,
+bit-identical to ``_PlainState``/``_DistinctState`` folds.
+
+The generated source carries exactly one ledger charge —
+``_charge('VEC_n', _C0 + _C1 * n + _C2 * _m)`` — whose constants the
+beecheck cost audit recomputes from the spec (``n`` input rows, ``_m``
+selected rows).  Division runs under ``errstate(raise)`` so a lane the
+interpreter would fault on raises out of the kernel and the shield
+degrades the statement vector→pipeline→generic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cost import constants as C
+from repro.engine import expr as E
+from repro.bees.pipeline.codegen import PipelineSpec, _referenced
+from repro.bees.routines.base import BeeRoutine, compile_routine
+
+#: The vector tier reuses the pipeline's spec as-is: same plan-invariant
+#: bundle, different compilation target.
+VectorSpec = PipelineSpec
+
+#: Expression nodes with a direct whole-column emission.
+_FAST_EXPRS = (
+    E.Const, E.Col, E.Cmp, E.Arith, E.And, E.Or, E.Not, E.IsNull, E.Between,
+)
+
+_CMP_NUMPY = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: struct formats whose arithmetic must stay on the Python object lane:
+#: int64 wraps (Python promotes) and bool ``+`` is logical (Python is 2).
+_EXACT_ARITH_FMTS = ("i", "q", "B")
+
+
+def _expr_nodes(expr: E.Expr) -> int:
+    """Node count of *expr* (the per-lane work unit the charge prices)."""
+    return 1 + sum(_expr_nodes(child) for child in expr.children())
+
+
+def _vectorizable(expr: E.Expr, schema) -> bool:
+    """True when *expr* has an exact whole-column emission."""
+    if not isinstance(expr, _FAST_EXPRS):
+        return False
+    if isinstance(expr, E.Arith):
+        acc: set = set()
+        _referenced(expr, acc)
+        for index in acc:
+            fmt = schema.attributes[index].sql_type.struct_fmt
+            if fmt in _EXACT_ARITH_FMTS:
+                return False
+    return all(_vectorizable(child, schema) for child in expr.children())
+
+
+# -- runtime helpers (injected into every kernel's namespace) ----------------
+
+
+def _obj(values, mask, m: int) -> list:
+    """Materialize a value lane as a plain Python list with NULLs."""
+    if isinstance(values, np.ndarray):
+        vals = values.tolist()
+    else:
+        vals = [values] * m
+    if mask is False or mask is None:
+        return vals
+    if mask is True:
+        return [None] * m
+    return [None if f else v for f, v in zip(mask.tolist(), vals)]
+
+
+def _zip_rows(columns: list) -> list:
+    """Transpose output column lists into row lists."""
+    return [list(row) for row in zip(*columns)]
+
+
+def _materialize(cols, nulls, idx) -> list:
+    """Chunk → Python rows (object-lane evaluation domain)."""
+    columns = []
+    for arr, mask in zip(cols, nulls):
+        if idx is not None:
+            arr = arr[idx]
+            if mask is not None:
+                mask = mask[idx]
+        vals = arr.tolist()
+        if mask is not None:
+            vals = [None if f else v for f, v in zip(mask.tolist(), vals)]
+        columns.append(vals)
+    return [list(row) for row in zip(*columns)]
+
+
+def _div(numer, denom, denom_null):
+    """Vectorized true division with the interpreter's error contract.
+
+    NULL-divisor lanes are patched to 1 (their results are masked out);
+    a genuine zero or invalid lane raises, so the shield can degrade the
+    statement exactly where ``a / b`` would raise ``ZeroDivisionError``
+    on the generic path.
+    """
+    if denom_null is not False and denom_null is not None:
+        denom = np.where(denom_null, 1, denom)
+    with np.errstate(divide="raise", invalid="raise"):
+        return np.true_divide(numer, denom)
+
+
+# -- emission ----------------------------------------------------------------
+
+
+class _KernelEmitter:
+    """Builds kernel body lines; every composite value gets a ``t{n}``.
+
+    Fragments are *atoms* — parameter subscripts, interned constants
+    (``_K{n}``), temps — or the literals ``"True"``/``"False"`` for
+    statically-known null lanes, so symbolic simplification never needs
+    parentheses.
+    """
+
+    def __init__(self, namespace: dict, schema) -> None:
+        self.lines: list[str] = []
+        self.namespace = namespace
+        self.schema = schema
+        self._n_temp = 0
+        self._n_const = 0
+        self._n_expr = 0
+        self._cache: dict = {}
+        self.gather = ""       # becomes "[_idx]" after selection
+        self._rows: dict = {}  # materialized object-lane row domains
+
+    def temp(self, src: str) -> str:
+        name = f"t{self._n_temp}"
+        self._n_temp += 1
+        self.lines.append(f"    {name} = {src}")
+        return name
+
+    def const(self, value) -> str:
+        name = f"_K{self._n_const}"
+        self._n_const += 1
+        self.namespace[name] = value
+        return name
+
+    def intern_expr(self, expr: E.Expr) -> str:
+        name = f"_E{self._n_expr}"
+        self._n_expr += 1
+        self.namespace[name] = expr
+        return name
+
+    # symbolic boolean combiners over atom/literal fragments ---------------
+
+    def not_(self, frag: str) -> str:
+        if frag == "True":
+            return "False"
+        if frag == "False":
+            return "True"
+        key = ("not", frag, self.gather)
+        if key not in self._cache:
+            self._cache[key] = self.temp(f"~{frag}")
+        return self._cache[key]
+
+    def and_(self, a: str, b: str) -> str:
+        if a == "False" or b == "False":
+            return "False"
+        if a == "True":
+            return b
+        if b == "True":
+            return a
+        return self.temp(f"{a} & {b}")
+
+    def or_(self, a: str, b: str) -> str:
+        if a == "True" or b == "True":
+            return "True"
+        if a == "False":
+            return b
+        if b == "False":
+            return a
+        return self.temp(f"{a} | {b}")
+
+    # value emission -------------------------------------------------------
+
+    def col(self, index: int) -> tuple[str, str]:
+        """``(value_frag, null_frag)`` for column *index*."""
+        gather = self.gather
+        key = ("col", index, gather)
+        if key not in self._cache:
+            if gather:
+                self._cache[key] = self.temp(f"cols[{index}]{gather}")
+            else:
+                self._cache[key] = f"cols[{index}]"
+        val = self._cache[key]
+        if not self.schema.attributes[index].nullable:
+            return val, "False"
+        nkey = ("nul", index, gather)
+        if nkey not in self._cache:
+            if gather:
+                self._cache[nkey] = self.temp(f"nulls[{index}]{gather}")
+            else:
+                self._cache[nkey] = f"nulls[{index}]"
+        return val, self._cache[nkey]
+
+    def emit(self, expr: E.Expr) -> tuple[str, str]:
+        """Vectorized ``(value, null)`` emission (fast exprs only).
+
+        Invariant: wherever the null fragment is set, a boolean value
+        fragment is ``False`` and a data fragment holds the type fill.
+        """
+        if isinstance(expr, E.Const):
+            if expr.value is None:
+                return "False", "True"
+            return self.const(expr.value), "False"
+        if isinstance(expr, E.Col):
+            return self.col(expr.index)
+        if isinstance(expr, E.Cmp):
+            lv, lu = self.emit(expr.left)
+            rv, ru = self.emit(expr.right)
+            u = self.or_(lu, ru)
+            if u == "True":
+                return "False", "True"
+            t = self.temp(f"{lv} {_CMP_NUMPY[expr.op]} {rv}")
+            if u != "False":
+                t = self.and_(t, self.not_(u))
+            return t, u
+        if isinstance(expr, E.Arith):
+            lv, lu = self.emit(expr.left)
+            rv, ru = self.emit(expr.right)
+            u = self.or_(lu, ru)
+            if u == "True":
+                return "False", "True"
+            if expr.op == "/":
+                return self.temp(f"_div({lv}, {rv}, {ru})"), u
+            return self.temp(f"{lv} {expr.op} {rv}"), u
+        if isinstance(expr, E.And):
+            pairs = [self.emit(arg) for arg in expr.args]
+            value = pairs[0][0]
+            for v, _u in pairs[1:]:
+                value = self.and_(value, v)
+            if all(u == "False" for _v, u in pairs):
+                return value, "False"
+            # Kleene: a definitely-false conjunct silences the NULLs.
+            definite = "False"
+            for v, u in pairs:
+                definite = self.or_(definite, self.and_(self.not_(v),
+                                                        self.not_(u)))
+            unknown = "False"
+            for _v, u in pairs:
+                unknown = self.or_(unknown, u)
+            return value, self.and_(unknown, self.not_(definite))
+        if isinstance(expr, E.Or):
+            pairs = [self.emit(arg) for arg in expr.args]
+            value = pairs[0][0]
+            for v, _u in pairs[1:]:
+                value = self.or_(value, v)
+            if all(u == "False" for _v, u in pairs):
+                return value, "False"
+            unknown = "False"
+            for _v, u in pairs:
+                unknown = self.or_(unknown, u)
+            return value, self.and_(unknown, self.not_(value))
+        if isinstance(expr, E.Not):
+            v, u = self.emit(expr.arg)
+            return self.and_(self.not_(v), self.not_(u)), u
+        if isinstance(expr, E.IsNull):
+            _v, u = self.emit(expr.arg)
+            value = self.not_(u) if expr.negate else u
+            return value, "False"
+        if isinstance(expr, E.Between):
+            v, u = self.emit(expr.arg)
+            if u == "True":
+                return "False", "True"
+            low = self.const(expr.low)
+            high = self.const(expr.high)
+            t = self.and_(
+                self.temp(f"{low} <= {v}"), self.temp(f"{v} <= {high}")
+            )
+            if u != "False":
+                t = self.and_(t, self.not_(u))
+            return t, u
+        raise ValueError(f"no vector emission for {type(expr).__name__}")
+
+    # object lane ----------------------------------------------------------
+
+    def rows_domain(self) -> str:
+        """Python rows for the current domain (full or selected)."""
+        key = self.gather
+        if key not in self._rows:
+            idx = "_idx" if self.gather else "None"
+            self._rows[key] = self.temp(f"_materialize(cols, nulls, {idx})")
+        return self._rows[key]
+
+    def object_mask(self, expr: E.Expr) -> str:
+        """Strict-true qualification mask via the interpreter itself."""
+        name = self.intern_expr(expr)
+        rows = self.rows_domain()
+        return self.temp(
+            f"_np.fromiter(({name}.evaluate(_r) is True for _r in {rows}), "
+            f"_np.bool_, n)"
+        )
+
+    def object_values(self, expr: E.Expr) -> str:
+        """Value list via the interpreter over the current domain."""
+        name = self.intern_expr(expr)
+        rows = self.rows_domain()
+        return self.temp(f"[{name}.evaluate(_r) for _r in {rows}]")
+
+    def output_list(self, expr: E.Expr) -> str:
+        """Emit *expr* as a plain Python value list over the domain."""
+        if _vectorizable(expr, self.schema):
+            v, u = self.emit(expr)
+            return self.temp(f"_obj({v}, {u}, _m)")
+        return self.object_values(expr)
+
+    def column_list(self, index: int) -> str:
+        """A bare schema column as a Python value list over the domain."""
+        v, u = self.col(index)
+        return self.temp(f"_obj({v}, {u}, _m)")
+
+
+def _expr_charge(expr: E.Expr, schema) -> int:
+    """Per-selected-row cost of one sink expression."""
+    if isinstance(expr, E.Col):
+        return 0
+    if _vectorizable(expr, schema):
+        return C.VEC_KERNEL_PER_VALUE * _expr_nodes(expr)
+    return expr.generic_cost
+
+
+def generate_vector(spec: PipelineSpec, ledger, fn_name: str) -> BeeRoutine:
+    """Compile *spec* into one columnar kernel routine.
+
+    The generated function's signature depends on the sink:
+
+    * ``rows``:  ``fn(cols, nulls, n) -> list[row]``
+    * ``probe``: ``fn(cols, nulls, n, table) -> list[row]``
+    * ``agg``:   ``fn(cols, nulls, n) -> list[row]`` (finalized groups)
+
+    where *cols*/*nulls* are the relation chunk's arrays and *n* its row
+    count.  Unlike the pipeline tier the aggregate sink groups **and**
+    finalizes inside the kernel, so every sink returns finished rows and
+    the drivers share one arity check.
+    """
+    layout = spec.layout
+    schema = layout.schema
+    natts = schema.natts
+    exprs = list(spec.group_exprs) + [
+        s.arg for s in spec.aggs if s.arg is not None
+    ]
+    if spec.qual is not None:
+        exprs.append(spec.qual)
+    if spec.output is not None:
+        exprs.extend(spec.output)
+    for expr in exprs:
+        if not E.is_bound(expr):
+            raise ValueError(
+                "vector specialization requires bound expressions"
+            )
+
+    namespace = {
+        "_np": np,
+        "_charge": ledger.charge_fn,
+        "_obj": _obj,
+        "_zip_rows": _zip_rows,
+        "_materialize": _materialize,
+        "_div": _div,
+    }
+    em = _KernelEmitter(namespace, schema)
+    params = "cols, nulls, n, table" if spec.sink == "probe" else "cols, nulls, n"
+    header = [
+        f"def {fn_name}({params}):",
+        f'    """Vector {spec.sink} kernel over relation '
+        f'{spec.relation!r} (generated)."""',
+    ]
+
+    # -- selection: one mask, one compaction --------------------------------
+    qual_cost = 0
+    if spec.qual is None:
+        mask = "True"
+    elif _vectorizable(spec.qual, schema):
+        mask, _u = em.emit(spec.qual)
+        qual_cost = C.VEC_KERNEL_PER_VALUE * _expr_nodes(spec.qual)
+    else:
+        mask = em.object_mask(spec.qual)
+        qual_cost = spec.qual.generic_cost
+    if mask == "True":
+        em.lines.append("    _m = n")
+    elif mask == "False":
+        namespace["_NOSEL"] = np.array([], dtype=np.intp)
+        em.lines.append("    _idx = _NOSEL")
+        em.lines.append("    _m = 0")
+        em.gather = "[_idx]"
+    else:
+        em.lines.append(f"    _idx = _np.nonzero({mask})[0]")
+        em.lines.append("    _m = len(_idx)")
+        em.gather = "[_idx]"
+
+    # -- sink ----------------------------------------------------------------
+    c1 = C.VEC_SELECT_PER_ROW + qual_cost
+    costs = {"_C0": C.VEC_KERNEL_DISPATCH, "_C1": c1}
+    if spec.sink == "rows":
+        if spec.output is None:
+            items = [em.column_list(i) for i in range(natts)]
+            expr_cost = 0
+        else:
+            items = [em.output_list(expr) for expr in spec.output]
+            expr_cost = sum(
+                _expr_charge(expr, schema) for expr in spec.output
+            )
+        em.lines.append(f"    out = _zip_rows([{', '.join(items)}])")
+        costs["_C2"] = (
+            C.VEC_EMIT_BASE + C.VEC_EMIT_PER_COLUMN * len(items) + expr_cost
+        )
+    elif spec.sink == "probe":
+        items = [em.column_list(i) for i in range(natts)]
+        em.lines.append(f"    _rows = _zip_rows([{', '.join(items)}])")
+        em.lines.append("    out = []")
+        em.lines.append("    _append = out.append")
+        em.lines.append("    _get = table.get")
+        em.lines.append("    for _r in _rows:")
+        keys = ", ".join(f"_r[{i}]" for i in spec.probe_idx)
+        key_tuple = f"({keys},)" if len(spec.probe_idx) == 1 else f"({keys})"
+        em.lines.append(f"        _k = {key_tuple}")
+        nullable_keys = [
+            f"_r[{i}]"
+            for i in spec.probe_idx
+            if schema.attributes[i].nullable
+        ]
+        if nullable_keys:
+            guard = " and ".join(f"{k} is not None" for k in nullable_keys)
+            em.lines.append(
+                f"        _cands = _get(_k, ()) if {guard} else ()"
+            )
+        else:
+            em.lines.append("        _cands = _get(_k, ())")
+        if spec.join_type == "inner":
+            em.lines.append("        for _b in _cands:")
+            em.lines.append("            _append(_r + _b)")
+        elif spec.join_type == "left":
+            em.lines.append("        if _cands:")
+            em.lines.append("            for _b in _cands:")
+            em.lines.append("                _append(_r + _b)")
+            em.lines.append("        else:")
+            em.lines.append("            _append(_r + _PAD)")
+            namespace["_PAD"] = [None] * spec.build_width
+        elif spec.join_type == "semi":
+            em.lines.append("        if _cands:")
+            em.lines.append("            _append(_r)")
+        else:   # anti
+            em.lines.append("        if not _cands:")
+            em.lines.append("            _append(_r)")
+        costs["_C2"] = (
+            C.VEC_PROBE_PER_ROW + C.VEC_EMIT_PER_COLUMN * natts
+        )
+    else:   # agg
+        group_lists = [em.output_list(expr) for expr in spec.group_exprs]
+        arg_lists = {}
+        for i, agg in enumerate(spec.aggs):
+            if agg.arg is not None:
+                arg_lists[i] = em.output_list(agg.arg)
+        if spec.group_exprs:
+            key = ", ".join(f"{g}[_i]" for g in group_lists)
+            key_tuple = f"({key},)" if len(group_lists) == 1 else f"({key})"
+            em.lines.append("    _buckets = {}")
+            em.lines.append("    for _i in range(_m):")
+            em.lines.append(f"        _k = {key_tuple}")
+            em.lines.append("        _b = _buckets.get(_k)")
+            em.lines.append("        if _b is None:")
+            em.lines.append("            _buckets[_k] = _b = []")
+            em.lines.append("        _b.append(_i)")
+        else:
+            em.lines.append("    _buckets = {(): list(range(_m))}")
+        em.lines.append("    out = []")
+        em.lines.append("    for _k, _ix in _buckets.items():")
+        em.lines.append("        _row = list(_k)")
+        for i, agg in enumerate(spec.aggs):
+            if agg.arg is None:   # count(*)
+                em.lines.append("        _row.append(len(_ix))")
+                continue
+            values = arg_lists[i]
+            # Sequential Python folds over the selected positions, in
+            # row order: bit-identical to the generic accumulators.
+            if agg.distinct:
+                em.lines.append(
+                    f"        _vals = {{v for v in "
+                    f"({values}[_i] for _i in _ix) if v is not None}}"
+                )
+            else:
+                em.lines.append(
+                    f"        _vals = [v for v in "
+                    f"({values}[_i] for _i in _ix) if v is not None]"
+                )
+            if agg.func == "count":
+                em.lines.append("        _row.append(len(_vals))")
+            elif agg.func == "sum":
+                em.lines.append(
+                    "        _row.append(sum(_vals) if _vals else None)"
+                )
+            elif agg.func == "avg":
+                em.lines.append(
+                    "        _row.append(sum(_vals) / len(_vals) "
+                    "if _vals else None)"
+                )
+            elif agg.func == "min":
+                em.lines.append(
+                    "        _row.append(min(_vals) if _vals else None)"
+                )
+            else:   # max
+                em.lines.append(
+                    "        _row.append(max(_vals) if _vals else None)"
+                )
+        em.lines.append("        out.append(_row)")
+        costs["_C2"] = (
+            C.VEC_GROUP_PER_ROW
+            + C.VEC_EMIT_PER_COLUMN
+            * (len(spec.group_exprs) + len(arg_lists))
+            + sum(_expr_charge(expr, schema) for expr in spec.group_exprs)
+            + sum(
+                _expr_charge(agg.arg, schema)
+                for agg in spec.aggs
+                if agg.arg is not None
+            )
+        )
+
+    namespace.update(costs)
+    em.lines.append(f"    _charge({fn_name!r}, _C0 + _C1 * n + _C2 * _m)")
+    em.lines.append("    return out")
+    source = "\n".join(header + em.lines) + "\n"
+    fn = compile_routine(source, fn_name, namespace)
+    return BeeRoutine(
+        name=fn_name, fn=fn, cost=c1, source=source, namespace=namespace,
+    )

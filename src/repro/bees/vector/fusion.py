@@ -1,0 +1,53 @@
+"""Vector fusion: promote fused pipeline drivers to vector drivers.
+
+The vector tier deliberately matches *exactly* the segments the
+pipeline fuser matches: :func:`fuse_vector_plan` first runs
+:func:`repro.bees.pipeline.fusion.fuse_plan`, then walks the result and
+wraps every pipeline driver in its columnar counterpart — same spec,
+and the pipeline driver itself kept as the anchor, so a quarantined or
+generation-faulted vector bee falls back to the *fused pipeline* (which
+in turn anchors on the generic subtree).  That nesting is what gives
+the runtime its vector → pipeline → routine-bees → generic ladder
+without any tier knowing about the ones below it.
+
+Interior generic nodes are rebuilt with the same shallow-copy
+discipline as pipeline fusion; untouched subtrees are shared.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.engine.nodes import PlanNode
+from repro.bees.pipeline.fusion import _CHILD_ATTRS, fuse_plan
+from repro.bees.pipeline.nodes import PipelineAgg, PipelineJoin, PipelineScan
+from repro.bees.vector.nodes import VectorAgg, VectorJoin, VectorScan
+
+
+def _vectorize(plan: PlanNode, db) -> PlanNode:
+    if type(plan) is PipelineScan:
+        return VectorScan(plan.spec, plan)
+    if type(plan) is PipelineAgg:
+        return VectorAgg(plan.spec, plan)
+    if type(plan) is PipelineJoin:
+        return VectorJoin(plan.spec, plan, _vectorize(plan.build, db))
+    attrs = _CHILD_ATTRS.get(type(plan))
+    if not attrs:
+        return plan
+    children = {name: _vectorize(getattr(plan, name), db) for name in attrs}
+    if all(children[name] is getattr(plan, name) for name in attrs):
+        return plan
+    clone = copy.copy(plan)
+    for name, child in children.items():
+        setattr(clone, name, child)
+    return clone
+
+
+def fuse_vector_plan(plan: PlanNode, db) -> PlanNode:
+    """Return *plan* rewritten around vector drivers where fusable.
+
+    Segments the pipeline fuser declines stay generic here too; the
+    vector tier never widens the fusable language, it only compiles the
+    same specs to columnar kernels.
+    """
+    return _vectorize(fuse_plan(plan, db), db)

@@ -1,0 +1,165 @@
+"""Vector driver nodes: the executor side of columnar vector bees.
+
+Mirrors :mod:`repro.bees.pipeline.nodes` one tier up: each driver wraps
+the same :class:`PipelineSpec` plus the generic *anchor* subtree it
+replaced, but instead of feeding raw tuple batches through a fused
+per-row loop it acquires the relation's columnar :class:`Chunk` from
+``ctx.db.chunk_cache`` and makes **one** kernel call over the whole
+column set.  The kernel returns finished rows for every sink (the agg
+kernel groups and finalizes internally), so all three drivers share a
+single arity check.
+
+Under beeshield, acquisition goes through ``shield.vector``: a
+quarantined or generation-faulted vector bee drains the anchor — which
+is the *fused pipeline* subtree when pipelines are enabled — giving the
+tier ladder its vector→pipeline→routine→generic degradation order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.cost import constants as C
+from repro.engine.nodes import ExecContext, PlanNode, Row
+
+#: Fallback batch size when draining the generic anchor subtree.
+_GENERIC_BATCH = 256
+
+
+class _VectorNode(PlanNode):
+    """Shared driver plumbing: spec + anchor + kernel resolution."""
+
+    def __init__(self, spec, anchor: PlanNode) -> None:
+        self.spec = spec
+        self.anchor = anchor
+        self.columns = list(anchor.columns)
+
+    def node_label(self) -> str:
+        fused = " <- ".join(self.spec.fused_nodes)
+        return f"{type(self).__name__}[{fused}]"
+
+    def _acquire(self, ctx: ExecContext):
+        """Resolve the vector kernel: ``(fn_or_None, health_key)``.
+
+        ``None`` means the driver must fall back to the anchor subtree
+        (quarantined bee, or the generator faulted under the shield).
+        """
+        shield = ctx.shield
+        if shield is None:
+            return ctx.bees.get_vector(self.spec, self.anchor).fn, None
+        routine, key = shield.vector(ctx, self.spec, self.anchor)
+        if routine is None:
+            return None, key
+        return shield.maybe_timed(routine.fn, "vectors", key), key
+
+    def _chunk(self, ctx: ExecContext):
+        rel = ctx.db.relation(self.spec.relation)
+        shield = ctx.shield
+        if shield is not None:
+            shield.scrub_sections(rel)
+        return ctx.db.chunk_cache.get(rel)
+
+    def _anchor_batches(self, ctx: ExecContext) -> Iterator[list]:
+        """Fallback: drain the replaced (pipeline or generic) subtree."""
+        anchor_batches = getattr(self.anchor, "batches", None)
+        if anchor_batches is not None:
+            yield from anchor_batches(ctx)
+            return
+        batch: list[Row] = []
+        for row in self.anchor.rows(ctx):
+            batch.append(row)
+            if len(batch) >= _GENERIC_BATCH:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _checked(self, out: list, ctx: ExecContext, key) -> list:
+        if out and ctx.shield is not None and len(out[0]) != len(self.columns):
+            ctx.shield.fault("vectors", key, "arity")
+        return out
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        for batch in self.batches(ctx):
+            yield from batch
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        raise NotImplementedError
+
+
+class VectorScan(_VectorNode):
+    """Columnar Scan -> Filter* -> Project kernel (the ``rows`` sink)."""
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
+        chunk = self._chunk(ctx)
+        out = fn(chunk.cols, chunk.nulls, chunk.n)
+        if out:
+            yield self._checked(out, ctx, key)
+
+
+class VectorJoin(_VectorNode):
+    """Hash join whose probe side is a vector kernel (``probe`` sink).
+
+    The build side stays a generic (possibly fused/vectored) subtree;
+    the build phase below is charged exactly like :class:`HashJoin`'s.
+    """
+
+    def __init__(self, spec, anchor, build: PlanNode) -> None:
+        super().__init__(spec, anchor)
+        self.build = build
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.build,)
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
+        charge = ctx.ledger.charge
+        # The anchor is a PipelineJoin when pipelines fused first; the
+        # generic HashJoin (which owns the build key positions) sits one
+        # anchor deeper in that case.
+        hash_join = getattr(self.anchor, "anchor", self.anchor)
+        build_idx = hash_join.build_idx
+        n_keys = len(build_idx)
+        build_cost = (
+            C.NODE_OVERHEAD + C.JOIN_HASH_COMPUTE + C.EXPR_COLUMN * n_keys
+        )
+        table: dict[tuple, list[Row]] = defaultdict(list)
+        for row in self.build.rows(ctx):
+            charge(build_cost)
+            build_key = tuple(row[i] for i in build_idx)
+            if None in build_key:
+                continue  # NULL keys never match
+            table[build_key].append(row)
+        table = dict(table)   # drop defaultdict insertion-on-miss
+        chunk = self._chunk(ctx)
+        out = fn(chunk.cols, chunk.nulls, chunk.n, table)
+        if out:
+            yield self._checked(out, ctx, key)
+
+
+class VectorAgg(_VectorNode):
+    """Hash aggregation compiled whole into the kernel (``agg`` sink).
+
+    Unlike :class:`PipelineAgg` the kernel groups *and* finalizes, so
+    the driver only charges the per-group final pass (NODE_OVERHEAD
+    each, mirroring ``HashAgg.rows``) for the rows it hands on.
+    """
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        fn, key = self._acquire(ctx)
+        if fn is None:
+            yield from self._anchor_batches(ctx)
+            return
+        chunk = self._chunk(ctx)
+        out = fn(chunk.cols, chunk.nulls, chunk.n)
+        ctx.ledger.charge(C.NODE_OVERHEAD * len(out))
+        if out:
+            yield self._checked(out, ctx, key)

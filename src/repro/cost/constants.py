@@ -167,4 +167,29 @@ VECTOR_OP_DISPATCH = 150      # per chunk per primitive: MAL-style dispatch
 FUSED_PER_VALUE = 1           # per expr node per value in a fused kernel
 FUSED_DISPATCH = 60           # per chunk: single generated-kernel call
 
+# --------------------------------------------------------------------------
+# Vector bees (the third execution tier: fused pipelines compiled into
+# columnar NumPy kernels over chunk-cached typed arrays).  Chunk decode is
+# paid once per heap version (the cache amortizes it across statements);
+# the kernel itself replaces the fused per-row Python loop with a handful
+# of whole-column primitives, so its per-row constants sit well below
+# PIPE_NEXT.  Calibrated against bench_vector.py the way the PIPE_*
+# constants were against bench_pipeline.py.
+# --------------------------------------------------------------------------
+VEC_DECODE_PER_VALUE = 5      # per value on a chunk miss: reference decode
+                              # + column append (page-at-a-time transpose)
+VEC_CHUNK_BUILD = 130         # per column per page on a miss: ndarray
+                              # assembly + null-mask packing
+VEC_CHUNK_HIT = 40            # per page on a warm chunk: cache probe +
+                              # version/layout validation, amortized
+VEC_KERNEL_DISPATCH = 200     # per kernel call: arg marshal + charge
+VEC_KERNEL_PER_VALUE = 1      # per expr node per row lane inside a
+                              # vectorized primitive (SIMD-friendly)
+VEC_SELECT_PER_ROW = 2        # per input row: mask build + index compaction
+VEC_EMIT_BASE = 14            # per selected row: batched row materialization
+VEC_EMIT_PER_COLUMN = 6       # per output column of a materialized row
+VEC_PROBE_PER_ROW = 300       # per selected row: key tuple + hash probe +
+                              # join emission (a per-row Python transition)
+VEC_GROUP_PER_ROW = 160       # per selected row: group bucket lookup/append
+
 VACUUM_PER_TUPLE = 150        # move live tuple + line-pointer rewrite

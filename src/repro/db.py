@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 from repro.bees.maker import RelationBee
 from repro.bees.module import GenericBeeModule
 from repro.bees.settings import BeeSettings
+from repro.bees.vector.chunks import ChunkCache
 from repro.catalog import Catalog, RelationSchema
 from repro.cost import Ledger, TimeModel
 from repro.cost.ledger import LedgerSnapshot
@@ -137,6 +138,9 @@ class Database:
             registry=self.resilience,
         )
         self.time_model = TimeModel()
+        # Columnar chunk cache for the vector tier (validated against
+        # heap versions, so it is safe to hold even when vectors are off).
+        self.chunk_cache = ChunkCache()
         self._relations: dict[str, Relation] = {}
         self._deadline: float | None = None
         self.catalog.on("drop", self._on_drop)
@@ -428,6 +432,7 @@ class Database:
         statement: str,
         bees: bool | BeeSettings | None = None,
         pipelines: bool | None = None,
+        vectors: bool | None = None,
         timeout: float | None = None,
     ):
         """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
@@ -440,7 +445,10 @@ class Database:
         the invariant the differential oracle checks.  *pipelines*
         overrides the :attr:`BeeSettings.pipelines` flag for this one
         statement (``db.sql(q, pipelines=False)`` disables plan fusion
-        without touching the other bee families).
+        without touching the other bee families); *vectors* does the
+        same for the columnar vector tier (``db.sql(q, vectors=True)``
+        compiles fusable segments into NumPy kernels for this one
+        statement).
 
         *timeout* is a per-statement wall-clock budget in seconds,
         checked at batch boundaries in the executor; exceeding it raises
@@ -452,6 +460,8 @@ class Database:
         settings = self.resolve_settings(bees)
         if pipelines is not None:
             settings = settings.enabling(pipelines=bool(pipelines))
+        if vectors is not None:
+            settings = settings.enabling(vectors=bool(vectors))
         if timeout is not None:
             from time import perf_counter
 

@@ -128,7 +128,14 @@ def _run(
     ctx = ExecContext(db, settings)
     if shield is None:
         ctx.shield = None
-    if getattr(settings, "pipelines", False):
+    if getattr(settings, "vectors", False):
+        from repro.bees.vector import fuse_vector_plan
+
+        if shield is None:
+            plan = fuse_vector_plan(plan, db)
+        else:
+            plan = shield.fuse(fuse_vector_plan, plan, db, key="VEC:fusion")
+    elif getattr(settings, "pipelines", False):
         from repro.bees.pipeline import fuse_plan
 
         if shield is None:

@@ -84,6 +84,8 @@ GENERATORS = (
           key_indexes={"catalog.schema"}),
     _spec("pipeline", "bees/pipeline/codegen.py", "generate_pipeline",
           spec={"plan.constants", "catalog.schema", "layout.offsets"}),
+    _spec("vector", "bees/vector/codegen.py", "generate_vector",
+          spec={"plan.constants", "catalog.schema", "layout.offsets"}),
     _spec("tuple", "bees/datasection.py", "DataSectionStore.get_or_create",
           key={"datasection.values"}),
     _spec("relation-bee", "bees/maker.py", "BeeMaker.make_relation_bee",
@@ -100,6 +102,7 @@ EXPECTED_EMBEDDINGS = {
     "agg": frozenset({"plan.constants"}),
     "idx": frozenset({"catalog.schema"}),
     "pipeline": frozenset({"plan.constants", "layout.offsets"}),
+    "vector": frozenset({"plan.constants", "catalog.schema"}),
     "tuple": frozenset({"datasection.values"}),
     "relation-bee": frozenset({"catalog.schema"}),
 }

@@ -68,9 +68,9 @@ RULES = (
         "catalog.schema",
         {"replace"},
         {"GenericBeeModule.invalidate_query_bees"},
-        "Memoized EVP/AGG/IDX/pipeline routines bind column positions "
-        "and constants against the old schema and must be evicted on "
-        "ALTER.",
+        "Memoized EVP/AGG/IDX/pipeline/vector routines bind column "
+        "positions and constants against the old schema and must be "
+        "evicted on ALTER.",
     ),
     _rule(
         "annotation-reaches-bee-lifecycle",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-BUG_KINDS = ("gcl", "evp", "pipeline")
+BUG_KINDS = ("gcl", "evp", "pipeline", "vector")
 
 
 def _first_int_attnum(layout) -> int | None:
@@ -37,6 +37,9 @@ def inject_bug(kind: str):
     * ``'pipeline'`` — the fused pipeline bee drops the residual
       qualification (a classic fusion bug: the matcher consumes the
       Filter node but the generated loop forgets its predicate).
+    * ``'vector'`` — the columnar kernel drops the predicate mask (the
+      vector-tier analog: the selection vector degenerates to
+      all-rows-pass while the charge and shape stay plausible).
 
     Only bees generated while the context is active are affected, so the
     oracle (and its databases) must be constructed inside the ``with``.
@@ -103,5 +106,20 @@ def inject_bug(kind: str):
             yield
         finally:
             maker.generate_pipeline = original
+    elif kind == "vector":
+        import dataclasses
+
+        original = maker.generate_vector
+
+        def patched(spec, ledger, fn_name):
+            if spec.qual is not None:
+                spec = dataclasses.replace(spec, qual=None)
+            return original(spec, ledger, fn_name)
+
+        maker.generate_vector = patched
+        try:
+            yield
+        finally:
+            maker.generate_vector = original
     else:
         raise ValueError(f"unknown bug kind {kind!r} (use {BUG_KINDS})")

@@ -24,10 +24,10 @@ from collections import Counter
 Outcome = tuple  # ("rows", list[tuple]) | ("status", str) | ("error", str)
 
 
-def run_statement(db, sql: str, bees=None, pipelines=None) -> Outcome:
+def run_statement(db, sql: str, bees=None, pipelines=None, vectors=None) -> Outcome:
     """Execute *sql* on *db* and capture the outcome (never raises)."""
     try:
-        result = db.sql(sql, bees=bees, pipelines=pipelines)
+        result = db.sql(sql, bees=bees, pipelines=pipelines, vectors=vectors)
     except Exception as exc:  # noqa: BLE001 — the comparison IS the handler
         return ("error", type(exc).__name__)
     if result.status.startswith("SELECT") or result.status == "EXPLAIN":

@@ -11,6 +11,9 @@ engine diff, eligible SELECTs get three more lanes:
   (storage) bugs, since both runs read the same physical tuples.
 * **TLP + rewrites**: metamorphic self-consistency on each database
   (see :mod:`repro.oracle.metamorphic`).
+* **vector-vs-interpreter**: the same query re-run with the per-query
+  vector toggle (``db.sql(sql, vectors=True)``) — the NumPy columnar
+  kernels must reproduce the interpreter's rows exactly.
 * **columnar**: for ``SELECT SUM(..) FROM t WHERE ..`` over all-NOT-NULL
   scalar tables, the generic and specialized (CDL/fused) columnar
   executors must agree with the row engine.
@@ -205,6 +208,7 @@ class DifferentialOracle:
         if stmt.kind == "select" and out_bee[0] == "rows":
             self._check_bees_off(stmt, out_bee)
             self._check_pipeline_vs_interpreter(stmt, out_bee)
+            self._check_vector_vs_interpreter(stmt, out_bee)
         if stmt.tlp is not None and out_stock[0] == "rows" and out_bee[0] == "rows":
             self._check_metamorphic(stmt, out_stock, out_bee)
         if stmt.columnar is not None and out_stock[0] == "rows":
@@ -263,6 +267,38 @@ class DifferentialOracle:
             "pipeline-vs-interpreter",
             stmt,
             f"fused={describe_outcome(out_pipe)} "
+            f"interpreter={describe_outcome(out_bee)}",
+            recheck,
+        )
+
+    def _check_vector_vs_interpreter(
+        self, stmt: GenStatement, out_bee
+    ) -> None:
+        """The columnar-execution lane: every eligible SELECT re-runs
+        with the per-query vector toggle on; the NumPy kernels decode
+        the same heap pages into chunks and must produce the same rows
+        as the per-tuple interpreter.  Plans with no vectorizable
+        pipeline fall back (vector -> pipeline -> generic) and compare
+        trivially — the lane still runs them, so a kernel emitted for an
+        'unsupported' shape is caught too."""
+        self._count(self.check_counts, "vector-vs-interpreter")
+        out_vec = run_statement(self.bee, stmt.sql, vectors=True)
+        if outcomes_equal(out_bee, out_vec, ordered=stmt.ordered):
+            return
+
+        def recheck(prefix: list[GenStatement]) -> bool:
+            try:
+                _, bee = self._replay(prefix)
+                a = run_statement(bee, stmt.sql)
+                b = run_statement(bee, stmt.sql, vectors=True)
+                return not outcomes_equal(a, b, ordered=stmt.ordered)
+            except Exception:  # noqa: BLE001 — replay failure != repro
+                return False
+
+        self._record(
+            "vector-vs-interpreter",
+            stmt,
+            f"vectorized={describe_outcome(out_vec)} "
             f"interpreter={describe_outcome(out_bee)}",
             recheck,
         )
@@ -435,7 +471,7 @@ def run_self_test(seed: int, iterations: int) -> dict[str, OracleReport]:
     that the campaign reports divergences.  Returns reports by bug kind;
     the caller decides what a miss means (the CLI exits nonzero)."""
     reports = {}
-    for kind in ("gcl", "evp", "pipeline"):
+    for kind in ("gcl", "evp", "pipeline", "vector"):
         with inject_bug(kind):
             # Verification stays off here: beecheck would reject the
             # broken routine at generation time, and this test must

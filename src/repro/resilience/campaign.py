@@ -15,8 +15,11 @@ scenario; three things must hold per site:
 * **evidence** — the fault demonstrably triggered (a campaign that never
   fires its faults proves nothing).
 
-A separate WAL lane tears the bee-cache log at seeded offsets and checks
-recovery, and :func:`run_self_test` re-runs two sites with the shield
+Two extra lanes ride along: a *ladder* lane arms the vector and
+pipeline shape faults together — proving a statement can degrade
+vector → pipeline → generic within one campaign and still match stock —
+and a WAL lane tears the bee-cache log at seeded offsets and checks
+recovery.  :func:`run_self_test` re-runs two sites with the shield
 *disabled* to prove the harness reports exactly the failures the shield
 exists to prevent (escapes for raising routines, silent wrong results
 for shape bugs).
@@ -169,11 +172,16 @@ class CampaignReport:
     seed: int
     scale_factor: float
     sites: list[SiteResult] = field(default_factory=list)
+    ladder: dict = field(default_factory=dict)
     wal: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return all(site.ok for site in self.sites) and self.wal.get("ok", False)
+        return (
+            all(site.ok for site in self.sites)
+            and self.ladder.get("ok", False)
+            and self.wal.get("ok", False)
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -181,6 +189,7 @@ class CampaignReport:
             "scale_factor": self.scale_factor,
             "ok": self.ok,
             "sites": [site.to_dict() for site in self.sites],
+            "ladder": self.ladder,
             "wal": self.wal,
         }
 
@@ -202,6 +211,12 @@ class CampaignReport:
             if not site.evidence:
                 detail += " (fault never triggered)"
             lines.append(f"  [{status:4}] {site.site:16} {detail}")
+        ladder_status = "ok" if self.ladder.get("ok") else "FAIL"
+        lines.append(
+            f"  [{ladder_status:4}] ladder           "
+            f"vector_fired={self.ladder.get('vector_fired')} "
+            f"pipeline_fired={self.ladder.get('pipeline_fired')}"
+        )
         wal_status = "ok" if self.wal.get("ok") else "FAIL"
         lines.append(
             f"  [{wal_status:4}] wal-torn         rounds={self.wal.get('rounds')} "
@@ -227,8 +242,12 @@ def _site_settings(site) -> BeeSettings:
     # instead of being rejected at generation time.  Plan fusion is only
     # enabled for sites targeting the fused path — fused pipelines
     # inline their own deform/filter/aggregate loops, so GCL/EVP/AGG
-    # faults would never be reached under fusion.
-    return BeeSettings.future().enabling(pipelines=site.fused)
+    # faults would never be reached under fusion.  Vector sites arm the
+    # whole ladder (vectors over pipelines) so a faulting kernel has
+    # both the pipeline anchor and the generic interpreter to land on.
+    return BeeSettings.future().enabling(
+        pipelines=site.fused, vectors=site.vectored
+    )
 
 
 def run_site(
@@ -272,6 +291,50 @@ def run_site(
     result.quarantined = report["quarantined"]
     result.evidence = site.triggered(chaos, db)
     return result
+
+
+def run_ladder_lane(rows, expected: dict[str, tuple], seed: int) -> dict:
+    """Arm the vector- and pipeline-shape faults *together*.
+
+    With both fused tiers emitting corrupt rows, every specialized
+    statement must walk the whole degradation ladder — vector kernel
+    faults to the pipeline anchor, the pipeline faults to the generic
+    interpreter — and still reproduce the stock results.  Both faults
+    must demonstrably fire: a run where the pipeline tamper never
+    triggers did not prove the middle rung exists.
+    """
+    from repro.oracle.normalize import outcomes_equal
+    from repro.workloads.tpch.loader import build_tpch_database
+
+    chaos = ChaosInjector(seed)
+    settings = BeeSettings.future().enabling(pipelines=True, vectors=True)
+    mismatches: list = []
+    escapes: list = []
+    vector_site = SITES["vector-shape"]
+    pipeline_site = SITES["pipeline-arity"]
+    with vector_site.arm(chaos, None), pipeline_site.arm(chaos, None):
+        db = build_tpch_database(settings, rows=rows)
+        for label, thunk in _build_scenario(db):
+            outcome = _capture(thunk)
+            if outcome[0] == "escape":
+                escapes.append(label)
+            elif not outcomes_equal(outcome, expected[label]):
+                mismatches.append(label)
+    vector_fired = chaos.fired["vector-shape"]
+    pipeline_fired = chaos.fired["pipeline-arity"]
+    return {
+        "vector_fired": vector_fired,
+        "pipeline_fired": pipeline_fired,
+        "faults_recorded": db.resilience.report()["faults"],
+        "mismatches": mismatches,
+        "escapes": escapes,
+        "ok": (
+            not mismatches
+            and not escapes
+            and vector_fired > 0
+            and pipeline_fired > 0
+        ),
+    }
 
 
 def run_wal_lane(seed: int, rounds: int = 16) -> dict:
@@ -328,6 +391,7 @@ def run_campaign(
     report = CampaignReport(seed, scale_factor)
     for name in sites or SITE_NAMES:
         report.sites.append(run_site(name, rows, expected, seed))
+    report.ladder = run_ladder_lane(rows, expected, seed)
     report.wal = run_wal_lane(seed)
     return report
 

@@ -92,6 +92,10 @@ class ChaosSite:
     #: entirely — so sites targeting those families must run unfused or
     #: their fault would never be reached.
     fused: bool = False
+    #: Run with the columnar vector tier enabled on top of fusion.
+    #: Vector sites need the full ladder armed (vectors over pipelines)
+    #: so degradation has both lower tiers to land on.
+    vectored: bool = False
 
     def triggered(self, chaos: ChaosInjector, db) -> bool:
         if self.evidence is not None:
@@ -201,6 +205,34 @@ def _pipeline_arity_wrap(chaos, original):
 def _fusion_raise_wrap(chaos, original):
     def patched(plan, db):
         raise chaos.boom("fusion-raise")
+
+    return patched
+
+
+def _vector_shape_wrap(chaos, original):
+    """Kernels whose output rows grow one phantom column: the vector
+    node's inline arity check must fault and degrade to the pipeline
+    anchor (and, statement-level, vectors -> pipelines -> generic)."""
+
+    def patched(spec, ledger, fn_name):
+        routine = original(spec, ledger, fn_name)
+        inner = routine.fn
+
+        def widened(*args):
+            out = inner(*args)
+            if out:
+                chaos.fired["vector-shape"] += 1
+                return [list(row) + [None] for row in out]
+            return out
+
+        return dataclasses.replace(routine, fn=widened)
+
+    return patched
+
+
+def _vector_gen_wrap(chaos, original):
+    def patched(spec, ledger, fn_name):
+        raise chaos.boom("vector-gen-raise")
 
     return patched
 
@@ -398,6 +430,20 @@ def _build_sites() -> dict[str, ChaosSite]:
                 _pipeline_package(), "fuse_plan", _fusion_raise_wrap
             ),
             fused=True,
+        ),
+        ChaosSite(
+            "vector-shape",
+            "columnar kernel emits shape-corrupted rows",
+            _patched_generator(maker, "generate_vector", _vector_shape_wrap),
+            fused=True,
+            vectored=True,
+        ),
+        ChaosSite(
+            "vector-gen-raise",
+            "vector kernel generator fails outright",
+            _patched_generator(maker, "generate_vector", _vector_gen_wrap),
+            fused=True,
+            vectored=True,
         ),
         ChaosSite(
             "section-flip",

@@ -41,6 +41,7 @@ FAMILY_BY_PREFIX = {
     "AGG": "agg",
     "IDX": "idx",
     "PIPE": "pipelines",
+    "VEC": "vectors",
 }
 
 
@@ -58,6 +59,10 @@ def agg_key(specs) -> str:
 
 def pipeline_key(spec) -> str:
     return f"PIPE:{spec.relation}:{spec.sink}"
+
+
+def vector_key(spec) -> str:
+    return f"VEC:{spec.relation}:{spec.sink}"
 
 
 class BeeGuard:
@@ -236,7 +241,23 @@ class BeeGuard:
         ctx.shield_used.append(key)
         return routine, key
 
-    def fuse(self, fuse_fn, plan, db):
+    def vector(self, ctx, spec, anchor):
+        """Guarded vector-kernel acquisition: ``(routine, key)``; routine
+        is None when the driver should drain its anchor (the fused
+        pipeline, or the generic subtree) instead."""
+        key = vector_key(spec)
+        if not self.registry.admit(key):
+            return None, key
+        bees = ctx.bees
+        routine = self._acquire_query_routine(
+            key, "vectors", lambda: bees.get_vector(spec, anchor), bees
+        )
+        if routine is None:
+            return None, key
+        ctx.shield_used.append(key)
+        return routine, key
+
+    def fuse(self, fuse_fn, plan, db, key: str = "PIPE:fusion"):
         """Guarded plan fusion: a raising matcher keeps the plan as-is."""
         try:
             return fuse_fn(plan, db)
@@ -244,7 +265,7 @@ class BeeGuard:
             if is_verification_refusal(exc):
                 raise
             self.registry.record_failure(
-                "PIPE:fusion", site="fusion", kind="exception", error=exc
+                key, site="fusion", kind="exception", error=exc
             )
             return plan
 

@@ -20,12 +20,20 @@ class TID(NamedTuple):
 class HeapFile:
     """A relation's pages, with charged access through the buffer pool."""
 
+    #: Monotonic instance counter: ``uid`` keys derived caches (the vector
+    #: tier's chunk cache) without the id()-recycling hazard.
+    _next_uid = 0
+
     def __init__(self, name: str, ledger: Ledger, buffer_pool: BufferPool) -> None:
         self.name = name
         self.ledger = ledger
         self.buffer_pool = buffer_pool
         self.pages: list[HeapPage] = []
         self.live_count = 0
+        HeapFile._next_uid += 1
+        self.uid = HeapFile._next_uid
+        #: Bumped on every mutation; derived caches validate against it.
+        self.version = 0
 
     # -- modification ----------------------------------------------------------
 
@@ -43,12 +51,14 @@ class HeapFile:
             self.buffer_pool.install(self.name, pageno)
             slot = self.pages[pageno].insert(tuple_bytes)
         self.live_count += 1
+        self.version += 1
         return TID(pageno, slot)
 
     def delete(self, tid: TID) -> None:
         """Mark the tuple at *tid* dead."""
         self.pages[tid.pageno].delete(tid.slot)
         self.live_count -= 1
+        self.version += 1
 
     def update(self, tid: TID, tuple_bytes: bytes) -> TID:
         """Delete the old version and insert the new one (append-style)."""

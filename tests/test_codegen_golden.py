@@ -2,9 +2,10 @@
 
 Every representative layout's generated GCL/SCL — plus two EVP
 variants, all four EVJ templates, an AGG transition pair, an IDX
-extractor, and five fused pipeline bees (filtered rows, tuple-bee
-rows, inner/anti probe, grouped agg) — is pinned byte-for-byte under
-``tests/golden/``.  A codegen change shows
+extractor, five fused pipeline bees (filtered rows, tuple-bee
+rows, inner/anti probe, grouped agg), and the vector-tier kernels
+generated from the same five pipeline specs — is pinned byte-for-byte
+under ``tests/golden/``.  A codegen change shows
 up as a reviewable diff instead of a silent behavior shift; regenerate
 deliberately with::
 
@@ -181,6 +182,14 @@ def _generate(name: str) -> str:
         return generate_pipeline(
             _pipeline_spec(name), ledger, name.upper()
         ).source
+    if name.startswith("vec_"):
+        # The vector generator consumes the same fused-pipeline specs,
+        # so each vec_* golden is the columnar twin of a pipe_* one.
+        from repro.bees.vector.codegen import generate_vector
+
+        return generate_vector(
+            _pipeline_spec("pipe_" + name[4:]), ledger, name.upper()
+        ).source
     raise KeyError(name)
 
 
@@ -196,6 +205,13 @@ SNAPSHOTS = (
         "pipe_probe_inner",
         "pipe_probe_anti",
         "pipe_agg",
+    ]
+    + [
+        "vec_rows",
+        "vec_rows_bees",
+        "vec_probe_inner",
+        "vec_probe_anti",
+        "vec_agg",
     ]
 )
 

@@ -1,0 +1,247 @@
+"""Vector bees: fusion promotion, execution equality, cache lifecycle.
+
+The vector fuser must promote exactly the drivers the pipeline fuser
+produces (keeping each pipeline driver as its fallback anchor), the
+columnar kernels must return byte-identical results to the interpreter,
+the chunk cache must serve warm and die on DML/DDL, and the memoized
+kernels must be evicted with their anchors on schema change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bees.pipeline import PipelineScan
+from repro.bees.settings import BeeSettings
+from repro.bees.vector import (
+    VectorAgg,
+    VectorJoin,
+    VectorScan,
+    fuse_vector_plan,
+)
+from repro.db import Database
+from repro.engine.nodes import Limit, Sort
+from repro.sql.parser import parse
+from repro.sql.planner import plan_select
+
+
+def _plan(db, sql: str):
+    return plan_select(db, parse(sql))
+
+
+def _fused(db, sql: str):
+    return fuse_vector_plan(_plan(db, sql), db)
+
+
+@pytest.fixture
+def db():
+    db = Database(BeeSettings.vectorized())
+    db.sql(
+        "CREATE TABLE items (id int NOT NULL, kind char(3) NOT NULL, "
+        "qty int, price float NOT NULL, note varchar(20), "
+        "ANNOTATE (kind))"
+    )
+    db.sql(
+        "INSERT INTO items VALUES "
+        "(1, 'aaa', 5, 10.0, 'first'), "
+        "(2, 'bbb', NULL, 20.0, NULL), "
+        "(3, 'aaa', 7, 30.0, 'third'), "
+        "(4, 'ccc', 2, 40.0, 'fourth'), "
+        "(5, 'bbb', 9, 50.0, NULL)"
+    )
+    db.sql(
+        "CREATE TABLE kinds (kind char(3) NOT NULL, label varchar(10) "
+        "NOT NULL)"
+    )
+    db.sql(
+        "INSERT INTO kinds VALUES ('aaa', 'alpha'), ('bbb', 'beta')"
+    )
+    return db
+
+
+def _walk(node):
+    out = [node]
+    for child in getattr(node, "children", lambda: ())():
+        out.extend(_walk(child))
+    for attr in ("child", "probe", "build", "anchor"):
+        sub = getattr(node, attr, None)
+        if sub is not None and sub not in out:
+            out.extend(_walk(sub))
+    return out
+
+
+class TestVectorPromotion:
+    def test_filtered_projection_promotes_to_vector_scan(self, db):
+        fused = _fused(
+            db, "SELECT id, price FROM items WHERE price > 15.0"
+        )
+        assert isinstance(fused, VectorScan)
+        # The pipeline driver rides along as the degradation anchor,
+        # sharing the very same spec the kernel was compiled from.
+        assert isinstance(fused.anchor, PipelineScan)
+        assert fused.spec is fused.anchor.spec
+
+    def test_aggregate_promotes_to_vector_agg(self, db):
+        fused = _fused(
+            db,
+            "SELECT kind, SUM(price), COUNT(*) FROM items "
+            "WHERE id < 5 GROUP BY kind",
+        )
+        aggs = [n for n in _walk(fused) if isinstance(n, VectorAgg)]
+        assert aggs, f"no VectorAgg in {fused.explain()}"
+        assert aggs[0].spec.sink == "agg"
+
+    def test_join_probe_promotes_to_vector_join(self, db):
+        fused = _fused(
+            db,
+            "SELECT items.id, kinds.label FROM items "
+            "JOIN kinds ON items.kind = kinds.kind",
+        )
+        joins = [n for n in _walk(fused) if isinstance(n, VectorJoin)]
+        assert joins, f"no VectorJoin in {fused.explain()}"
+        assert joins[0].spec.sink == "probe"
+
+    def test_sort_stays_generic_above_vector_scan(self, db):
+        fused = _fused(
+            db, "SELECT id FROM items WHERE price > 15.0 ORDER BY id"
+        )
+        assert isinstance(fused, Sort)
+        assert isinstance(fused.child, VectorScan)
+
+    def test_limit_stays_generic_above_vector_scan(self, db):
+        fused = _fused(db, "SELECT id FROM items LIMIT 2")
+        assert isinstance(fused, Limit)
+        assert isinstance(fused.child, VectorScan)
+
+    def test_vector_language_equals_pipeline_language(self, db):
+        """Anything the pipeline fuser declines, the vector fuser must
+        decline too — the tier compiles the same specs, never more."""
+        from repro.bees.pipeline.fusion import fuse_plan
+
+        sql = "SELECT id FROM items WHERE price > 15.0 ORDER BY id DESC"
+        pipe = fuse_plan(_plan(db, sql), db)
+        vec = _fused(db, sql)
+        pipe_kinds = [type(n).__name__ for n in _walk(pipe)
+                      if type(n).__name__.startswith("Pipeline")]
+        vec_kinds = [type(n).__name__ for n in _walk(vec)
+                     if type(n).__name__.startswith("Vector")]
+        assert len(pipe_kinds) == len(vec_kinds)
+
+    def test_fusion_does_not_mutate_the_input_plan(self, db):
+        plan = _plan(db, "SELECT id FROM items WHERE price > 15.0")
+        before = plan.explain()
+        fuse_vector_plan(plan, db)
+        assert plan.explain() == before
+
+
+QUERIES = [
+    "SELECT id, price FROM items WHERE price > 15.0",
+    "SELECT id FROM items WHERE qty > 4",  # NULL qty rows must drop
+    "SELECT id, note FROM items",
+    "SELECT id, price * 2 FROM items WHERE qty IS NOT NULL",
+    "SELECT kind, SUM(price), COUNT(*) FROM items GROUP BY kind",
+    "SELECT COUNT(qty), COUNT(*) FROM items",
+    "SELECT SUM(price * 2), MIN(id) FROM items",
+    "SELECT items.id, kinds.label FROM items "
+    "JOIN kinds ON items.kind = kinds.kind",
+    "SELECT items.id, kinds.label FROM items "
+    "LEFT JOIN kinds ON items.kind = kinds.kind",
+    "SELECT id FROM items WHERE kind IN (SELECT kind FROM kinds)",
+    "SELECT id FROM items WHERE price > 15.0 ORDER BY id DESC",
+    "SELECT id FROM items WHERE note IS NULL",
+]
+
+
+class TestExecutionEquality:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_vectors_match_interpreter(self, db, query):
+        ordered = "ORDER BY" in query
+        vectored = db.sql(query, vectors=True).rows
+        plain = db.sql(query, vectors=False, pipelines=False).rows
+        if not ordered:
+            vectored = sorted(map(repr, vectored))
+            plain = sorted(map(repr, plain))
+        assert vectored == plain, f"vector divergence on {query!r}"
+
+    def test_dml_between_vectorized_queries(self, db):
+        query = "SELECT id FROM items WHERE price > 15.0"
+        assert db.sql(query, vectors=True).rows == [(2,), (3,), (4,), (5,)]
+        db.sql("DELETE FROM items WHERE id = 3")
+        db.sql("INSERT INTO items VALUES (9, 'zzz', 1, 90.0, 'ninth')")
+        db.sql("UPDATE items SET price = 5.0 WHERE id = 4")
+        vectored = db.sql(query, vectors=True).rows
+        plain = db.sql(query, vectors=False, pipelines=False).rows
+        assert sorted(vectored) == sorted(plain) == [(2,), (5,), (9,)]
+
+
+class TestChunkCache:
+    def test_repeat_query_hits_chunk_cache(self, db):
+        query = "SELECT id, price FROM items WHERE price > 15.0"
+        db.sql(query, vectors=True)
+        misses = db.chunk_cache.misses
+        db.sql(query, vectors=True)
+        assert db.chunk_cache.hits >= 1
+        assert db.chunk_cache.misses == misses
+
+    def test_dml_invalidates_cached_chunk(self, db):
+        query = "SELECT id FROM items WHERE price > 15.0"
+        db.sql(query, vectors=True)
+        misses = db.chunk_cache.misses
+        db.sql("INSERT INTO items VALUES (7, 'ddd', 3, 70.0, NULL)")
+        rows = db.sql(query, vectors=True).rows
+        assert db.chunk_cache.misses > misses  # version bump re-decodes
+        assert sorted(rows) == [(2,), (3,), (4,), (5,), (7,)]
+
+
+class TestMemoAndInvalidation:
+    def test_kernels_are_memoized_and_counted(self, db):
+        db.sql("SELECT id FROM items WHERE price > 15.0", vectors=True)
+        stats = db.bee_module.statistics()
+        assert stats["vector_routines"] >= 1
+
+    def test_alter_evicts_vector_memo(self, db):
+        db.sql("SELECT id FROM items WHERE price > 15.0", vectors=True)
+        assert db.bee_module._vector_by_node
+        db.catalog.alter_relation(db.relation("items").schema)
+        assert not db.bee_module._vector_by_node
+        rows = db.sql(
+            "SELECT id FROM items WHERE price > 15.0", vectors=True
+        ).rows
+        assert rows == [(2,), (3,), (4,), (5,)]
+
+    def test_drop_evicts_only_that_relations_kernels(self, db):
+        db.sql("SELECT id FROM items", vectors=True)
+        db.sql("SELECT kind FROM kinds", vectors=True)
+        memo = db.bee_module._vector_by_node
+        relations = {spec.relation for _a, spec, _r in memo.values()}
+        assert relations == {"items", "kinds"}
+        db.sql("DROP TABLE kinds")
+        relations = {spec.relation for _a, spec, _r in memo.values()}
+        assert relations == {"items"}
+
+    def test_reannotate_then_vectorized_query(self, db):
+        query = "SELECT id, kind FROM items WHERE kind = 'aaa'"
+        before = db.sql(query, vectors=True).rows
+        db.reannotate("items", [])
+        after = db.sql(query, vectors=True).rows
+        assert sorted(before) == sorted(after) == [(1, "aaa"), (3, "aaa")]
+
+
+class TestCostModel:
+    def test_vector_charges_less_than_pipelines_at_scale(self, db):
+        # Per-chunk kernel dispatch amortizes; at a few hundred rows the
+        # columnar path must already price below the per-row pipeline.
+        for i in range(10, 310):
+            db.sql(
+                f"INSERT INTO items VALUES ({i}, 'mmm', {i % 11}, "
+                f"{float(i)}, NULL)"
+            )
+        query = "SELECT id, price FROM items WHERE price > 15.0"
+        db.sql(query, vectors=True)  # warm chunk + kernel memo
+        db.sql(query, pipelines=True, vectors=False)
+        vectored = db.measure(lambda: db.sql(query, vectors=True))
+        piped = db.measure(
+            lambda: db.sql(query, pipelines=True, vectors=False)
+        )
+        assert vectored.result.rows == piped.result.rows
+        assert vectored.instructions < piped.instructions
