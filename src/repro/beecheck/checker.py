@@ -17,6 +17,7 @@ def check_gcl(routine, layout: TupleLayout) -> RoutineReport:
     """Run all passes over one generated GCL routine."""
     report = RoutineReport(routine.name, "gcl", layout.schema.name)
     report.add("lint", lint.lint_gcl(routine.source, routine.name))
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_gcl(routine, layout))
     report.add("costaudit", costaudit.audit_gcl(routine, layout))
     report.add("transval", transval.validate_gcl(routine, layout))
@@ -27,6 +28,7 @@ def check_scl(routine, layout: TupleLayout) -> RoutineReport:
     """Run all passes over one generated SCL routine."""
     report = RoutineReport(routine.name, "scl", layout.schema.name)
     report.add("lint", lint.lint_scl(routine.source, routine.name))
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_scl(routine, layout))
     report.add("costaudit", costaudit.audit_scl(routine, layout))
     report.add("transval", transval.validate_scl(routine, layout))
@@ -37,6 +39,7 @@ def check_evp(routine, expr) -> RoutineReport:
     """Run all passes over one generated EVP routine (either variant)."""
     report = RoutineReport(routine.name, "evp", repr(expr))
     report.add("lint", lint.lint_evp(routine.source, routine.name))
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_evp(routine, expr))
     report.add("costaudit", costaudit.audit_evp(routine, expr))
     report.add("transval", transval.validate_evp(routine, expr))
@@ -71,6 +74,9 @@ def check_evj(routine) -> RoutineReport:
         routine.name, "evj", f"{routine.join_type}/{routine.n_keys}"
     )
     report.add("lint", lint.lint_evj(routine.source))
+    report.add(
+        "determinism", lint.lint_determinism(routine.source, c_text=True)
+    )
     report.add("absint", absint.check_evj(routine))
     report.add("costaudit", costaudit.audit_evj(routine))
     report.add("transval", transval.validate_evj(routine))
@@ -85,6 +91,7 @@ def check_agg(routine, specs, assume_not_null: bool = False) -> RoutineReport:
     )
     report = RoutineReport(routine.name, "agg", subject)
     report.add("lint", lint.lint_agg(routine.source, routine.name))
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_agg(routine, specs))
     report.add(
         "costaudit", costaudit.audit_agg(routine, specs, assume_not_null)
@@ -108,6 +115,7 @@ def check_pipeline(routine, spec) -> RoutineReport:
     report.add(
         "lint", lint.lint_pipeline(routine.source, routine.name, spec.sink)
     )
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_pipeline(routine, spec))
     report.add("costaudit", costaudit.audit_pipeline(routine, spec))
     report.add("transval", transval.validate_pipeline(routine, spec))
@@ -130,6 +138,7 @@ def check_vector(routine, spec) -> RoutineReport:
     report.add(
         "lint", lint.lint_vector(routine.source, routine.name, spec.sink)
     )
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("costaudit", costaudit.audit_vector(routine, spec))
     report.add("transval", transval.validate_vector(routine, spec))
     return report
@@ -139,6 +148,7 @@ def check_idx(routine, key_indexes) -> RoutineReport:
     """Run all passes over one generated IDX key-extraction routine."""
     report = RoutineReport(routine.name, "idx", repr(list(key_indexes)))
     report.add("lint", lint.lint_idx(routine.source, routine.name))
+    report.add("determinism", lint.lint_determinism(routine.source))
     report.add("absint", absint.check_idx(routine, key_indexes))
     report.add("costaudit", costaudit.audit_idx(routine, key_indexes))
     report.add("transval", transval.validate_idx(routine, key_indexes))

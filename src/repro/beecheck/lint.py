@@ -132,6 +132,66 @@ _METHODS = frozenset(
 )
 
 
+# -- determinism --------------------------------------------------------------
+
+#: Identifiers (names or attributes) whose presence in generated source
+#: means the bee reads ambient state or nondeterminism: wall clocks,
+#: RNGs, process-specific identity (``id``/``hash`` vary per run), the
+#: environment, and filesystem/introspection escapes.  A bee's output
+#: must be a pure function of its arguments and its frozen data section
+#: — anything else breaks replay, golden snapshots, and (once morsels
+#: land) cross-worker result agreement.
+_NONDET_IDENTIFIERS = frozenset({
+    "time", "perf_counter", "monotonic", "process_time", "clock",
+    "random", "randint", "randrange", "getrandbits", "shuffle", "urandom",
+    "id", "hash", "uuid", "uuid4",
+    "os", "environ", "getenv", "putenv",
+    "datetime", "date", "today", "now", "utcnow",
+    "globals", "locals", "vars", "input", "open", "print",
+})
+
+#: The C-text (EVJ) equivalent: ambient-state calls a cloned template
+#: must never contain.
+_EVJ_NONDET = re.compile(
+    r"\b(time|clock|rand|srand|random|drand48|getenv|getpid|gettimeofday)"
+    r"\s*\("
+)
+
+
+def lint_determinism(source: str, c_text: bool = False) -> list[str]:
+    """Ban nondeterminism / ambient-state reads in generated bee source.
+
+    The family name whitelists already reject unknown identifiers; this
+    rule is the independent, family-agnostic statement of *why* a class
+    of them can never be whitelisted, so a future family (or a loosened
+    whitelist) cannot quietly admit a clock or RNG read.
+    """
+    if c_text:
+        return [
+            f"nondeterministic/ambient call {match.group(1)!r} in C template"
+            for match in _EVJ_NONDET.finditer(source)
+        ]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # unparsable source is the family lint's finding
+    findings: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in _NONDET_IDENTIFIERS:
+            findings.append(
+                f"nondeterministic/ambient name {node.id!r} in bee source"
+            )
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr in _NONDET_IDENTIFIERS
+        ):
+            findings.append(
+                f"nondeterministic/ambient attribute "
+                f".{node.attr} in bee source"
+            )
+    return findings
+
+
 def _is_docstring(stmt: ast.stmt) -> bool:
     return (
         isinstance(stmt, ast.Expr)

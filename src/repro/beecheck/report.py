@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Pass names, in the order the checker runs them.
-PASSES = ("lint", "absint", "costaudit", "transval")
+PASSES = ("lint", "determinism", "absint", "costaudit", "transval")
 
 
 @dataclass

@@ -110,6 +110,16 @@ def run_selftest() -> dict[str, bool]:
         check_gcl(tampered, layout)
     )
 
+    # An ambient-state read smuggled into an EVP: `id(row)` parses, is
+    # branch-free, and returns a bool-ish value, but its result varies
+    # per process — the determinism rule (and the name whitelist) must
+    # both reject it before the translation validator even runs.
+    evp = maker_mod.generate_evp(expr, Ledger(), "EVP_selftest")
+    tampered = _tamper(evp, "t3 = row[0]", "t3 = row[0] if id(row) > 0 else row[0]")
+    results["tamper-evp-nondet"] = "determinism" in _passes_fired(
+        check_evp(tampered, expr)
+    )
+
     tampered = dataclasses.replace(gcl, cost=gcl.cost + 10)
     results["tamper-gcl-cost"] = caught_statically(
         check_gcl(tampered, layout)

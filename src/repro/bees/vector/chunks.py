@@ -89,6 +89,24 @@ def chunk_from_rows(schema, rows: list) -> Chunk:
     return Chunk(cols, nulls, len(rows))
 
 
+def freeze_chunk(chunk: Chunk) -> Chunk:
+    """Mark every column/null array read-only (in place; returns *chunk*).
+
+    Cached chunks are shared across statements — and, once the morsel
+    tier lands, across workers — so the arrays must be immutable after
+    insertion.  Kernels never write their inputs (swarmcheck's escape
+    pass proves it statically); the writeable flag turns any future
+    violation into a hard ``ValueError`` at the write site instead of a
+    silent cross-statement corruption.
+    """
+    for arr in chunk.cols:
+        arr.setflags(write=False)
+    for mask in chunk.nulls:
+        if mask is not None:
+            mask.setflags(write=False)
+    return chunk
+
+
 def decode_relation(rel) -> Chunk:
     """Decode every live tuple of *rel* into one chunk, page at a time.
 
@@ -155,7 +173,7 @@ class ChunkCache:
             heap.ledger.charge(C.VEC_CHUNK_HIT * max(1, heap.page_count))
             return entry[2]
         self.misses += 1
-        chunk = decode_relation(rel)
+        chunk = freeze_chunk(decode_relation(rel))
         self._entries[heap.uid] = (heap.version, rel.layout, chunk)
         self._entries.move_to_end(heap.uid)
         while len(self._entries) > self.capacity:

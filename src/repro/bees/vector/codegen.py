@@ -405,7 +405,9 @@ def generate_vector(spec: PipelineSpec, ledger, fn_name: str) -> BeeRoutine:
     if mask == "True":
         em.lines.append("    _m = n")
     elif mask == "False":
-        namespace["_NOSEL"] = np.array([], dtype=np.intp)
+        nosel = np.array([], dtype=np.intp)
+        nosel.setflags(write=False)  # captured state must be frozen
+        namespace["_NOSEL"] = nosel
         em.lines.append("    _idx = _NOSEL")
         em.lines.append("    _m = 0")
         em.gather = "[_idx]"

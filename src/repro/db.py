@@ -526,11 +526,20 @@ class Database:
         return self.ledger.snapshot()
 
     def stats(self) -> dict:
-        """Observability roll-up: bee population + resilience health."""
-        return {
+        """Observability roll-up: bee population + resilience health.
+
+        The snapshot is deep-copied: the registries hand back their live
+        dicts/lists, and a caller mutating the snapshot must never reach
+        engine state through it (swarmcheck certifies the engine's
+        shared-state boundary, and an aliased stats dict would puncture
+        it from outside).
+        """
+        import copy
+
+        return copy.deepcopy({
             "bees": self.bee_module.statistics(),
             "resilience": self.resilience.report(),
-        }
+        })
 
     def table_names(self) -> list[str]:
         return list(self._relations)

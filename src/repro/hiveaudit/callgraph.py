@@ -97,15 +97,17 @@ class _CallCollector(ast.NodeVisitor):
 
 
 class CallGraph:
-    """Resolvable call graph over :data:`GRAPH_MODULES`."""
+    """Resolvable call graph over *modules* (:data:`GRAPH_MODULES` by
+    default; swarmcheck passes a wider, execution-path module set)."""
 
-    def __init__(self, source) -> None:
+    def __init__(self, source, modules: tuple = GRAPH_MODULES) -> None:
         self.functions: dict[str, FunctionInfo] = {}
         self.by_name: dict[str, list[str]] = {}
         self.attr_types: dict[str, str] = {}  # attr/var name -> class name
         self.classes: dict[str, set[str]] = {}  # class -> method names
         self._listeners: dict[str, list[str]] = {}  # event -> qualnames
-        for module in GRAPH_MODULES:
+        self.class_module: dict[str, str] = {}  # class -> defining module
+        for module in modules:
             self._collect_module(module, source.tree(module))
         self._wire_listeners()
 
@@ -129,6 +131,7 @@ class CallGraph:
                 self._add_function(module, node, None)
             elif isinstance(node, ast.ClassDef):
                 self.classes.setdefault(node.name, set())
+                self.class_module.setdefault(node.name, module)
                 for item in node.body:
                     if isinstance(item, ast.FunctionDef):
                         self._add_function(module, item, node.name)
@@ -153,6 +156,17 @@ class CallGraph:
                         attr = self._attr_or_name(target)
                         if attr:
                             self.attr_types[attr] = ctor.id
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Name
+            ):
+                # self._ledger = ledger — propagate the parameter's
+                # annotated class onto the stored attribute name.
+                known = self.attr_types.get(node.value.id)
+                if known is not None:
+                    for target in node.targets:
+                        attr = self._attr_or_name(target)
+                        if attr:
+                            self.attr_types.setdefault(attr, known)
             elif isinstance(node, ast.AnnAssign):
                 attr = self._attr_or_name(node.target)
                 if attr:

@@ -354,10 +354,14 @@ class BeeGuard:
         fn = self.maybe_timed(routine.fn, "idx", key)
         ledger = self.ledger
         n_keys = len(key_indexes)
-        health = registry.health_or_none(key)
 
         def guarded_extract(values):
-            nonlocal health
+            # Re-read health from the registry every call rather than
+            # caching it in a closure cell: the extractor is installed
+            # on the relation and outlives statements, so a nonlocal
+            # cell would be unguarded shared state (swarmcheck), and it
+            # would also miss quarantines raised at other call sites.
+            health = registry.health_or_none(key)
             if health is not None and health.quarantined:
                 if not registry.admit_health(health):
                     return generic(values)

@@ -26,7 +26,7 @@ class SQLResult:
         return f"SQLResult({self.status}, {len(self.rows)} rows)"
 
 
-def execute_sql(db, sql: str) -> SQLResult:
+def execute_sql(db: "Database", sql: str) -> SQLResult:
     """Execute one SQL statement against *db*.
 
     SELECT returns rows; CREATE TABLE (with the paper's ``ANNOTATE``

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.swarmcheck``."""
+
+import sys
+
+from repro.swarmcheck.cli import main
+
+sys.exit(main())

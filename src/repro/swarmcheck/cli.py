@@ -1,0 +1,113 @@
+"""``python -m repro.swarmcheck`` — certify the hive for sharing.
+
+Runs the three passes (purity over the routine corpus, shared-state
+classification over everything reachable from the session surface,
+escape analysis for cached chunk arrays) plus the bug-injection
+self-test, and writes ``results/swarmcheck/report.json``.  With
+``--check``, exits non-zero on any finding or missed injection — the CI
+gate the morsel-parallel work will stand on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.hiveaudit.source import EngineSource
+from repro.swarmcheck import corpus as corpus_mod
+from repro.swarmcheck import escape as escape_mod
+from repro.swarmcheck import purity as purity_mod
+from repro.swarmcheck import registry as registry_mod
+from repro.swarmcheck import selftest as selftest_mod
+from repro.swarmcheck import sharedstate as shared_mod
+from repro.swarmcheck.report import SwarmReport
+
+DEFAULT_STATEMENTS = 200
+
+
+def run_swarmcheck(
+    seed: int = 0,
+    statements: int = DEFAULT_STATEMENTS,
+    with_selftest: bool = True,
+) -> SwarmReport:
+    started = time.perf_counter()
+    source = EngineSource()
+    report = SwarmReport(seed=seed, statements=0)
+
+    corpus, executed = corpus_mod.collect(seed, statements)
+    report.statements = executed
+
+    findings, counts = purity_mod.run_purity(corpus)
+    report.routines_checked = counts
+    report.findings.extend(findings)
+
+    sites, findings, stats = shared_mod.classify_writes(source)
+    report.findings.extend(findings)
+    for site in sites:
+        report.sites[site.classification] = (
+            report.sites.get(site.classification, 0) + 1
+        )
+    report.shared_state = [
+        entry.to_dict() for entry in registry_mod.REGISTRY
+    ]
+    report.unused_registry = stats["unused_registry_keys"]
+
+    findings, escape_stats = escape_mod.run_escape(source, corpus)
+    report.findings.extend(findings)
+    report.escape = escape_stats
+
+    if with_selftest:
+        report.selftest = selftest_mod.run_selftest(source, corpus)
+
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def write_report(report: SwarmReport, out_dir: Path) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "report.json"
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.swarmcheck",
+        description=(
+            "Purity and sharing-safety static analysis over the bee "
+            "corpus and the engine execution path."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--statements", type=int, default=DEFAULT_STATEMENTS,
+        help="fuzzed statements per corpus database "
+        f"(default {DEFAULT_STATEMENTS})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results/swarmcheck"),
+        help="output directory for report.json",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on any finding or missed injection",
+    )
+    parser.add_argument(
+        "--no-selftest", action="store_true",
+        help="skip the bug-injection self-test",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_swarmcheck(
+        seed=args.seed,
+        statements=args.statements,
+        with_selftest=not args.no_selftest,
+    )
+    path = write_report(report, args.out)
+    print(report.summary())
+    print(f"report: {path}")
+    if args.check and not report.ok:
+        return 1
+    return 0

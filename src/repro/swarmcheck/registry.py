@@ -1,0 +1,206 @@
+"""The declared shared-state registry: the engine's mutable surface.
+
+Every attribute/global/container write the shared-state pass finds on a
+path reachable from ``Database.sql`` must match exactly one entry here
+(or be provably statement-local).  An entry names the *guard* a future
+morsel-parallel tier must take before touching the state and the
+*epoch* whose bump invalidates anything derived from it — so the
+registry is not documentation, it is the machine-checked contract the
+parallel PR consumes: partition the entries by guard, and every write
+outside the registry is a build failure, not a data race.
+
+Scopes:
+
+* ``shared-mutable`` — outlives a statement and is visible to every
+  statement on the session (and, later, to every worker).  Must name a
+  guard and an epoch.
+* ``statement-local`` — owned by one statement execution (plan nodes,
+  exec contexts, DML row buffers); reachable code writes it, but a new
+  statement always starts from fresh objects, so workers never contend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SHARED = "shared-mutable"
+LOCAL = "statement-local"
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One declared mutable location: ``cls.attr`` (cls ``"*"`` matches
+    writes whose receiver class static analysis cannot pin)."""
+
+    cls: str
+    attr: str
+    scope: str          # SHARED | LOCAL
+    guard: str = ""     # lock a morsel worker must hold (SHARED only)
+    epoch: str = ""     # version whose bump invalidates derived state
+    note: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+    def to_dict(self) -> dict:
+        return {
+            "cls": self.cls,
+            "attr": self.attr,
+            "scope": self.scope,
+            "guard": self.guard,
+            "epoch": self.epoch,
+            "note": self.note,
+        }
+
+
+def _shared(cls, attr, guard, epoch, note=""):
+    return SharedState(cls, attr, SHARED, guard, epoch, note)
+
+
+def _local(cls, attr, note=""):
+    return SharedState(cls, attr, LOCAL, note=note)
+
+
+#: The closed registry.  Ordering groups entries by subsystem.
+REGISTRY: tuple[SharedState, ...] = (
+    # -- cost ledger: every charge is a counter bump -------------------------
+    _shared("Ledger", "total", "ledger_lock", "-",
+            "monotonic instruction counter; per-worker ledgers merge"),
+    _shared("Ledger", "by_function", "ledger_lock", "-",
+            "per-function counter dict"),
+    _shared("Ledger", "profiling", "ledger_lock", "-",
+            "profiling on/off flag"),
+    _shared("Ledger", "seq_pages_read", "ledger_lock", "-"),
+    _shared("Ledger", "rand_pages_read", "ledger_lock", "-"),
+    _shared("Ledger", "pages_hit", "ledger_lock", "-"),
+
+    # -- buffer pool ---------------------------------------------------------
+    _shared("BufferPool", "_resident", "buffer_lock", "HeapFile.version",
+            "page residency set; morsel workers shard or replicate it"),
+
+    # -- chunk cache (vector tier) ------------------------------------------
+    _shared("ChunkCache", "_entries", "chunk_lock", "HeapFile.version",
+            "uid -> (version, layout, frozen Chunk); arrays are "
+            "read-only after insertion (escape pass)"),
+    _shared("ChunkCache", "hits", "chunk_lock", "-"),
+    _shared("ChunkCache", "misses", "chunk_lock", "-"),
+
+    # -- bee module memo caches ---------------------------------------------
+    _shared("GenericBeeModule", "_evp_by_expr", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "_evj_by_shape", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "_agg_by_specs", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "_agg_counter", "hive_lock", "-",
+            "name counter for generated AGG routines"),
+    _shared("GenericBeeModule", "_idx_by_index", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "_pipeline_by_node", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "_vector_by_node", "hive_lock",
+            "GenericBeeModule.query_epoch"),
+    _shared("GenericBeeModule", "query_epoch", "hive_lock", "-",
+            "the invalidation epoch itself"),
+
+    # -- resilience registry -------------------------------------------------
+    _shared("ResilienceRegistry", "_health", "resilience_lock", "-",
+            "bee name -> quarantine state machine"),
+    _shared("ResilienceRegistry", "_events", "resilience_lock", "-"),
+    _shared("ResilienceRegistry", "_counts", "resilience_lock", "-"),
+
+    # -- session/database fields --------------------------------------------
+    _shared("Database", "settings", "session", "-",
+            "per-statement settings swap (use_settings); sessions get "
+            "their own settings view under the server"),
+    _shared("Database", "_deadline", "session", "-",
+            "per-statement timeout deadline"),
+
+    _shared("Database", "_relations", "catalog_lock", "HeapFile.version",
+            "name -> Relation runtime mirror of the catalog; mutated by "
+            "DDL via catalog listeners"),
+
+    # -- catalog -------------------------------------------------------------
+    _shared("Catalog", "_relations", "catalog_lock", "HeapFile.version",
+            "relation name -> Relation; DDL only"),
+    _shared("Catalog", "_relids", "catalog_lock", "-"),
+    _shared("Catalog", "_next_relid", "catalog_lock", "-"),
+    _shared("AnnotationSet", "_by_relation", "catalog_lock", "-",
+            "relation -> value-distribution annotations (ANALYZE)"),
+
+    # -- relations and their storage ----------------------------------------
+    _shared("Relation", "heap", "relation_lock", "HeapFile.version",
+            "heap swap on VACUUM"),
+    _shared("Relation", "indexes", "relation_lock", "HeapFile.version",
+            "index rebuild on VACUUM / CREATE INDEX"),
+    _shared("Relation", "bee", "relation_lock", "-",
+            "relation bee slot; replaced on ALTER"),
+    _shared("Relation", "_index_keys", "relation_lock", "-",
+            "index name -> key attnums; CREATE INDEX only"),
+    _shared("Relation", "_idx_routines", "relation_lock", "-",
+            "index name -> IDX extractor routine; CREATE INDEX only"),
+    _shared("HeapFile", "pages", "relation_lock", "HeapFile.version",
+            "page list append/extend under DML"),
+    _shared("HeapFile", "live_count", "relation_lock", "-"),
+    _shared("HeapFile", "version", "relation_lock", "-",
+            "the storage invalidation epoch itself"),
+    _shared("HeapPage", "data", "relation_lock", "HeapFile.version",
+            "slotted-page byte mutation under DML"),
+    _shared("HeapPage", "upper", "relation_lock", "HeapFile.version"),
+    _shared("HeapPage", "lower", "relation_lock", "HeapFile.version"),
+    _shared("HeapPage", "nslots", "relation_lock", "HeapFile.version"),
+    _shared("BTreeIndex", "_keys", "relation_lock", "HeapFile.version"),
+    _shared("BTreeIndex", "_tids", "relation_lock", "HeapFile.version"),
+    _shared("BTreeIndex", "_seq", "relation_lock", "HeapFile.version"),
+    _shared("HashIndex", "_buckets", "relation_lock", "HeapFile.version"),
+
+    # -- bee lifecycle -------------------------------------------------------
+    _shared("BeeCache", "relation_bees", "hive_lock",
+            "GenericBeeModule.query_epoch",
+            "relation -> installed GCL/SCL routines"),
+    _shared("BeeCache", "query_bees", "hive_lock",
+            "GenericBeeModule.query_epoch",
+            "installed query-bee routines; cleared on invalidation"),
+    _shared("BeeCollector", "collected_relation_bees", "hive_lock", "-",
+            "uninstalled-routine graveyard (HSR reuse)"),
+    _shared("BeeCollector", "collected_query_bees", "hive_lock", "-"),
+    _shared("BeeMaker", "_evp_counter", "hive_lock", "-"),
+    _shared("BeeMaker", "_evj_counter", "hive_lock", "-"),
+    _shared("BeeMaker", "_pipeline_counter", "hive_lock", "-"),
+    _shared("BeeMaker", "_vector_counter", "hive_lock", "-"),
+    _shared("DataSectionStore", "_slabs", "hive_lock", "-",
+            "data-section slab allocator"),
+    _shared("*", "slab", "hive_lock", "-",
+            "element view of DataSectionStore._slabs (from _slab_slot); "
+            "same lock as the slab list itself"),
+    _shared("DataSectionStore", "_by_key", "hive_lock", "-"),
+    _shared("DataSectionStore", "_shadow", "hive_lock", "-"),
+    _shared("DataSectionStore", "count", "hive_lock", "-"),
+    _shared("DataSectionStore", "overflowed", "hive_lock", "-"),
+    _shared("BeeHealth", "quarantined", "resilience_lock", "-"),
+    _shared("BeeHealth", "probing", "resilience_lock", "-"),
+    _shared("BeeHealth", "quarantines", "resilience_lock", "-"),
+    _shared("BeeHealth", "window", "resilience_lock", "-"),
+    _shared("BeeHealth", "denied", "resilience_lock", "-"),
+    _shared("BeeHealth", "consecutive", "resilience_lock", "-"),
+    _shared("*", "epoch", "hive_lock", "GenericBeeModule.query_epoch",
+            "query-epoch stamp written onto routines at memo time"),
+)
+
+
+_BY_KEY = {entry.key: entry for entry in REGISTRY}
+
+
+def lookup(cls: str | None, attr: str) -> SharedState | None:
+    """The registry entry for a write to ``cls.attr``, else None.
+
+    Falls back to a ``"*"`` wildcard entry for *attr* when the receiver
+    class is unknown (or has no exact entry) — acceptable because every
+    write still has to match *some* declared entry.
+    """
+    if cls:
+        entry = _BY_KEY.get(f"{cls}.{attr}")
+        if entry is not None:
+            return entry
+    return _BY_KEY.get(f"*.{attr}")

@@ -1,0 +1,122 @@
+"""Swarmcheck findings and the sharing-certification report.
+
+A *finding* is one violated sharing-safety property, attributed to the
+pass that proved it (``purity``, ``shared-state``, ``escape``).  The
+:class:`SwarmReport` aggregates the three passes plus the injection
+self-test into the machine-readable JSON written under
+``results/swarmcheck/`` — the contract the morsel-parallel PR consumes:
+a bee corpus proven pure, a closed registry of shared-mutable state
+(each entry naming its guard and invalidation epoch), and chunk arrays
+proven immutable after caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pass names, in the order the CLI runs them.
+PASSES = ("purity", "shared-state", "escape")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated sharing-safety property."""
+
+    pass_name: str
+    subject: str        # routine name, Class.attr site, or module path
+    detail: str
+    module: str = ""
+    lineno: int = 0
+
+    def __str__(self) -> str:
+        where = f" ({self.module}:{self.lineno})" if self.module else ""
+        return f"[{self.pass_name}] {self.subject}{where}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "subject": self.subject,
+            "detail": self.detail,
+            "module": self.module,
+            "line": self.lineno,
+        }
+
+
+@dataclass
+class SwarmReport:
+    """One full ``python -m repro.swarmcheck`` run."""
+
+    seed: int
+    statements: int
+    findings: list = field(default_factory=list)        # Finding
+    routines_checked: dict = field(default_factory=dict)  # kind -> count
+    sites: dict = field(default_factory=dict)   # classification -> count
+    shared_state: list = field(default_factory=list)  # registry entry dicts
+    unused_registry: list = field(default_factory=list)  # "Class.attr"
+    escape: dict = field(default_factory=dict)  # scanned/kernels/frozen
+    selftest: dict = field(default_factory=dict)  # case -> caught
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and all(self.selftest.values())
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def by_pass(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.pass_name] = counts.get(finding.pass_name, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "statements": self.statements,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "routines_checked": dict(self.routines_checked),
+            "sites": dict(self.sites),
+            "shared_state": list(self.shared_state),
+            "unused_registry": list(self.unused_registry),
+            "escape": dict(self.escape),
+            "findings_by_pass": self.by_pass(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "selftest": dict(self.selftest),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        routines = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(self.routines_checked.items())
+        )
+        sites = ", ".join(
+            f"{cls}={n}" for cls, n in sorted(self.sites.items())
+        )
+        lines = [
+            f"swarmcheck seed={self.seed}: "
+            f"{sum(self.routines_checked.values())} routines ({routines}) "
+            f"proven pure over {self.statements} corpus statements "
+            f"in {self.elapsed:.1f}s",
+            f"write sites: {sites}; "
+            f"{len(self.shared_state)} declared shared-state entries",
+        ]
+        if self.escape:
+            lines.append(
+                "escape: "
+                f"{self.escape.get('modules_scanned', 0)} modules, "
+                f"{self.escape.get('kernels_checked', 0)} kernels, "
+                f"{self.escape.get('arrays_frozen', 0)} cached arrays frozen"
+            )
+        if self.selftest:
+            verdicts = ", ".join(
+                f"{case}={'caught' if ok else 'MISSED'}"
+                for case, ok in sorted(self.selftest.items())
+            )
+            lines.append(f"injection self-test: {verdicts}")
+        if self.findings:
+            lines.append(f"{len(self.findings)} FINDING(S):")
+            lines.extend(f"  {finding}" for finding in self.findings)
+        else:
+            lines.append("all passes clean")
+        return "\n".join(lines)

@@ -49,7 +49,9 @@ def scl(layout):
 def test_clean_gcl_passes_all_lanes(gcl, layout):
     report = check_gcl(gcl, layout)
     assert report.ok, [str(f) for f in report.findings]
-    assert set(report.passes) == {"lint", "absint", "costaudit", "transval"}
+    assert set(report.passes) == {
+        "lint", "absint", "costaudit", "transval", "determinism",
+    }
     assert all(status == "ok" for status in report.passes.values())
 
 
@@ -302,4 +304,5 @@ def test_report_json_shape(gcl, layout):
     assert payload["kind"] == "gcl"
     assert payload["passes"] == {
         "lint": "ok", "absint": "ok", "costaudit": "ok", "transval": "ok",
+        "determinism": "ok",
     }
