@@ -1,0 +1,25 @@
+"""Shared scaffolding for the repo's static-analysis CLI tools.
+
+beecheck, hiveaudit, swarmcheck, and wagglecheck all follow the same
+shape: sweep a corpus, collect findings into a report, prove the checker
+itself works with a bug-injection self-test, write ``report.json``, and
+exit non-zero when gating.  The helpers here hold the duplicated
+plumbing — report writing, standard CLI arguments, the self-test runner
+loop, and exit-code policy — so each tool only owns its passes.
+"""
+
+from repro.analysis.scaffold import (
+    add_standard_args,
+    exit_code,
+    format_selftest,
+    run_injections,
+    write_report,
+)
+
+__all__ = [
+    "add_standard_args",
+    "exit_code",
+    "format_selftest",
+    "run_injections",
+    "write_report",
+]

@@ -1,0 +1,101 @@
+"""Report/CLI plumbing shared by the static-analysis tools.
+
+Everything here is deliberately dependency-free (stdlib only) so the
+analysis packages can import it without pulling in the engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+
+def write_report(
+    payload: Mapping[str, object],
+    out_dir: str | Path,
+    name: str = "report.json",
+) -> Path:
+    """Write *payload* as ``<out_dir>/<name>``, creating directories.
+
+    Returns the path written.  All analysis tools share one JSON style so
+    baselines under ``results/`` diff cleanly across tools.
+    """
+    out_path = Path(out_dir) / name
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(dict(payload), indent=2) + "\n")
+    return out_path
+
+
+def add_standard_args(
+    parser: argparse.ArgumentParser,
+    *,
+    out_default: str,
+    seed_default: int | None = 0,
+    statements_default: int | None = None,
+    check_flag: bool = True,
+) -> None:
+    """Install the standard sweep arguments on *parser*.
+
+    ``--seed`` and ``--statements`` are optional (some tools have no
+    corpus generator); ``--out`` and ``--no-selftest`` are universal;
+    ``--check`` is installed unless the tool always gates.
+    """
+    if seed_default is not None:
+        parser.add_argument(
+            "--seed", type=int, default=seed_default,
+            help="corpus generator seed",
+        )
+    if statements_default is not None:
+        parser.add_argument(
+            "--statements", type=int, default=statements_default,
+            help="oracle statements to drive the corpus database with "
+            f"(default {statements_default})",
+        )
+    parser.add_argument(
+        "--out", type=Path, default=Path(out_default),
+        help=f"report directory (default {out_default})",
+    )
+    if check_flag:
+        parser.add_argument(
+            "--check", action="store_true",
+            help="exit non-zero on any finding or missed injection",
+        )
+    parser.add_argument(
+        "--no-selftest", action="store_true",
+        help="skip the bug-injection self-test",
+    )
+
+
+def run_injections(
+    cases: Sequence[tuple[str, Callable[[], bool]]],
+) -> dict[str, bool]:
+    """The self-test runner loop: each case plants one bug and returns
+    True iff the analyzer caught it.  A case that raises is recorded as
+    missed rather than aborting the sweep — a checker that crashes on a
+    planted bug did not catch it.
+    """
+    results: dict[str, bool] = {}
+    for name, probe in cases:
+        try:
+            results[name] = bool(probe())
+        except Exception:   # noqa: BLE001 - any crash means "missed"
+            results[name] = False
+    return results
+
+
+def format_selftest(results: Mapping[str, bool]) -> str:
+    """One-line caught/MISSED verdict string for summaries."""
+    return ", ".join(
+        f"{name}={'caught' if ok else 'MISSED'}"
+        for name, ok in sorted(results.items())
+    )
+
+
+def exit_code(ok: bool, *, gate: bool = True) -> int:
+    """Exit-status policy: failures only gate when *gate* is set
+    (tools without a ``--check`` flag pass ``gate=True`` always)."""
+    if ok or not gate:
+        return 0
+    return 1

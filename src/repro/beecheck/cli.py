@@ -27,11 +27,11 @@ the exit status is nonzero on any finding or self-test miss.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
+from repro.analysis import add_standard_args, exit_code, write_report as _write
 from repro.beecheck.checker import (
     check_agg,
     check_evj,
@@ -286,10 +286,7 @@ def sweep_corpus(report: SweepReport, seed: int, statements: int) -> None:
 
 
 def write_report(report: SweepReport, out_dir: Path) -> Path:
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "report.json"
-    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
-    return path
+    return _write(report.to_dict(), out_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -297,25 +294,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.beecheck",
         description="Statically verify and translation-validate all bees.",
     )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="corpus generator seed"
-    )
-    parser.add_argument(
-        "--statements",
-        type=int,
-        default=DEFAULT_STATEMENTS,
-        help="oracle statements to drive the corpus database with",
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=DEFAULT_OUT,
-        help="report directory (default results/beecheck)",
-    )
-    parser.add_argument(
-        "--no-selftest",
-        action="store_true",
-        help="skip the bug-injection self-test",
+    add_standard_args(
+        parser,
+        out_default=str(DEFAULT_OUT),
+        statements_default=DEFAULT_STATEMENTS,
+        check_flag=False,   # beecheck always gates
     )
     args = parser.parse_args(argv)
 
@@ -334,7 +317,7 @@ def main(argv: list[str] | None = None) -> int:
     path = write_report(report, args.out)
     print(report.summary())
     print(f"report: {path}")
-    return 0 if report.ok else 1
+    return exit_code(report.ok)
 
 
 if __name__ == "__main__":

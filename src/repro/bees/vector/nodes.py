@@ -21,7 +21,7 @@ from collections import defaultdict
 from typing import Iterator
 
 from repro.cost import constants as C
-from repro.engine.nodes import ExecContext, PlanNode, Row
+from repro.engine.nodes import ExecContext, PlanNode, Row, output_nullability
 
 #: Fallback batch size when draining the generic anchor subtree.
 _GENERIC_BATCH = 256
@@ -34,6 +34,7 @@ class _VectorNode(PlanNode):
         self.spec = spec
         self.anchor = anchor
         self.columns = list(anchor.columns)
+        self.nullable = output_nullability(anchor)
 
     def node_label(self) -> str:
         fused = " <- ".join(self.spec.fused_nodes)

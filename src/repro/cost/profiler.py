@@ -8,6 +8,8 @@ ledger for the duration of a ``with`` block and yields a sorted report.
 
 from __future__ import annotations
 
+from types import TracebackType
+
 from repro.cost.ledger import Ledger
 
 
@@ -36,7 +38,12 @@ class FunctionProfile:
         self._start_total = self._ledger.total
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.total = self._ledger.total - self._start_total
         self.counts = {}
         for fn, count in self._ledger.by_function.items():

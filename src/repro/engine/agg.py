@@ -13,8 +13,8 @@ from typing import Iterator
 
 from repro.cost import constants as C
 from repro.engine.aggregates import AggSpec
-from repro.engine.expr import Expr, bind
-from repro.engine.nodes import ExecContext, PlanNode, Row
+from repro.engine.expr import Expr, bind, static_nullable
+from repro.engine.nodes import ExecContext, PlanNode, Row, output_nullability
 
 _COUNT_STAR = object()
 
@@ -36,6 +36,21 @@ class HashAgg(PlanNode):
             if spec.arg is not None:
                 bind(spec.arg, child.columns)
         self.columns = self.group_names + [spec.name for spec in aggs]
+        # Nullability: count never returns NULL; sum/avg/min/max do on an
+        # empty (grand) input, and within a group only when the argument
+        # itself can be NULL (an all-NULL group yields NULL).
+        child_nullable = output_nullability(child)
+        grand = not self.group_exprs
+        self.nullable = [
+            static_nullable(expr, child_nullable) for expr in self.group_exprs
+        ]
+        for spec in aggs:
+            if spec.func == "count":
+                self.nullable.append(False)
+            elif grand or spec.arg is None:
+                self.nullable.append(True)
+            else:
+                self.nullable.append(static_nullable(spec.arg, child_nullable))
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)

@@ -420,3 +420,30 @@ def is_bound(expr: Expr) -> bool:
     if isinstance(expr, Col) and expr.index < 0:
         return False
     return all(is_bound(child) for child in expr.children())
+
+
+def static_nullable(expr: Expr, input_nullable: list[bool]) -> bool:
+    """Conservative may-be-NULL analysis for a bound expression.
+
+    *input_nullable* is the child node's per-column nullability vector
+    (positionally aligned with its ``columns``).  The analysis mirrors
+    evaluation: every operator here is strict except IS NULL (never
+    NULL) and CASE (NULL only if some arm or the default can be).
+    Unresolvable references degrade to nullable rather than raising, so
+    hand-built plans missing metadata stay conservative, not wrong.
+    """
+    if isinstance(expr, Const):
+        return expr.value is None
+    if isinstance(expr, Col):
+        if 0 <= expr.index < len(input_nullable):
+            return input_nullable[expr.index]
+        return True
+    if isinstance(expr, IsNull):
+        return False
+    if isinstance(expr, Case):
+        arms = [value for _cond, value in expr.whens]
+        arms.append(expr.default)
+        return any(static_nullable(arm, input_nullable) for arm in arms)
+    return any(
+        static_nullable(child, input_nullable) for child in expr.children()
+    )

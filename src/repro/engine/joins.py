@@ -15,7 +15,7 @@ from typing import Iterator
 from repro.cost import constants as C
 from repro.bees.routines.evj import GENERIC_JOIN
 from repro.engine.expr import Expr, bind
-from repro.engine.nodes import ExecContext, PlanNode, Row
+from repro.engine.nodes import ExecContext, PlanNode, Row, output_nullability
 
 JOIN_TYPES = ("inner", "left", "semi", "anti")
 
@@ -70,10 +70,16 @@ class HashJoin(PlanNode):
         self.probe_idx = _key_indexes(probe.columns, probe_keys)
         self.build_idx = _key_indexes(build.columns, build_keys)
         self.not_null = not_null
-        if join_type in ("inner", "left"):
+        if join_type == "inner":
             self.columns = list(probe.columns) + list(build.columns)
+            self.nullable = output_nullability(probe) + output_nullability(build)
+        elif join_type == "left":
+            # Unmatched probe rows are padded with NULLs on the build side.
+            self.columns = list(probe.columns) + list(build.columns)
+            self.nullable = output_nullability(probe) + [True] * len(build.columns)
         else:
             self.columns = list(probe.columns)
+            self.nullable = output_nullability(probe)
         self.extra_qual = (
             bind(extra_qual, list(probe.columns) + list(build.columns))
             if extra_qual is not None
@@ -203,10 +209,15 @@ class NestLoop(PlanNode):
         self.inner = inner
         self.join_type = join_type
         self.not_null = not_null
-        if join_type in ("inner", "left"):
+        if join_type == "inner":
             self.columns = list(outer.columns) + list(inner.columns)
+            self.nullable = output_nullability(outer) + output_nullability(inner)
+        elif join_type == "left":
+            self.columns = list(outer.columns) + list(inner.columns)
+            self.nullable = output_nullability(outer) + [True] * len(inner.columns)
         else:
             self.columns = list(outer.columns)
+            self.nullable = output_nullability(outer)
         self.qual = (
             bind(qual, list(outer.columns) + list(inner.columns))
             if qual is not None
@@ -309,6 +320,12 @@ class MergeJoin(PlanNode):
         self.left_idx = _key_indexes(left.columns, [left_key])[0]
         self.right_idx = _key_indexes(right.columns, [right_key])[0]
         self.columns = list(left.columns) + list(right.columns)
+        if join_type == "left":
+            self.nullable = (
+                output_nullability(left) + [True] * len(right.columns)
+            )
+        else:
+            self.nullable = output_nullability(left) + output_nullability(right)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)

@@ -13,9 +13,23 @@ import math
 from typing import Iterator
 
 from repro.cost import constants as C
-from repro.engine.expr import Expr, bind
+from repro.engine.expr import Expr, bind, static_nullable
 
 Row = list
+
+
+def output_nullability(node: "PlanNode") -> list[bool]:
+    """*node*'s per-column nullability vector, defensively widened.
+
+    Every node built by the planner records ``nullable`` alongside
+    ``columns``; hand-built or third-party nodes may not, and scans bind
+    lazily, so a missing or mis-sized vector degrades to all-nullable
+    (the conservative answer) instead of raising.
+    """
+    got = getattr(node, "nullable", None)
+    if isinstance(got, list) and len(got) == len(node.columns):
+        return list(got)
+    return [True] * len(node.columns)
 
 
 class ExecContext:
@@ -44,9 +58,16 @@ class ExecContext:
 
 
 class PlanNode:
-    """Base class for executor nodes."""
+    """Base class for executor nodes.
+
+    ``columns`` is the output row descriptor; ``nullable`` is the
+    positionally-aligned may-be-NULL vector (consumed by wagglecheck and
+    required once outer joins land).  Read it through
+    :func:`output_nullability`, which tolerates nodes that never set it.
+    """
 
     columns: list[str]
+    nullable: list[bool]
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         raise NotImplementedError
@@ -71,12 +92,14 @@ class SeqScan(PlanNode):
     def __init__(self, relation: str) -> None:
         self.relation = relation
         self.columns: list[str] = []
+        self.nullable: list[bool] = []
         self._schema = None
 
     def bind_schema(self, schema) -> None:
         """Resolve output columns once the catalog is available."""
         self._schema = schema
         self.columns = schema.column_names()
+        self.nullable = [attr.nullable for attr in schema.attributes]
 
     def node_label(self) -> str:
         return f"SeqScan({self.relation})"
@@ -135,6 +158,7 @@ class IndexScan(PlanNode):
         self.low = low
         self.high = high
         self.columns: list[str] = []
+        self.nullable: list[bool] = []
 
     def node_label(self) -> str:
         key = self.equal if self.equal is not None else (self.low, self.high)
@@ -144,6 +168,7 @@ class IndexScan(PlanNode):
         rel = ctx.db.relation(self.relation)
         if not self.columns:
             self.columns = rel.schema.column_names()
+            self.nullable = [a.nullable for a in rel.schema.attributes]
         index = rel.indexes[self.index]
         if self.equal is not None:
             tids = index.lookup(self.equal)
@@ -192,6 +217,7 @@ class Filter(PlanNode):
         self.qual = bind(qual, child.columns)
         self.not_null = not_null
         self.columns = list(child.columns)
+        self.nullable = output_nullability(child)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -244,6 +270,10 @@ class Project(PlanNode):
         self.child = child
         self.exprs = [bind(expr, child.columns) for expr in exprs]
         self.columns = list(names)
+        child_nullable = output_nullability(child)
+        self.nullable = [
+            static_nullable(expr, child_nullable) for expr in self.exprs
+        ]
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -271,6 +301,8 @@ class ColumnSelect(PlanNode):
         self.child = child
         self._indexes = [child.columns.index(name) for name in names]
         self.columns = list(names)
+        child_nullable = output_nullability(child)
+        self.nullable = [child_nullable[i] for i in self._indexes]
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -291,6 +323,7 @@ class Rename(PlanNode):
         self.child = child
         self.prefix = prefix
         self.columns = [f"{prefix}.{name}" for name in child.columns]
+        self.nullable = output_nullability(child)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -315,6 +348,7 @@ class Sort(PlanNode):
         self.keys = [(bind(expr, child.columns), desc) for expr, desc in keys]
         self.limit = limit
         self.columns = list(child.columns)
+        self.nullable = output_nullability(child)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -356,6 +390,7 @@ class Limit(PlanNode):
         self.child = child
         self.n = n
         self.columns = list(child.columns)
+        self.nullable = output_nullability(child)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -380,6 +415,7 @@ class Materialize(PlanNode):
     def __init__(self, child: PlanNode) -> None:
         self.child = child
         self.columns = list(child.columns)
+        self.nullable = output_nullability(child)
         self._cache: list[Row] | None = None
 
     def children(self) -> tuple[PlanNode, ...]:
@@ -398,6 +434,10 @@ class ValuesNode(PlanNode):
     def __init__(self, columns: list[str], rows: list[Row]) -> None:
         self.columns = list(columns)
         self._rows = [list(row) for row in rows]
+        self.nullable = [
+            any(row[i] is None for row in self._rows)
+            for i in range(len(self.columns))
+        ]
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         yield from self._rows

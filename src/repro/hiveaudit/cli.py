@@ -9,9 +9,8 @@ findings and every planted bug was caught with correct attribution.
 from __future__ import annotations
 
 import argparse
-import json
-from pathlib import Path
 
+from repro.analysis import add_standard_args, exit_code, write_report
 from repro.hiveaudit.audit import run_audit
 from repro.hiveaudit.selftest import run_selftest
 
@@ -21,13 +20,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.hiveaudit",
         description="Whole-engine bee-cache invalidation soundness audit.",
     )
-    parser.add_argument(
-        "--out", default="results/hiveaudit",
-        help="directory for report.json (default: results/hiveaudit)",
-    )
-    parser.add_argument(
-        "--no-selftest", action="store_true",
-        help="skip the bug-injection self-test",
+    add_standard_args(
+        parser,
+        out_default="results/hiveaudit",
+        seed_default=None,      # no corpus generator
+        check_flag=False,       # hiveaudit always gates
     )
     args = parser.parse_args(argv)
 
@@ -46,15 +43,12 @@ def main(argv: list[str] | None = None) -> int:
             if not result["caught"]:
                 print(f"  MISSED {result['case']}: {result['description']}")
 
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
     payload = report.to_dict()
     payload["selftest"] = selftest
-    out_path = out_dir / "report.json"
-    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+    out_path = write_report(payload, args.out)
     print(f"report:             {out_path}")
 
-    return 0 if report.ok and all_caught else 1
+    return exit_code(report.ok and all_caught)
 
 
 __all__ = ["main"]

@@ -172,3 +172,16 @@ class ExplainStmt:
 @dataclass
 class VacuumStmt:
     table: str
+
+
+# -- unions the parser and planner annotate with ------------------------------
+
+Expression = (
+    Literal | ColumnRef | Binary | BoolOp | NotOp | LikeOp | InOp
+    | BetweenOp | IsNullOp | CaseOp | FuncCall | AggCall | SubqueryOp
+)
+
+Statement = (
+    SelectStmt | CreateTableStmt | InsertStmt | DropTableStmt
+    | UpdateStmt | DeleteStmt | ExplainStmt | VacuumStmt
+)

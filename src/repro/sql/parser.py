@@ -72,7 +72,7 @@ class Parser:
 
     # -- statements ---------------------------------------------------------------
 
-    def parse_statement(self):
+    def parse_statement(self) -> ast.Statement:
         if self.check("kw", "SELECT"):
             stmt = self.select()
         elif self.check("kw", "CREATE"):
@@ -177,7 +177,7 @@ class Parser:
         condition = self.expr()
         return ast.JoinClause(table, alias, join_type, condition)
 
-    def order_item(self):
+    def order_item(self) -> tuple[ast.Expression, bool]:
         expr = self.expr()
         desc = False
         if self.accept("kw", "DESC"):
@@ -253,7 +253,7 @@ class Parser:
         self.expect("symbol", ")")
         return values
 
-    def literal_value(self):
+    def literal_value(self) -> object:
         literal = self.primary()
         if not isinstance(literal, ast.Literal):
             raise SQLSyntaxError("INSERT VALUES must be literals")
@@ -269,7 +269,7 @@ class Parser:
         where = self.expr() if self.accept("kw", "WHERE") else None
         return ast.UpdateStmt(table, assignments, where)
 
-    def assignment(self) -> tuple:
+    def assignment(self) -> tuple[str, ast.Expression]:
         column = self.expect("ident").value
         self.expect("symbol", "=")
         return (column, self.expr())
@@ -288,24 +288,24 @@ class Parser:
 
     # -- expressions -----------------------------------------------------------------
 
-    def expr(self):
+    def expr(self) -> ast.Expression:
         return self.or_expr()
 
-    def or_expr(self):
+    def or_expr(self) -> ast.Expression:
         left = self.and_expr()
         args = [left]
         while self.accept("kw", "OR"):
             args.append(self.and_expr())
         return args[0] if len(args) == 1 else ast.BoolOp("or", args)
 
-    def and_expr(self):
+    def and_expr(self) -> ast.Expression:
         left = self.not_expr()
         args = [left]
         while self.accept("kw", "AND"):
             args.append(self.not_expr())
         return args[0] if len(args) == 1 else ast.BoolOp("and", args)
 
-    def not_expr(self):
+    def not_expr(self) -> ast.Expression:
         if self.check("kw", "NOT"):
             following = self.tokens[self.pos + 1]
             if following.kind == "kw" and following.value == "EXISTS":
@@ -328,7 +328,7 @@ class Parser:
         self.expect("symbol", ")")
         return ast.SubqueryOp("exists", select, negate=negate)
 
-    def comparison(self):
+    def comparison(self) -> ast.Expression:
         left = self.additive()
         token = self.peek()
         if token.kind == "symbol" and token.value in (
@@ -370,21 +370,21 @@ class Parser:
             return ast.IsNullOp(left, negate=is_not)
         return left
 
-    def additive(self):
+    def additive(self) -> ast.Expression:
         left = self.multiplicative()
         while self.check("symbol", "+") or self.check("symbol", "-"):
             op = self.advance().value
             left = ast.Binary(op, left, self.multiplicative())
         return left
 
-    def multiplicative(self):
+    def multiplicative(self) -> ast.Expression:
         left = self.primary()
         while self.check("symbol", "*") or self.check("symbol", "/"):
             op = self.advance().value
             left = ast.Binary(op, left, self.primary())
         return left
 
-    def primary(self):
+    def primary(self) -> ast.Expression:
         token = self.peek()
         if token.kind == "number":
             self.advance()
@@ -415,7 +415,7 @@ class Parser:
             f"at position {token.position}"
         )
 
-    def keyword_primary(self):
+    def keyword_primary(self) -> ast.Expression:
         token = self.advance()
         if token.value == "NULL":
             return ast.Literal(None)
@@ -454,7 +454,7 @@ class Parser:
             return ast.CaseOp(whens, default)
         raise SQLSyntaxError(f"unexpected keyword {token.value}")
 
-    def identifier_primary(self):
+    def identifier_primary(self) -> ast.Expression:
         name = self.advance().value
         if self.accept("symbol", "("):
             args = []
@@ -470,6 +470,6 @@ class Parser:
         return ast.ColumnRef(name)
 
 
-def parse(sql: str):
+def parse(sql: str) -> ast.Statement:
     """Parse one SQL statement; raises SQLSyntaxError on bad input."""
     return Parser(tokenize(sql)).parse_statement()

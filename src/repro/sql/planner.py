@@ -36,6 +36,8 @@ from repro.engine.nodes import (
 )
 from repro.sql import ast
 
+from typing import Any
+
 
 class PlanningError(ValueError):
     """Raised when a statement cannot be lowered onto the executor."""
@@ -133,7 +135,7 @@ def _collect_aggs(node, found: list) -> None:
         _collect_aggs(child, found)
 
 
-def _children_of(node):
+def _children_of(node: ast.Expression) -> list[ast.Expression]:
     if isinstance(node, ast.Binary):
         return [node.left, node.right]
     if isinstance(node, ast.BoolOp):
@@ -155,7 +157,9 @@ def _children_of(node):
     return []
 
 
-def _substitute_aggs(node, mapping: list):
+def _substitute_aggs(
+    node: ast.Expression, mapping: list[tuple[ast.AggCall, str]]
+) -> ast.Expression:
     """Replace AggCall nodes with ColumnRefs to the agg output columns.
 
     *mapping* is a list of ``(agg_ast, output_name)`` pairs matched
@@ -197,7 +201,9 @@ def _substitute_aggs(node, mapping: list):
 # -- subquery decorrelation ------------------------------------------------------------
 
 
-def _resolve_initplans(db, node, top_level: bool = False):
+def _resolve_initplans(
+    db: Any, node: ast.Expression, top_level: bool = False
+) -> ast.Expression:
     """Execute uncorrelated scalar/EXISTS subqueries (InitPlans) and splice
     their results in as literals.  IN-subqueries are legal only as
     top-level AND conjuncts (returned untouched for the semi/anti-join
@@ -284,7 +290,11 @@ def _scan(db, table: str, alias: str | None) -> PlanNode:
     return node
 
 
-def _split_join_condition(condition, left_cols, right_cols):
+def _split_join_condition(
+    condition: ast.Expression,
+    left_cols: list[str],
+    right_cols: list[str],
+) -> tuple[list[str], list[str], ast.Expression | None]:
     """Partition ON conjuncts into equi-key pairs and a residual qual."""
     conjuncts = (
         condition.args if isinstance(condition, ast.BoolOp)

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
 from repro.sql import ast
 from repro.sql.parser import parse
 from repro.sql.planner import lower_expr, plan_select, schema_from_create
+
+if TYPE_CHECKING:
+    from repro.db import Database
 
 
 class SQLResult:
@@ -16,7 +21,7 @@ class SQLResult:
         self.rows = rows if rows is not None else []
         self.columns = columns or []
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
 
     def __len__(self) -> int:
@@ -83,7 +88,7 @@ def execute_sql(db: "Database", sql: str) -> SQLResult:
     raise TypeError(f"unhandled statement {type(stmt).__name__}")
 
 
-def _bound_expr(db, table: str, expr_ast):
+def _bound_expr(db: "Database", table: str, expr_ast: ast.Expression) -> Any:
     """Lower and bind an expression against a relation's schema columns."""
     from repro.engine.expr import bind
 
@@ -91,7 +96,9 @@ def _bound_expr(db, table: str, expr_ast):
     return bind(lower_expr(expr_ast, columns), columns)
 
 
-def _row_predicate(db, table: str, where):
+def _row_predicate(
+    db: "Database", table: str, where: ast.Expression | None
+) -> Callable[[list], bool]:
     """A values-list callable for UPDATE/DELETE WHERE clauses."""
     if where is None:
         return lambda _values: True

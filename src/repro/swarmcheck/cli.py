@@ -11,10 +11,10 @@ gate the morsel-parallel work will stand on.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
+from repro.analysis import add_standard_args, exit_code, write_report as _write
 from repro.hiveaudit.source import EngineSource
 from repro.swarmcheck import corpus as corpus_mod
 from repro.swarmcheck import escape as escape_mod
@@ -66,10 +66,7 @@ def run_swarmcheck(
 
 
 def write_report(report: SwarmReport, out_dir: Path) -> Path:
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "report.json"
-    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
-    return path
+    return _write(report.to_dict(), out_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,23 +77,10 @@ def main(argv: list[str] | None = None) -> int:
             "corpus and the engine execution path."
         ),
     )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--statements", type=int, default=DEFAULT_STATEMENTS,
-        help="fuzzed statements per corpus database "
-        f"(default {DEFAULT_STATEMENTS})",
-    )
-    parser.add_argument(
-        "--out", type=Path, default=Path("results/swarmcheck"),
-        help="output directory for report.json",
-    )
-    parser.add_argument(
-        "--check", action="store_true",
-        help="exit non-zero on any finding or missed injection",
-    )
-    parser.add_argument(
-        "--no-selftest", action="store_true",
-        help="skip the bug-injection self-test",
+    add_standard_args(
+        parser,
+        out_default="results/swarmcheck",
+        statements_default=DEFAULT_STATEMENTS,
     )
     args = parser.parse_args(argv)
 
@@ -108,6 +92,4 @@ def main(argv: list[str] | None = None) -> int:
     path = write_report(report, args.out)
     print(report.summary())
     print(f"report: {path}")
-    if args.check and not report.ok:
-        return 1
-    return 0
+    return exit_code(report.ok, gate=args.check)

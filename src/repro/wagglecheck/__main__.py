@@ -1,0 +1,3 @@
+from repro.wagglecheck.cli import main
+
+raise SystemExit(main())

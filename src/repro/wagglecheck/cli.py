@@ -1,0 +1,91 @@
+"""Wagglecheck CLI: sweep the corpus, run the self-test, write the report.
+
+Usage::
+
+    python -m repro.wagglecheck [--seed N] [--statements N]
+                                [--out DIR] [--check] [--no-selftest]
+
+``--check`` exits non-zero on any finding or missed injection — the CI
+gate.  The committed baseline lives at ``results/wagglecheck/report.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from time import perf_counter
+
+from repro.analysis import add_standard_args, exit_code, write_report
+from repro.wagglecheck import rewrite, sections, typeflow
+from repro.wagglecheck.corpus import collect
+from repro.wagglecheck.report import WaggleReport
+from repro.wagglecheck.selftest import run_selftest
+
+DEFAULT_STATEMENTS = 200
+
+
+def run_wagglecheck(
+    seed: int, statements: int, selftest: bool = True
+) -> WaggleReport:
+    """One full analysis run over the TPC-H + TPC-C + oracle corpus."""
+    report = WaggleReport(seed=seed)
+    start = perf_counter()
+
+    def on_plan(subject: str, plan, db) -> None:
+        findings, nodes = typeflow.check_plan(plan, db, subject)
+        report.findings.extend(findings)
+        report.plans_checked += 1
+        report.nodes_checked += nodes
+        findings, rewrites = rewrite.check_fusion(plan, db, subject)
+        report.findings.extend(findings)
+        report.rewrites_checked += rewrites
+
+    corpus = collect(seed, statements, on_plan)
+    report.statements = corpus.statements
+
+    for subject, spec, anchor, db in corpus.cached:
+        findings, rewrites = rewrite.check_cached_spec(
+            spec, anchor, db, subject
+        )
+        report.findings.extend(findings)
+        report.rewrites_checked += rewrites
+
+    for label, db in corpus.databases:
+        for name in sorted(db.table_names()):
+            report.findings.extend(
+                typeflow.check_relation(db.relation(name), f"{label}/{name}")
+            )
+            report.relations_checked += 1
+        section_findings, checked = sections.check_sections(db)
+        for finding in section_findings:
+            finding.subject = f"{label}/{finding.subject}"
+        report.findings.extend(section_findings)
+        report.sections_checked += checked
+
+    if selftest:
+        report.selftest = run_selftest()
+    report.elapsed = perf_counter() - start
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.wagglecheck",
+        description="Plan-level type flow and rewrite-soundness analysis.",
+    )
+    add_standard_args(
+        parser,
+        out_default="results/wagglecheck",
+        statements_default=DEFAULT_STATEMENTS,
+    )
+    args = parser.parse_args(argv)
+    report = run_wagglecheck(
+        args.seed, args.statements, selftest=not args.no_selftest
+    )
+    print(report.summary())
+    out_path = write_report(report.to_dict(), args.out)
+    print(f"report: {out_path}")
+    return exit_code(report.ok, gate=args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Wagglecheck findings and the sweep report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pass names, in the order the analyzer runs them.
+PASSES = ("typeflow", "rewrite", "sections")
+
+
+@dataclass
+class Finding:
+    """One violated plan property, attributed to the pass that proved it."""
+
+    pass_name: str
+    subject: str        # plan label or relation name
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.pass_name}] {self.subject}: {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "pass": self.pass_name,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+@dataclass
+class WaggleReport:
+    """One full ``python -m repro.wagglecheck`` run."""
+
+    seed: int
+    statements: int = 0
+    plans_checked: int = 0
+    nodes_checked: int = 0
+    relations_checked: int = 0
+    rewrites_checked: int = 0
+    sections_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    selftest: dict[str, bool] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and all(self.selftest.values())
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "statements": self.statements,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "plans_checked": self.plans_checked,
+            "nodes_checked": self.nodes_checked,
+            "relations_checked": self.relations_checked,
+            "rewrites_checked": self.rewrites_checked,
+            "sections_checked": self.sections_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "selftest": dict(self.selftest),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        from repro.analysis import format_selftest
+
+        lines = [
+            f"wagglecheck seed={self.seed}: {self.plans_checked} plans "
+            f"({self.nodes_checked} nodes), {self.rewrites_checked} rewrites, "
+            f"{self.relations_checked} relation layouts, "
+            f"{self.sections_checked} data sections, "
+            f"{self.statements} corpus statements in {self.elapsed:.1f}s",
+        ]
+        if self.selftest:
+            lines.append(
+                f"injection self-test: {format_selftest(self.selftest)}"
+            )
+        if self.findings:
+            lines.append(f"{len(self.findings)} FINDING(S):")
+            lines.extend(f"  {finding}" for finding in self.findings)
+        else:
+            lines.append("all passes clean")
+        return "\n".join(lines)

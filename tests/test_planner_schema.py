@@ -1,0 +1,126 @@
+"""Planner output-schema tests: columns AND the recorded nullability.
+
+Every plan node now carries a ``nullable`` vector alongside ``columns``;
+wagglecheck's typeflow pass cross-checks it against the inferred
+contract, and these tests pin the planner-facing behaviour directly:
+subquery decorrelation, DISTINCT, LIMIT pass-through, and join output
+ordering all preserve (or correctly pad) the schema.
+"""
+
+import pytest
+
+from repro import BeeSettings, Database
+from repro.engine.nodes import output_nullability
+from repro.sql.parser import parse
+from repro.sql.planner import plan_select
+
+
+@pytest.fixture()
+def db():
+    database = Database(BeeSettings.stock())
+    database.sql(
+        "CREATE TABLE t (a INT4 NOT NULL, b INT4 NULL, "
+        "c VARCHAR(10) NOT NULL)"
+    )
+    database.sql("CREATE TABLE u (x INT4 NOT NULL, y NUMERIC NOT NULL)")
+    for row in [(1, 10, "one"), (2, None, "two"), (3, 30, "three")]:
+        database.sql(
+            f"INSERT INTO t VALUES ({row[0]}, "
+            f"{'NULL' if row[1] is None else row[1]}, '{row[2]}')"
+        )
+    database.sql("INSERT INTO u VALUES (1, 1.5)")
+    database.sql("INSERT INTO u VALUES (3, 2.5)")
+    return database
+
+
+def _plan(db, sql):
+    return plan_select(db, parse(sql))
+
+
+class TestSubqueryOutputSchemas:
+    def test_in_subquery_keeps_outer_columns(self, db):
+        plan = _plan(db, "SELECT a, b FROM t WHERE a IN (SELECT x FROM u)")
+        assert list(plan.columns) == ["a", "b"]
+        # Semi-join decorrelation must not leak build-side columns or
+        # build-side nullability into the output.
+        assert output_nullability(plan) == [False, True]
+
+    def test_scalar_subquery_comparison(self, db):
+        plan = _plan(db, "SELECT a FROM t WHERE a > (SELECT min(x) FROM u)")
+        assert list(plan.columns) == ["a"]
+        rows = db.execute(plan)
+        assert sorted(r[0] for r in rows) == [2, 3]
+
+    def test_subquery_plan_executes_consistently(self, db):
+        result = db.sql("SELECT a FROM t WHERE a IN (SELECT x FROM u)")
+        assert sorted(r[0] for r in result.rows) == [1, 3]
+
+
+class TestDistinctColumnSets:
+    def test_distinct_columns(self, db):
+        plan = _plan(db, "SELECT DISTINCT a, c FROM t")
+        assert list(plan.columns) == ["a", "c"]
+
+    def test_distinct_preserves_nullability(self, db):
+        plan = _plan(db, "SELECT DISTINCT b FROM t")
+        assert list(plan.columns) == ["b"]
+        assert output_nullability(plan) == [True]
+        rows = db.execute(plan)
+        assert sorted(rows, key=lambda r: (r[0] is None, r[0])) == [
+            (10,), (30,), (None,),
+        ]
+
+    def test_count_distinct_schema(self, db):
+        plan = _plan(db, "SELECT count(DISTINCT a) FROM t")
+        assert len(plan.columns) == 1
+        # count() never returns NULL.
+        assert output_nullability(plan) == [False]
+
+
+class TestLimitPassThrough:
+    def test_limit_preserves_columns_and_nullability(self, db):
+        plan = _plan(db, "SELECT a, b FROM t ORDER BY a LIMIT 2")
+        assert list(plan.columns) == ["a", "b"]
+        assert output_nullability(plan) == [False, True]
+        assert len(db.execute(plan)) == 2
+
+    def test_limit_zero(self, db):
+        plan = _plan(db, "SELECT a FROM t LIMIT 0")
+        assert list(plan.columns) == ["a"]
+        assert db.execute(plan) == []
+
+
+class TestJoinOutputOrdering:
+    def test_inner_join_probe_then_build(self, db):
+        plan = _plan(db, "SELECT * FROM t INNER JOIN u ON a = x")
+        assert list(plan.columns) == ["a", "b", "c", "x", "y"]
+        assert output_nullability(plan) == [False, True, False, False, False]
+
+    def test_left_join_pads_build_side_nullable(self, db):
+        plan = _plan(db, "SELECT * FROM t LEFT JOIN u ON a = x")
+        assert list(plan.columns) == ["a", "b", "c", "x", "y"]
+        # Unmatched probe rows carry NULLs for every build column.
+        assert output_nullability(plan) == [False, True, False, True, True]
+        rows = db.execute(plan)
+        assert len(rows) == 3
+        padded = [r for r in rows if r[3] is None]
+        assert len(padded) == 1 and padded[0][4] is None
+
+    def test_join_projection_reorders(self, db):
+        plan = _plan(db, "SELECT y, a FROM t INNER JOIN u ON a = x")
+        assert list(plan.columns) == ["y", "a"]
+        assert output_nullability(plan) == [False, False]
+
+
+class TestScanNullability:
+    def test_scan_records_catalog_nullability(self, db):
+        plan = _plan(db, "SELECT * FROM t")
+        assert output_nullability(plan) == [False, True, False]
+
+    def test_fallback_is_conservative(self):
+        from repro.engine.nodes import SeqScan
+
+        scan = SeqScan("nowhere")
+        scan.columns = ["p", "q"]
+        # No recorded vector: every column must be assumed nullable.
+        assert output_nullability(scan) == [True, True]
