@@ -1,0 +1,246 @@
+"""Morsel-parallel benchmark: serial vector tier vs the worker pool.
+
+Runs all 22 TPC-H queries, warm cache, on four databases sharing one
+generated dataset:
+
+* **vector** — the serial columnar tier (the ladder below parallel),
+* **parallel1 / parallel2 / parallel4** — the morsel coordinator with
+  a pool of 1, 2, and 4 worker processes.
+
+The headline metric is **modeled wall seconds** (``MeasuredRun.seconds``:
+the priced instruction count run through the calibrated time model,
+with the coordinator charging each statement at its slowest worker's
+ledger delta — the makespan).  The cost model is what this repo's
+experiments are denominated in, and it is the only stable signal on a
+shared/1-CPU box, where real fork-and-pipe wall time measures the host,
+not the plan.  Real wall-clock is recorded alongside for transparency
+but is not gated.
+
+Results must agree with the serial vector tier up to row order and
+float re-association (partial sums re-associate across morsels), so
+agreement uses the oracle's order-insensitive, float-tolerant
+comparison — not bitwise equality.
+
+A mixed-workload section replays a five-query session back-to-back on
+the serial and 4-worker databases, pricing pool amortization across
+statements rather than per query.
+
+``--check`` gates the tier: the parallel4/vector modeled-wall geomean
+must come in at or below ``--tolerance`` (default 0.85) — fanning out
+must buy a real speedup after paying dispatch, snapshot, and merge
+overheads.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --sf 0.01 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.bees.settings import BeeSettings
+from repro.oracle import rows_equivalent
+from repro.workloads.tpch.dbgen import TPCHGenerator
+from repro.workloads.tpch.loader import build_tpch_database, generate_rows
+from repro.workloads.tpch.queries import QUERIES
+
+ENGINES = ("vector", "parallel1", "parallel2", "parallel4")
+WORKERS = {"parallel1": 1, "parallel2": 2, "parallel4": 4}
+MIXED_QUERIES = (1, 3, 6, 12, 14)
+
+
+def build_databases(scale_factor: float, seed: int):
+    rows = generate_rows(TPCHGenerator(scale_factor, seed))
+    databases = {
+        "vector": build_tpch_database(BeeSettings.vectorized(), rows=rows),
+    }
+    for name, n_workers in WORKERS.items():
+        databases[name] = build_tpch_database(
+            BeeSettings.parallelized(), rows=rows,
+            parallel_workers=n_workers,
+        )
+    return databases
+
+
+def run_query(db, query_number: int, repeat: int):
+    """Best-of-*repeat* modeled + real wall seconds, plus the result.
+
+    The first repeat pays worker warmup (snapshot ships, bee compiles);
+    best-of keeps the steady state the tier is priced on.
+    """
+    best_model = math.inf
+    best_wall = math.inf
+    run = None
+    for _ in range(repeat):
+        db.warm_cache()
+        started = time.perf_counter()
+        run = db.measure(lambda: QUERIES[query_number](db))
+        best_wall = min(best_wall, time.perf_counter() - started)
+        best_model = min(best_model, run.seconds)
+    return best_model, best_wall, run.instructions, run.result
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(databases, repeat: int) -> dict:
+    queries = {}
+    for number in sorted(QUERIES):
+        per_engine = {}
+        results = {}
+        for engine in ENGINES:
+            model, wall, instructions, result = run_query(
+                databases[engine], number, repeat
+            )
+            per_engine[engine] = {
+                "model_seconds": model,
+                "wall_seconds": wall,
+                "instructions": instructions,
+            }
+            results[engine] = result
+        baseline = results["vector"]
+        for engine in ENGINES[1:]:
+            if not rows_equivalent(results[engine], baseline):
+                raise AssertionError(
+                    f"q{number}: {engine} disagrees with the serial "
+                    f"vector tier — benchmark numbers would be "
+                    f"meaningless"
+                )
+            per_engine[engine]["model_ratio_vs_vector"] = (
+                per_engine[engine]["model_seconds"]
+                / per_engine["vector"]["model_seconds"]
+            )
+        queries[f"q{number}"] = per_engine
+    return queries
+
+
+def run_mixed(databases, repeat: int) -> dict:
+    """A five-query session priced end-to-end (pool amortization)."""
+    totals = {}
+    for engine in ("vector", "parallel4"):
+        db = databases[engine]
+        best = math.inf
+        for _ in range(repeat):
+            db.warm_cache()
+            run = db.measure(
+                lambda: [QUERIES[n](db) for n in MIXED_QUERIES]
+            )
+            best = min(best, run.seconds)
+        totals[engine] = best
+    return {
+        "queries": list(MIXED_QUERIES),
+        "model_seconds": totals,
+        "model_ratio_parallel4_vs_vector": (
+            totals["parallel4"] / totals["vector"]
+        ),
+    }
+
+
+def summarize(queries: dict) -> dict:
+    def ratio(metric, a, b):
+        return geomean(
+            q[a][metric] / q[b][metric] for q in queries.values()
+        )
+
+    return {
+        # The tier's headline claim, and the --check gate.
+        "model_geomean_parallel4_vs_vector": ratio(
+            "model_seconds", "parallel4", "vector"
+        ),
+        "model_geomean_parallel2_vs_vector": ratio(
+            "model_seconds", "parallel2", "vector"
+        ),
+        "model_geomean_parallel1_vs_vector": ratio(
+            "model_seconds", "parallel1", "vector"
+        ),
+        # Transparency only: real fork-and-pipe time on this host.
+        "wall_geomean_parallel4_vs_vector": ratio(
+            "wall_seconds", "parallel4", "vector"
+        ),
+        "instr_geomean_parallel4_vs_vector": ratio(
+            "instructions", "parallel4", "vector"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="TPC-H morsel-parallel benchmark (serial vector vs "
+                    "1/2/4-worker pools)."
+    )
+    parser.add_argument("--sf", type=float, default=0.01,
+                        help="TPC-H scale factor (default 0.01)")
+    parser.add_argument("--seed", type=int, default=20120401)
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="runs per query; best modeled/wall kept")
+    parser.add_argument("--out", type=Path,
+                        default=Path("results") / "BENCH_parallel.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the parallel4/vector "
+                             "modeled-wall geomean is at most --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.85,
+                        help="--check passes while the parallel4/vector "
+                             "modeled-wall geomean is at or below this "
+                             "(default 0.85: the pool must beat serial "
+                             "by >=15%% after overheads)")
+    args = parser.parse_args(argv)
+
+    databases = build_databases(args.sf, args.seed)
+    try:
+        queries = run_suite(databases, args.repeat)
+        mixed = run_mixed(databases, args.repeat)
+        summary = summarize(queries)
+        pool_stats = databases["parallel4"].stats()["parallel"]
+    finally:
+        for db in databases.values():
+            db.close()
+    report = {
+        "scale_factor": args.sf,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "engines": {
+            name: databases[name].settings.label() or "stock"
+            for name in ENGINES
+        },
+        "workers": WORKERS,
+        "summary": summary,
+        "mixed_workload": mixed,
+        "parallel4_pool_stats": pool_stats,
+        "queries": queries,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, value in summary.items():
+        print(f"{name}: {value:.3f}")
+    print(
+        "mixed workload parallel4/vector: "
+        f"{mixed['model_ratio_parallel4_vs_vector']:.3f}"
+    )
+    print(f"report: {args.out}")
+
+    if args.check:
+        ratio = summary["model_geomean_parallel4_vs_vector"]
+        if ratio > args.tolerance:
+            print(
+                f"CHECK FAILED: parallel4/vector modeled-wall geomean "
+                f"{ratio:.3f} > {args.tolerance}"
+            )
+            return 1
+        print(
+            f"check passed: parallel4/vector {ratio:.3f} "
+            f"<= {args.tolerance}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

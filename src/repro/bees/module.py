@@ -119,6 +119,7 @@ class GenericBeeModule:
                 f"IDX_{relation}_",
                 f"PIPE:{relation}:",
                 f"VEC:{relation}:",
+                f"PAR:{relation}:",
             )
 
     def invalidate_query_bees(self) -> int:
@@ -153,7 +154,7 @@ class GenericBeeModule:
             # deserve a fresh health record (EVJ templates survive the
             # eviction, but conservative re-admission is harmless).
             self.registry.clear_prefix(
-                "EVP:", "EVJ:", "AGG:", "IDX_", "PIPE:", "VEC:"
+                "EVP:", "EVJ:", "AGG:", "IDX_", "PIPE:", "VEC:", "PAR:"
             )
         return evicted
 

@@ -44,6 +44,7 @@ class BeeSettings:
     idx: bool = False      # experimental: index-maintenance specialization
     pipelines: bool = False   # fused batch-at-a-time pipeline bees
     vectors: bool = False     # columnar NumPy vector bees (third tier)
+    parallel: bool = False    # morsel-driven multiprocess execution tier
     verify_on_generate: bool = False   # gate every emitted bee on beecheck
     shield: bool = True    # guarded bee invocation (repro.resilience)
 
@@ -86,13 +87,21 @@ class BeeSettings:
             pipelines=True, vectors=True,
         )
 
+    @classmethod
+    def parallelized(cls) -> "BeeSettings":
+        """The vectorized system fanned across worker processes."""
+        return cls(
+            gcl=True, scl=True, evp=True, evj=True, tuple_bees=True,
+            pipelines=True, vectors=True, parallel=True,
+        )
+
     def with_routines(self, *names: str) -> "BeeSettings":
         """Return a copy with exactly the named routine flags enabled
         (``verify_on_generate`` and ``shield`` are preserved — they are
         not routines)."""
         valid = {
             "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
-            "pipelines", "vectors",
+            "pipelines", "vectors", "parallel",
         }
         unknown = set(names) - valid
         if unknown:
@@ -117,17 +126,20 @@ class BeeSettings:
         return (
             self.gcl or self.scl or self.evp or self.evj
             or self.tuple_bees or self.agg or self.idx or self.pipelines
-            or self.vectors
+            or self.vectors or self.parallel
         )
 
     def label(self) -> str:
         """Short human-readable form, e.g. ``GCL+EVP``."""
-        short = {"tuple_bees": "TB", "pipelines": "PIPE", "vectors": "VEC"}
+        short = {
+            "tuple_bees": "TB", "pipelines": "PIPE", "vectors": "VEC",
+            "parallel": "PAR",
+        }
         parts = [
             short.get(name, name.upper())
             for name in (
                 "gcl", "scl", "evp", "evj", "tuple_bees", "agg", "idx",
-                "pipelines", "vectors",
+                "pipelines", "vectors", "parallel",
             )
             if getattr(self, name)
         ]

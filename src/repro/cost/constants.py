@@ -193,3 +193,20 @@ VEC_PROBE_PER_ROW = 300       # per selected row: key tuple + hash probe +
 VEC_GROUP_PER_ROW = 160       # per selected row: group bucket lookup/append
 
 VACUUM_PER_TUPLE = 150        # move live tuple + line-pointer rewrite
+
+# --------------------------------------------------------------------------
+# Parallel tier (morsel-driven execution across worker processes).  The
+# coordinator charges its own ledger with the *makespan*: the largest
+# per-worker ledger delta for the statement, so db.measure() reports the
+# modeled wall clock of the slowest worker plus the coordinator-side
+# dispatch/merge work below.  Dispatch constants are kept small relative
+# to PAGE_ACCESS so fan-out wins once a morsel covers a few pages.
+# --------------------------------------------------------------------------
+PAR_DISPATCH = 260            # per morsel: task encode + pipe send/recv
+PAR_PREPARE = 900             # per statement per worker: spec ship +
+                              # fingerprint probe (compile amortized away)
+PAR_SNAPSHOT_PER_PAGE = 60    # per page when shipping a heap snapshot to
+                              # a worker (read-only copy-on-write share)
+PAR_MERGE_PER_ROW = 8         # per gathered row: coordinator-side concat
+PAR_MERGE_PER_GROUP = 45      # per partial group merged into the global
+                              # hash table (AggState.merge)

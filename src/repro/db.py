@@ -126,6 +126,7 @@ class Database:
         settings: BeeSettings | None = None,
         bee_cache_dir: str | Path | None = None,
         buffer_capacity_pages: int = DEFAULT_CAPACITY_PAGES,
+        parallel_workers: int = 2,
     ) -> None:
         self.settings = settings or BeeSettings.stock()
         self.ledger = Ledger()
@@ -141,6 +142,11 @@ class Database:
         # Columnar chunk cache for the vector tier (validated against
         # heap versions, so it is safe to hold even when vectors are off).
         self.chunk_cache = ChunkCache()
+        # Morsel-parallel tier: the worker-pool coordinator is created
+        # lazily on first parallel statement (spawning processes is not
+        # free, and most sessions never enable the tier).
+        self.parallel_workers = parallel_workers
+        self._parallel = None
         self._relations: dict[str, Relation] = {}
         self._deadline: float | None = None
         self.catalog.on("drop", self._on_drop)
@@ -427,12 +433,31 @@ class Database:
         finally:
             self.settings = previous
 
+    def parallel_coordinator(self):
+        """The morsel-parallel worker-pool coordinator (lazily created)."""
+        if self._parallel is None:
+            from repro.parallel.coordinator import ParallelCoordinator
+
+            self._parallel = ParallelCoordinator(self, self.parallel_workers)
+        return self._parallel
+
+    def close(self) -> None:
+        """Release external resources (the parallel worker pool).
+
+        Safe to call repeatedly; the database stays usable afterwards
+        (a later parallel statement respawns the pool).  Workers are
+        daemons, so an unclosed database cannot outlive the process.
+        """
+        if self._parallel is not None:
+            self._parallel.shutdown()
+
     def sql(
         self,
         statement: str,
         bees: bool | BeeSettings | None = None,
         pipelines: bool | None = None,
         vectors: bool | None = None,
+        parallel: bool | None = None,
         timeout: float | None = None,
     ):
         """Execute one SQL statement (SELECT/CREATE/INSERT/DROP).
@@ -448,7 +473,9 @@ class Database:
         without touching the other bee families); *vectors* does the
         same for the columnar vector tier (``db.sql(q, vectors=True)``
         compiles fusable segments into NumPy kernels for this one
-        statement).
+        statement); *parallel* does the same for the morsel-parallel
+        tier (``db.sql(q, parallel=True)`` fans fused segments across
+        the worker pool — see ``docs/PARALLEL.md``).
 
         *timeout* is a per-statement wall-clock budget in seconds,
         checked at batch boundaries in the executor; exceeding it raises
@@ -462,6 +489,8 @@ class Database:
             settings = settings.enabling(pipelines=bool(pipelines))
         if vectors is not None:
             settings = settings.enabling(vectors=bool(vectors))
+        if parallel is not None:
+            settings = settings.enabling(parallel=bool(parallel))
         if timeout is not None:
             from time import perf_counter
 
@@ -536,9 +565,16 @@ class Database:
         """
         import copy
 
+        from repro.parallel.coordinator import ParallelStats
+
+        parallel = (
+            self._parallel.stats if self._parallel is not None
+            else ParallelStats()
+        )
         return copy.deepcopy({
             "bees": self.bee_module.statistics(),
             "resilience": self.resilience.report(),
+            "parallel": parallel.snapshot(),
         })
 
     def table_names(self) -> list[str]:

@@ -46,9 +46,17 @@ class AggSpec:
 
 
 class AggState:
-    """Accumulator protocol: ``update(value)`` then ``result()``."""
+    """Accumulator protocol: ``update(value)``, ``merge(other)``, ``result()``.
+
+    ``merge`` folds a partial accumulator produced elsewhere (another
+    morsel, another worker process) into this one; both sides must have
+    been created by the same :class:`AggSpec`.
+    """
 
     def update(self, value) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggState") -> None:
         raise NotImplementedError
 
     def result(self):
@@ -81,6 +89,18 @@ class _PlainState(AggState):
             if self.extreme is None or value > self.extreme:
                 self.extreme = value
 
+    def merge(self, other: "AggState") -> None:
+        assert isinstance(other, _PlainState) and other.func == self.func
+        self.count += other.count
+        self.total += other.total
+        if other.extreme is not None:
+            if self.extreme is None:
+                self.extreme = other.extreme
+            elif self.func == "min":
+                self.extreme = min(self.extreme, other.extreme)
+            elif self.func == "max":
+                self.extreme = max(self.extreme, other.extreme)
+
     def result(self):
         if self.func == "count":
             return self.count
@@ -103,6 +123,10 @@ class _DistinctState(AggState):
     def update(self, value) -> None:
         if value is not None:
             self.seen.add(value)
+
+    def merge(self, other: "AggState") -> None:
+        assert isinstance(other, _DistinctState) and other.func == self.func
+        self.seen |= other.seen
 
     def result(self):
         if self.func == "count":

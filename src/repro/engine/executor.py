@@ -142,6 +142,15 @@ def _run(
             plan = fuse_plan(plan, db)
         else:
             plan = shield.fuse(fuse_plan, plan, db)
+    if getattr(settings, "parallel", False):
+        # Runs over the already-fused plan: morsel drivers wrap the
+        # vector/pipeline drivers and keep them as serial anchors.
+        from repro.parallel import parallelize_plan
+
+        if shield is None:
+            plan = parallelize_plan(plan, db)
+        else:
+            plan = shield.fuse(parallelize_plan, plan, db, key="PAR:fusion")
     charge = ctx.ledger.charge
     results: list[tuple] = []
     per_row = 0

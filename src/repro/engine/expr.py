@@ -114,6 +114,11 @@ class Cmp(Expr):
             return None
         return self._fn(left, right)
 
+    def __reduce__(self):
+        # _fn is a lambda from _CMP_OPS; reconstruct through __init__ so
+        # bound expression trees can cross a process boundary.
+        return (Cmp, (self.op, self.left, self.right))
+
     def __repr__(self) -> str:
         return f"Cmp({self.left!r} {self.op} {self.right!r})"
 
@@ -149,6 +154,11 @@ class Arith(Expr):
         if right is None:
             return None
         return self._fn(left, right)
+
+    def __reduce__(self):
+        # _fn is a lambda from _ARITH_OPS; reconstruct through __init__ so
+        # bound expression trees can cross a process boundary.
+        return (Arith, (self.op, self.left, self.right))
 
     def __repr__(self) -> str:
         return f"Arith({self.left!r} {self.op} {self.right!r})"
@@ -382,6 +392,11 @@ class Func(Expr):
                 return None
             values.append(value)
         return self._fn(*values)
+
+    def __reduce__(self):
+        # _fn may be a lambda from _FUNCS; reconstruct through __init__ so
+        # bound expression trees can cross a process boundary.
+        return (Func, (self.name, *self.args))
 
     def __repr__(self) -> str:
         return f"Func({self.name}, {', '.join(map(repr, self.args))})"

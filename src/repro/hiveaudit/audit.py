@@ -180,6 +180,24 @@ def _has_subscript_delete(fn: ast.FunctionDef, attr: str) -> bool:
     return False
 
 
+def _has_string_constant(fn: ast.FunctionDef, text: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and node.value == text:
+            return True
+    return False
+
+
+def _reads_attribute(fn: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
 def _check_integrity(graph: CallGraph, findings: list) -> None:
     for name, qualname, description in INTEGRITY_CHECKS:
         info = graph.functions.get(qualname)
@@ -191,6 +209,10 @@ def _check_integrity(graph: CallGraph, findings: list) -> None:
             continue
         if name in ("disk-eviction-unlinks", "stale-load-unlinks"):
             ok = _has_unlink(info.node)
+        elif name == "parallel-prefix-invalidated":
+            ok = _has_string_constant(info.node, "PAR:")
+        elif name == "parallel-epoch-consulted":
+            ok = _reads_attribute(info.node, "query_epoch")
         else:  # query-budget-evicts
             ok = _has_subscript_delete(info.node, "query_bees")
         if not ok:

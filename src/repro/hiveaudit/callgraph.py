@@ -38,6 +38,7 @@ GRAPH_MODULES = (
     "bees/collector.py",
     "bees/maker.py",
     "bees/datasection.py",
+    "parallel/coordinator.py",
     "storage/heapfile.py",
     "storage/buffer.py",
     "storage/layout.py",

@@ -140,6 +140,20 @@ INTEGRITY_CHECKS = (
         "the query-bee budget must actually delete cache entries, not "
         "just account for them",
     ),
+    (
+        "parallel-prefix-invalidated",
+        "GenericBeeModule.invalidate_query_bees",
+        "the ALTER-path invalidation must clear quarantine state for the "
+        "parallel tier's 'PAR:' shield keys — otherwise a quarantined "
+        "morsel plan shape survives the schema change that obsoleted it",
+    ),
+    (
+        "parallel-epoch-consulted",
+        "ParallelCoordinator._sync_epoch",
+        "the morsel coordinator must read the bee module's query_epoch "
+        "before shipping tasks — a DDL bump the pool never observes "
+        "leaves workers executing bees compiled against the old schema",
+    ),
 )
 
 

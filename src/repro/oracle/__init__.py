@@ -12,7 +12,13 @@ code they replace.
 from repro.oracle.generator import GenStatement, StatementGenerator
 from repro.oracle.inject import BUG_KINDS, inject_bug
 from repro.oracle.minimize import minimize_statements
-from repro.oracle.normalize import outcomes_equal, run_statement
+from repro.oracle.normalize import (
+    outcomes_equal,
+    outcomes_equivalent,
+    rows_equivalent,
+    run_statement,
+    sorted_canonical,
+)
 from repro.oracle.runner import (
     DifferentialOracle,
     Divergence,
@@ -31,7 +37,10 @@ __all__ = [
     "inject_bug",
     "minimize_statements",
     "outcomes_equal",
+    "outcomes_equivalent",
+    "rows_equivalent",
     "run_campaign",
     "run_self_test",
     "run_statement",
+    "sorted_canonical",
 ]

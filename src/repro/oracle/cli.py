@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--self-test", action="store_true",
                         help="inject each bug kind in turn and verify the "
                              "oracle reports divergences")
+    parser.add_argument("--parallel", action="store_true",
+                        help="add the parallel-vs-serial lane: eligible "
+                             "SELECTs re-run through the morsel worker "
+                             "pool and must match the serial tiers "
+                             "(order-insensitive, float-tolerant)")
     parser.add_argument("--no-minimize", action="store_true",
                         help="skip repro minimization (faster)")
     parser.add_argument("--no-verify", action="store_true",
@@ -115,6 +120,7 @@ def run(argv: list[str] | None = None) -> int:
                 time_budget=args.time_budget,
                 bee_settings=settings,
                 minimize=not args.no_minimize,
+                parallel_lane=args.parallel,
             )
         print(report.summary())
         _write_outputs(report, args)
@@ -128,6 +134,7 @@ def run(argv: list[str] | None = None) -> int:
         time_budget=args.time_budget,
         bee_settings=settings,
         minimize=not args.no_minimize,
+        parallel_lane=args.parallel,
     )
     print(report.summary())
     _write_outputs(report, args)

@@ -19,15 +19,21 @@ compare as multisets; ORDER BY results compare as lists.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
 Outcome = tuple  # ("rows", list[tuple]) | ("status", str) | ("error", str)
 
 
-def run_statement(db, sql: str, bees=None, pipelines=None, vectors=None) -> Outcome:
+def run_statement(
+    db, sql: str, bees=None, pipelines=None, vectors=None, parallel=None
+) -> Outcome:
     """Execute *sql* on *db* and capture the outcome (never raises)."""
     try:
-        result = db.sql(sql, bees=bees, pipelines=pipelines, vectors=vectors)
+        result = db.sql(
+            sql, bees=bees, pipelines=pipelines, vectors=vectors,
+            parallel=parallel,
+        )
     except Exception as exc:  # noqa: BLE001 — the comparison IS the handler
         return ("error", type(exc).__name__)
     if result.status.startswith("SELECT") or result.status == "EXPLAIN":
@@ -53,6 +59,63 @@ def outcomes_equal(a: Outcome, b: Outcome, ordered: bool = False) -> bool:
         return False
     if a[0] == "rows":
         return rows_equal(a[1], b[1], ordered)
+    return a[1] == b[1]
+
+
+def sorted_canonical(rows: list[tuple]) -> list[tuple]:
+    """Rows in a canonical order, insensitive to batch interleaving.
+
+    The sort key rounds floats to nine significant digits so values
+    that differ only in the last ulps (re-associated parallel partial
+    sums) land in the same position on both sides; everything else
+    sorts by its tagged repr.
+    """
+
+    def key(row: tuple) -> str:
+        return repr(
+            tuple(
+                ("float", float(f"{v:.9g}")) if isinstance(v, float)
+                else (type(v).__name__, v)
+                for v in row
+            )
+        )
+
+    return sorted(rows, key=key)
+
+
+def _value_equivalent(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+    return a == b
+
+
+def rows_equivalent(a: list[tuple], b: list[tuple]) -> bool:
+    """Order-insensitive, float-tolerant row comparison.
+
+    The comparator for any lane where batches may interleave and float
+    aggregates re-associate (the parallel tier): rows are canonically
+    sorted, then matched pairwise with exact equality on every value
+    except floats, which compare via ``math.isclose`` (rel 1e-9,
+    abs 1e-6) — type tags still apply, so an int/float flip is caught.
+    """
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(sorted_canonical(a), sorted_canonical(b)):
+        if len(ra) != len(rb):
+            return False
+        if not all(_value_equivalent(u, v) for u, v in zip(ra, rb)):
+            return False
+    return True
+
+
+def outcomes_equivalent(a: Outcome, b: Outcome) -> bool:
+    """Like :func:`outcomes_equal` but with :func:`rows_equivalent` rows."""
+    if a[0] != b[0]:
+        return False
+    if a[0] == "rows":
+        return rows_equivalent(a[1], b[1])
     return a[1] == b[1]
 
 

@@ -40,6 +40,7 @@ from repro.oracle.normalize import (
     canonical,
     describe_outcome,
     outcomes_equal,
+    outcomes_equivalent,
     run_statement,
 )
 
@@ -136,8 +137,12 @@ class DifferentialOracle:
         minimize: bool = True,
         minimize_trials: int = 120,
         minimize_cap: int = 8,
+        parallel_lane: bool = False,
     ) -> None:
         self.seed = seed
+        # The parallel lane spawns worker processes per campaign, so it
+        # is opt-in (--parallel on the CLI / the CI parallel leg).
+        self.parallel_lane = parallel_lane
         # Campaigns gate every emitted bee on beecheck by default: a
         # routine the static verifier rejects should never reach the
         # differential comparison (pass explicit settings to opt out).
@@ -209,6 +214,8 @@ class DifferentialOracle:
             self._check_bees_off(stmt, out_bee)
             self._check_pipeline_vs_interpreter(stmt, out_bee)
             self._check_vector_vs_interpreter(stmt, out_bee)
+            if self.parallel_lane:
+                self._check_parallel_vs_serial(stmt, out_bee)
         if stmt.tlp is not None and out_stock[0] == "rows" and out_bee[0] == "rows":
             self._check_metamorphic(stmt, out_stock, out_bee)
         if stmt.columnar is not None and out_stock[0] == "rows":
@@ -300,6 +307,44 @@ class DifferentialOracle:
             stmt,
             f"vectorized={describe_outcome(out_vec)} "
             f"interpreter={describe_outcome(out_bee)}",
+            recheck,
+        )
+
+    def _check_parallel_vs_serial(
+        self, stmt: GenStatement, out_bee
+    ) -> None:
+        """The morsel-fan lane: every eligible SELECT re-runs with the
+        per-query parallel toggle on; the worker pool reads snapshots of
+        the same heap pages and must produce the serial tiers' rows.
+        Comparison is order-insensitive and float-tolerant
+        (``outcomes_equivalent``): morsel partial sums re-associate, so
+        float aggregates may differ in the last ulps — anything beyond
+        that, or any non-float difference, is a divergence.  Small
+        relations bypass the pool (parallel -> serial anchor) and
+        compare trivially, which still exercises the bypass decision."""
+        self._count(self.check_counts, "parallel-vs-serial")
+        out_par = run_statement(self.bee, stmt.sql, parallel=True)
+        if outcomes_equivalent(out_bee, out_par):
+            return
+
+        def recheck(prefix: list[GenStatement]) -> bool:
+            bee = None
+            try:
+                _, bee = self._replay(prefix)
+                a = run_statement(bee, stmt.sql)
+                b = run_statement(bee, stmt.sql, parallel=True)
+                return not outcomes_equivalent(a, b)
+            except Exception:  # noqa: BLE001 — replay failure != repro
+                return False
+            finally:
+                if bee is not None:
+                    bee.close()
+
+        self._record(
+            "parallel-vs-serial",
+            stmt,
+            f"parallel={describe_outcome(out_par)} "
+            f"serial={describe_outcome(out_bee)}",
             recheck,
         )
 
@@ -458,12 +503,17 @@ def run_campaign(
     time_budget: float | None = None,
     bee_settings: BeeSettings | None = None,
     minimize: bool = True,
+    parallel_lane: bool = False,
 ) -> OracleReport:
     """Convenience wrapper: one oracle, one campaign."""
     oracle = DifferentialOracle(
-        seed, bee_settings=bee_settings, minimize=minimize
+        seed, bee_settings=bee_settings, minimize=minimize,
+        parallel_lane=parallel_lane,
     )
-    return oracle.run(iterations, time_budget=time_budget)
+    try:
+        return oracle.run(iterations, time_budget=time_budget)
+    finally:
+        oracle.bee.close()   # release the worker pool, if one spawned
 
 
 def run_self_test(seed: int, iterations: int) -> dict[str, OracleReport]:

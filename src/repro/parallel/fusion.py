@@ -1,0 +1,80 @@
+"""Parallel fusion: promote serial fused drivers to morsel drivers.
+
+Runs *after* pipeline/vector fusion: :func:`parallelize_plan` walks an
+already-fused plan and wraps every vector or pipeline driver in its
+morsel-fanned counterpart — same spec, and the serial driver itself
+kept as the anchor, so a degraded parallel site falls back to exactly
+the tier it replaced (vector when vectors fused, fused pipeline
+otherwise).  The fusable language never widens here: the parallel tier
+fans out precisely the specs the pipeline fuser matched.
+
+Interior generic nodes are rebuilt with the same shallow-copy
+discipline as the other fusers; untouched subtrees are shared.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.engine.nodes import PlanNode
+from repro.bees.pipeline.fusion import _CHILD_ATTRS
+from repro.bees.pipeline.nodes import PipelineAgg, PipelineJoin, PipelineScan
+from repro.bees.vector.nodes import VectorAgg, VectorJoin, VectorScan
+from repro.parallel.nodes import ParallelAgg, ParallelJoin, ParallelScan
+
+
+def _parallelize(plan: PlanNode, db) -> PlanNode:
+    kind = type(plan)
+    if kind is VectorScan:
+        return ParallelScan(plan.spec, plan, "vector")
+    if kind is VectorAgg:
+        return ParallelAgg(plan.spec, plan, "vector")
+    if kind is VectorJoin:
+        return _parallel_join(plan, db, "vector")
+    if kind is PipelineScan:
+        return ParallelScan(plan.spec, plan, "pipeline")
+    if kind is PipelineAgg:
+        return ParallelAgg(plan.spec, plan, "pipeline")
+    if kind is PipelineJoin:
+        return _parallel_join(plan, db, "pipeline")
+    attrs = _CHILD_ATTRS.get(kind)
+    if not attrs:
+        return plan
+    children = {name: _parallelize(getattr(plan, name), db) for name in attrs}
+    if all(children[name] is getattr(plan, name) for name in attrs):
+        return plan
+    clone = copy.copy(plan)
+    for name, child in children.items():
+        setattr(clone, name, child)
+    return clone
+
+
+def _parallel_join(plan: PlanNode, db, tier: str) -> PlanNode:
+    """Morsel-fan a fused join's probe side.
+
+    The build subtree is parallelized too, and — crucially — grafted
+    into the serial *anchor* as well: when the probe side bypasses the
+    pool (small relation) or the site is quarantined, the drained
+    anchor must still compute its build-side aggregates with the same
+    tier the rest of the query used, or cross-statement float
+    identities (TPC-H Q15 compares a SUM against its own MAX with
+    ``=``) break on re-associated partial sums.
+    """
+    build = _parallelize(plan.build, db)
+    anchor = plan
+    if build is not plan.build:
+        anchor = copy.copy(plan)
+        anchor.build = build
+    return ParallelJoin(plan.spec, anchor, build, tier)
+
+
+def parallelize_plan(plan: PlanNode, db) -> PlanNode:
+    """Return *plan* rewritten around morsel drivers where fused.
+
+    *plan* must already be pipeline- or vector-fused; segments neither
+    fuser matched stay serial (there is no spec to ship to a worker).
+    """
+    return _parallelize(plan, db)
+
+
+__all__ = ["parallelize_plan"]

@@ -1,0 +1,180 @@
+"""Parallel driver nodes: the executor side of the morsel tier.
+
+Mirrors :mod:`repro.bees.vector.nodes` one tier up: each driver wraps
+the same :class:`PipelineSpec` plus the serial driver it replaced (the
+vector or pipeline node) kept as the *anchor*, so a quarantined
+parallel site, a too-small relation, or a mid-statement worker loss
+drains the anchor — giving the runtime its
+parallel → vector → pipeline → routine → generic degradation ladder
+without this tier knowing about the ones below.
+
+The drivers buffer the coordinator's gathered result and yield it as
+one batch: morsel payloads are concatenated in morsel (= heap page)
+order, so the ``rows`` and ``probe`` sinks reproduce the serial row
+order exactly; only aggregate float accumulations may differ in the
+last ulps (see ``rows_equivalent`` in :mod:`repro.oracle.normalize`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.cost import constants as C
+from repro.engine.nodes import ExecContext, PlanNode, Row, output_nullability
+from repro.parallel.coordinator import ParallelError
+from repro.resilience.guard import parallel_key
+
+
+class _ParallelNode(PlanNode):
+    """Shared driver plumbing: spec + serial anchor + coordinator calls."""
+
+    def __init__(self, spec, anchor: PlanNode, tier: str) -> None:
+        self.spec = spec
+        self.anchor = anchor
+        self.tier = tier
+        self.columns = list(anchor.columns)
+        self.nullable = output_nullability(anchor)
+
+    def node_label(self) -> str:
+        fused = " <- ".join(self.spec.fused_nodes)
+        return f"{type(self).__name__}[{fused}]"
+
+    def _gather(self, ctx: ExecContext, table_fn=None):
+        """Run the statement through the coordinator.
+
+        Returns ``(payload, key)``; payload ``None`` means drain the
+        anchor (quarantined site or small-relation bypass).  *table_fn*
+        (join probes) is only invoked once the coordinator has decided
+        to parallelize, so a bypassed statement never builds its hash
+        table twice.  A :class:`ParallelError` becomes the
+        statement-retry signal under beeshield and is re-raised
+        unshielded.
+        """
+        key = parallel_key(self.spec)
+        shield = ctx.shield
+        if shield is not None and not shield.registry.admit(key):
+            return None, key
+        rel = ctx.db.relation(self.spec.relation)
+        if shield is not None:
+            shield.scrub_sections(rel)
+        coordinator = ctx.db.parallel_coordinator()
+        try:
+            payload = coordinator.execute_statement(
+                self.spec, self.tier, table_fn=table_fn
+            )
+        except ParallelError as exc:
+            coordinator.stats.record_degradation()
+            if shield is None:
+                raise
+            shield.fault("parallel", key, exc.kind, site="parallel", error=exc)
+        if payload is not None and shield is not None:
+            ctx.shield_used.append(key)
+        return payload, key
+
+    def _anchor_batches(self, ctx: ExecContext) -> Iterator[list]:
+        """Serial fallback: drain the replaced vector/pipeline driver."""
+        yield from self.anchor.batches(ctx)
+
+    def _checked(self, out: list, ctx: ExecContext, key) -> list:
+        if out and ctx.shield is not None and len(out[0]) != len(self.columns):
+            ctx.shield.fault("parallel", key, "arity", site="parallel")
+        return out
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        for batch in self.batches(ctx):
+            yield from batch
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        raise NotImplementedError
+
+
+class ParallelScan(_ParallelNode):
+    """Morsel-fanned Scan -> Filter* -> Project (the ``rows`` sink)."""
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        payload, key = self._gather(ctx)
+        if payload is None:
+            yield from self._anchor_batches(ctx)
+            return
+        if payload:
+            yield self._checked(payload, ctx, key)
+
+
+class ParallelJoin(_ParallelNode):
+    """Hash join whose probe side is morsel-fanned (``probe`` sink).
+
+    The build side runs serially on the coordinator (it is the small
+    side by construction) and the finished hash table ships to every
+    worker with the statement's prepare message; the build phase is
+    charged exactly like :class:`HashJoin`'s.  The table is built
+    lazily — only once the coordinator commits to fanning out — and the
+    anchor's build child is the *same* parallelized subtree (see
+    ``_parallel_join``), so bypass and quarantine drains run the build
+    side exactly once, with the same tier.
+    """
+
+    def __init__(self, spec, anchor, build: PlanNode, tier: str) -> None:
+        super().__init__(spec, anchor, tier)
+        self.build = build
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.build,)
+
+    def _build_table(self, ctx: ExecContext) -> dict:
+        charge = ctx.ledger.charge
+        # The generic HashJoin that owns the build key positions sits at
+        # the bottom of the anchor chain (vector -> pipeline -> generic).
+        hash_join = self.anchor
+        while hasattr(hash_join, "anchor"):
+            hash_join = hash_join.anchor
+        build_idx = hash_join.build_idx
+        n_keys = len(build_idx)
+        build_cost = (
+            C.NODE_OVERHEAD + C.JOIN_HASH_COMPUTE + C.EXPR_COLUMN * n_keys
+        )
+        table: dict[tuple, list[Row]] = defaultdict(list)
+        for row in self.build.rows(ctx):
+            charge(build_cost)
+            build_key = tuple(row[i] for i in build_idx)
+            if None in build_key:
+                continue  # NULL keys never match
+            table[build_key].append(row)
+        return dict(table)   # drop defaultdict insertion-on-miss
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        payload, key = self._gather(
+            ctx, table_fn=lambda: self._build_table(ctx)
+        )
+        if payload is None:
+            yield from self._anchor_batches(ctx)
+            return
+        if payload:
+            yield self._checked(payload, ctx, key)
+
+
+class ParallelAgg(_ParallelNode):
+    """Hash aggregation over partial per-morsel accumulators.
+
+    Workers advance pipeline-form accumulators per morsel; the
+    coordinator merges the partials (``AggState.merge``) in morsel
+    order, which reproduces the serial first-seen group order, and this
+    driver finalizes — one row per group, NODE_OVERHEAD each, exactly
+    like ``HashAgg.rows``.
+    """
+
+    def batches(self, ctx: ExecContext) -> Iterator[list]:
+        payload, key = self._gather(ctx)
+        if payload is None:
+            yield from self._anchor_batches(ctx)
+            return
+        charge = ctx.ledger.charge
+        out = []
+        for group_key, states in payload.items():
+            charge(C.NODE_OVERHEAD)
+            out.append(list(group_key) + [state.result() for state in states])
+        if out:
+            yield self._checked(out, ctx, key)
+
+
+__all__ = ["ParallelAgg", "ParallelJoin", "ParallelScan"]

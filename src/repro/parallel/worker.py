@@ -1,0 +1,239 @@
+"""Worker-process side of the morsel-driven parallel tier.
+
+Each worker is a long-lived child process holding its own private hive:
+a :class:`repro.cost.Ledger` (virtual instructions accrue locally and
+are returned per task so the coordinator can price the makespan), a
+read-only heap *snapshot* per relation (live raw tuples shipped by the
+coordinator, keyed by ``(heap.uid, heap.version)`` tokens), a bee cache
+keyed by spec fingerprint (sha1 of the pickled :class:`PipelineSpec`),
+and a per-morsel chunk cache for the vector tier.
+
+The protocol is strictly request/reply over one duplex pipe, processed
+in FIFO order:
+
+* ``("snapshot", relation, token, pages, sections, layout)`` — install
+  a heap snapshot (no reply).
+* ``("invalidate",)`` — the coordinator observed a query-epoch bump
+  (DDL/DML): drop every cached bee, chunk, and snapshot (no reply).
+* ``("prepare", stmt_id, spec_bytes, tier, table)`` — compile (or fetch
+  by fingerprint) the routine for a statement; replies
+  ``("ready", stmt_id)``.
+* ``("task", stmt_id, morsel_idx, relation, token, lo, hi)`` — run the
+  prepared routine over heap pages ``[lo, hi)``; replies
+  ``("result", stmt_id, morsel_idx, payload, delta)`` where *delta* is
+  the worker-ledger delta ``(total, seq, rand, hit)``, or
+  ``("stale", stmt_id, morsel_idx)`` when the task token does not match
+  the installed snapshot (the coordinator re-ships and resends).
+* ``("stop",)`` — exit; pipe EOF (coordinator/pool death) exits too.
+
+Any exception is reported as ``("error", detail)`` — the coordinator
+degrades the statement to the serial tier; workers never crash the
+coordinator.  All shared state crossing the process boundary follows
+the guard+epoch contract in :mod:`repro.swarmcheck.registry`: snapshots
+and shipped bees are immutable on the worker side, and the epoch bump
+relayed as ``invalidate`` is the only cross-process invalidation edge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from repro.cost import constants as C
+from repro.cost.ledger import Ledger
+
+
+def _spec_fingerprint(spec_bytes: bytes, tier: str) -> str:
+    return hashlib.sha1(spec_bytes + tier.encode()).hexdigest()
+
+
+def _decode_rows(layout, raws, sections):
+    """Reference-decode raw tuples into schema-ordered value lists."""
+    rows = []
+    for raw in raws:
+        bee_values = sections[layout.read_bee_id(raw)] if sections else None
+        values, isnull = layout.decode(raw, bee_values)
+        for i, null in enumerate(isnull):
+            if null:
+                values[i] = None
+        rows.append(values)
+    return rows
+
+
+class _WorkerState:
+    """Everything one worker process owns (no state is shared back)."""
+
+    def __init__(self) -> None:
+        self.ledger = Ledger()
+        # relation -> (token, pages, sections, layout)
+        self.snapshots: dict = {}
+        # fingerprint -> compiled routine fn
+        self.bees: dict = {}
+        # (relation, token, lo, hi) -> Chunk
+        self.chunks: dict = {}
+        # stmt_id -> (spec, tier, fn, table)
+        self.prepared: dict = {}
+        self._seq = 0
+
+    def invalidate(self) -> None:
+        """Cross-process epoch bump: drop every cached artifact."""
+        self.bees.clear()
+        self.chunks.clear()
+        self.prepared.clear()
+        self.snapshots.clear()
+
+    def install_snapshot(self, relation, token, pages, sections, layout):
+        self.snapshots[relation] = (token, pages, sections, layout)
+        # Chunks decoded from an older snapshot of this relation are dead.
+        for key in [k for k in self.chunks if k[0] == relation]:
+            del self.chunks[key]
+
+    def prepare(self, stmt_id, spec_bytes, tier, table) -> None:
+        fingerprint = _spec_fingerprint(spec_bytes, tier)
+        fn = self.bees.get(fingerprint)
+        if fn is None:
+            spec = pickle.loads(spec_bytes)
+            self._seq += 1
+            name = f"PAR_{self._seq}"
+            if tier == "vector" and spec.sink == "agg":
+                # The serial agg kernel groups *and* finalizes, which
+                # cannot be merged across morsels; the partial variant
+                # keeps columnar speed and yields combinable states.
+                from repro.parallel.partialagg import generate_partial_agg
+
+                fn = generate_partial_agg(spec, self.ledger, name).fn
+            elif tier == "vector":
+                from repro.bees.vector.codegen import generate_vector
+
+                fn = generate_vector(spec, self.ledger, name).fn
+            else:
+                from repro.bees.pipeline.codegen import generate_pipeline
+
+                fn = generate_pipeline(spec, self.ledger, name).fn
+            self.bees[fingerprint] = fn
+        else:
+            spec = pickle.loads(spec_bytes)
+        self.prepared[stmt_id] = (spec, tier, fn, table)
+
+    # -- task execution ----------------------------------------------------
+
+    def _morsel_chunk(self, relation, token, lo, hi, layout, pages, sections):
+        """Columnar chunk for one page range, cached per (range, token)."""
+        from repro.bees.vector.chunks import chunk_from_rows, freeze_chunk
+
+        key = (relation, token, lo, hi)
+        chunk = self.chunks.get(key)
+        natts = layout.schema.natts
+        ledger = self.ledger
+        if chunk is not None:
+            ledger.charge_fn("parallel_chunk_hit", C.VEC_CHUNK_HIT * (hi - lo))
+            return chunk
+        rows = []
+        for raws in pages[lo:hi]:
+            # Snapshot pages are worker-resident by construction: the
+            # ship already modeled the transfer, so access is a hit.
+            ledger.hit_page()
+            ledger.charge_fn(
+                "parallel_chunk_build", C.PAGE_ACCESS + C.VEC_CHUNK_BUILD * natts
+            )
+            ledger.charge_fn(
+                "parallel_chunk_build", C.VEC_DECODE_PER_VALUE * natts * len(raws)
+            )
+            rows.extend(_decode_rows(layout, raws, sections))
+        chunk = freeze_chunk(chunk_from_rows(layout.schema, rows))
+        self.chunks[key] = chunk
+        return chunk
+
+    def run_task(self, stmt_id, relation, token, lo, hi):
+        """Run the prepared routine over pages ``[lo, hi)``.
+
+        Returns ``(payload, delta)`` or the string ``"stale"`` when the
+        installed snapshot does not match the task token.
+        """
+        spec, tier, fn, table = self.prepared[stmt_id]
+        snapshot = self.snapshots.get(relation)
+        if snapshot is None or snapshot[0] != token:
+            return "stale", None
+        _token, pages, sections, layout = snapshot
+        ledger = self.ledger
+        before = ledger.snapshot()
+        if tier == "vector":
+            chunk = self._morsel_chunk(
+                relation, token, lo, hi, layout, pages, sections
+            )
+            if spec.sink == "probe":
+                payload = fn(chunk.cols, chunk.nulls, chunk.n, table)
+            else:
+                # rows: finished rows; agg: [(group_key, [AggState])]
+                # partials from the partial-agg kernel.
+                payload = fn(chunk.cols, chunk.nulls, chunk.n)
+        elif spec.sink == "agg":
+            aggs = spec.aggs
+            make_states = lambda: [agg.make_state() for agg in aggs]
+            groups: dict = {}
+            if not spec.group_exprs:
+                groups[()] = make_states()
+            for raws in pages[lo:hi]:
+                ledger.hit_page()
+                ledger.charge_fn("parallel_page", C.PAGE_ACCESS)
+                if raws:
+                    fn(raws, sections, groups, make_states)
+            payload = list(groups.items())
+        else:
+            payload = []
+            for raws in pages[lo:hi]:
+                ledger.hit_page()
+                ledger.charge_fn("parallel_page", C.PAGE_ACCESS)
+                if not raws:
+                    continue
+                if spec.sink == "probe":
+                    payload.extend(fn(raws, sections, table))
+                else:
+                    payload.extend(fn(raws, sections))
+        delta = ledger.delta_since(before)
+        return payload, (
+            delta.total,
+            delta.seq_pages_read,
+            delta.rand_pages_read,
+            delta.pages_hit,
+        )
+
+
+def worker_main(conn) -> None:
+    """Worker process entry: serve the morsel protocol until stop/EOF."""
+    state = _WorkerState()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = message[0]
+        if tag == "stop":
+            return
+        try:
+            if tag == "snapshot":
+                _tag, relation, token, pages, sections, layout = message
+                state.install_snapshot(relation, token, pages, sections, layout)
+            elif tag == "invalidate":
+                state.invalidate()
+            elif tag == "prepare":
+                _tag, stmt_id, spec_bytes, tier, table = message
+                state.prepare(stmt_id, spec_bytes, tier, table)
+                conn.send(("ready", stmt_id))
+            elif tag == "task":
+                _tag, stmt_id, morsel_idx, relation, token, lo, hi = message
+                payload, delta = state.run_task(stmt_id, relation, token, lo, hi)
+                if payload == "stale" and delta is None:
+                    conn.send(("stale", stmt_id, morsel_idx))
+                else:
+                    conn.send(("result", stmt_id, morsel_idx, payload, delta))
+            else:
+                conn.send(("error", f"unknown message tag {tag!r}"))
+        except Exception as exc:  # noqa: BLE001 — reported, never fatal here
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):
+                return
+
+
+__all__ = ["worker_main"]

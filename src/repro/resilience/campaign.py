@@ -244,9 +244,10 @@ def _site_settings(site) -> BeeSettings:
     # inline their own deform/filter/aggregate loops, so GCL/EVP/AGG
     # faults would never be reached under fusion.  Vector sites arm the
     # whole ladder (vectors over pipelines) so a faulting kernel has
-    # both the pipeline anchor and the generic interpreter to land on.
+    # both the pipeline anchor and the generic interpreter to land on;
+    # parallel sites arm the morsel tier on top of that full ladder.
     return BeeSettings.future().enabling(
-        pipelines=site.fused, vectors=site.vectored
+        pipelines=site.fused, vectors=site.vectored, parallel=site.parallel
     )
 
 
@@ -258,13 +259,17 @@ def run_site(
     settings: BeeSettings | None = None,
 ) -> SiteResult:
     """Arm one site, run the scenario, compare against *expected*."""
-    from repro.oracle.normalize import outcomes_equal
+    from repro.oracle.normalize import outcomes_equal, outcomes_equivalent
     from repro.workloads.tpch.loader import build_tpch_database
 
     site = SITES[site_name]
     chaos = ChaosInjector(seed)
     settings = settings if settings is not None else _site_settings(site)
     result = SiteResult(site.name, site.description)
+    # Parallel sites compare with the float-tolerant equivalence: morsel
+    # partial sums re-associate, so aggregate floats may differ from
+    # stock in the last ulps without being wrong.
+    agree = outcomes_equivalent if site.parallel else outcomes_equal
 
     def run_all(db):
         for label, thunk in _build_scenario(db):
@@ -272,7 +277,7 @@ def run_site(
             result.statements += 1
             if outcome[0] == "escape":
                 result.escapes.append(label)
-            elif not outcomes_equal(outcome, expected[label]):
+            elif not agree(outcome, expected[label]):
                 result.mismatches.append(label)
             chaos.kick(site.name, db)
 
@@ -290,6 +295,7 @@ def run_site(
     result.faults_recorded = report["faults"]
     result.quarantined = report["quarantined"]
     result.evidence = site.triggered(chaos, db)
+    db.close()   # release the worker pool, if one spawned
     return result
 
 

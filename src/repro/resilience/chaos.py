@@ -96,6 +96,10 @@ class ChaosSite:
     #: Vector sites need the full ladder armed (vectors over pipelines)
     #: so degradation has both lower tiers to land on.
     vectored: bool = False
+    #: Run with the morsel-parallel tier enabled on top of the ladder.
+    #: Parallel sites compare with the float-tolerant equivalence
+    #: (morsel partial sums re-associate) instead of exact equality.
+    parallel: bool = False
 
     def triggered(self, chaos: ChaosInjector, db) -> bool:
         if self.evidence is not None:
@@ -321,6 +325,51 @@ def _budget_evidence(chaos, db) -> bool:
     return any(key.endswith("/budget") for key in report["by_site"])
 
 
+@contextmanager
+def _arm_parallel_kill(chaos, db):
+    _kick_parallel_kill(chaos, db)
+    yield
+
+
+def _kick_parallel_kill(chaos, db) -> None:
+    """Lose a worker with its morsel in flight (one-shot per statement).
+
+    The coordinator's dispatch loop must observe the pipe EOF, record
+    the loss, shut the pool down, and degrade the statement to its
+    serial anchor — never hang on the dead worker or mis-merge a
+    partial result set.
+    """
+    db.parallel_coordinator()._chaos_kill_next = True
+    chaos.fired["parallel-worker-loss"] += 1
+
+
+@contextmanager
+def _arm_parallel_stale(chaos, db):
+    _kick_parallel_stale(chaos, db)
+    yield
+
+
+def _kick_parallel_stale(chaos, db) -> None:
+    """Hand one worker a statement without its heap snapshot.
+
+    The worker must answer ``stale`` (snapshot-token mismatch) rather
+    than compute over missing or outdated pages; the coordinator then
+    re-ships the snapshot and resends the morsel.
+    """
+    db.parallel_coordinator()._chaos_stale_next = True
+    chaos.fired["parallel-stale-epoch"] += 1
+
+
+def _parallel_event_evidence(event_name: str):
+    def evidence(chaos, db) -> bool:
+        return any(
+            event["event"] == event_name
+            for event in db.resilience.report()["events"]
+        )
+
+    return evidence
+
+
 def _section_evidence(chaos, db) -> bool:
     if chaos.fired["section-flip"] == 0:
         return False
@@ -444,6 +493,28 @@ def _build_sites() -> dict[str, ChaosSite]:
             _patched_generator(maker, "generate_vector", _vector_gen_wrap),
             fused=True,
             vectored=True,
+        ),
+        ChaosSite(
+            "parallel-worker-loss",
+            "worker process killed with a morsel in flight",
+            _arm_parallel_kill,
+            arm_with_db=True,
+            kick=_kick_parallel_kill,
+            evidence=_parallel_event_evidence("parallel_worker_lost"),
+            fused=True,
+            vectored=True,
+            parallel=True,
+        ),
+        ChaosSite(
+            "parallel-stale-epoch",
+            "worker dispatched a statement without its snapshot",
+            _arm_parallel_stale,
+            arm_with_db=True,
+            kick=_kick_parallel_stale,
+            evidence=_parallel_event_evidence("parallel_stale_retry"),
+            fused=True,
+            vectored=True,
+            parallel=True,
         ),
         ChaosSite(
             "section-flip",

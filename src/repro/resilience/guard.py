@@ -42,6 +42,7 @@ FAMILY_BY_PREFIX = {
     "IDX": "idx",
     "PIPE": "pipelines",
     "VEC": "vectors",
+    "PAR": "parallel",
 }
 
 
@@ -63,6 +64,10 @@ def pipeline_key(spec) -> str:
 
 def vector_key(spec) -> str:
     return f"VEC:{spec.relation}:{spec.sink}"
+
+
+def parallel_key(spec) -> str:
+    return f"PAR:{spec.relation}:{spec.sink}"
 
 
 class BeeGuard:

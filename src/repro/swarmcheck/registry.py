@@ -184,6 +184,41 @@ REGISTRY: tuple[SharedState, ...] = (
     _shared("BeeHealth", "window", "resilience_lock", "-"),
     _shared("BeeHealth", "denied", "resilience_lock", "-"),
     _shared("BeeHealth", "consecutive", "resilience_lock", "-"),
+
+    # -- parallel tier: morsel coordinator + worker pool ---------------------
+    # The coordinator lives on the session side of the worker pipes; only
+    # the session thread running ``db.sql`` touches it today, but every
+    # entry names the guard a multi-session server must take.  Worker-side
+    # state (``_WorkerState``) is forked-process private: nothing aliases
+    # coordinator memory, replies travel by pickle.
+    _shared("Database", "_parallel", "session", "-",
+            "lazily constructed morsel coordinator handle; close() joins"),
+    _shared("ParallelCoordinator", "_workers", "parallel_lock", "-",
+            "persistent worker pool; replaced wholesale on crash/shutdown"),
+    _shared("ParallelCoordinator", "_shipped", "parallel_lock",
+            "HeapFile.version",
+            "per-worker relation -> (uid, version) snapshot tokens; a "
+            "version bump forces a re-ship"),
+    _shared("ParallelCoordinator", "_epoch", "parallel_lock",
+            "GenericBeeModule.query_epoch",
+            "last query epoch broadcast to the pool; a bump invalidates "
+            "every worker-side bee/snapshot cache"),
+    _shared("ParallelCoordinator", "_stmt_seq", "parallel_lock", "-",
+            "monotonic statement id for the prepare/task protocol"),
+    _shared("ParallelCoordinator", "_chaos_kill_next", "parallel_lock", "-",
+            "one-shot chaos hook: kill a worker mid-morsel"),
+    _shared("ParallelCoordinator", "_chaos_stale_next", "parallel_lock", "-",
+            "one-shot chaos hook: force a stale-epoch retry"),
+    _shared("ParallelStats", "workers_spawned", "parallel_lock", "-"),
+    _shared("ParallelStats", "statements", "parallel_lock", "-"),
+    _shared("ParallelStats", "morsels_dispatched", "parallel_lock", "-"),
+    _shared("ParallelStats", "epoch_invalidations", "parallel_lock", "-"),
+    _shared("ParallelStats", "snapshot_ships", "parallel_lock", "-"),
+    _shared("ParallelStats", "stale_retries", "parallel_lock", "-"),
+    _shared("ParallelStats", "worker_crashes", "parallel_lock", "-"),
+    _shared("ParallelStats", "degradations", "parallel_lock", "-"),
+    _shared("ParallelStats", "bypassed", "parallel_lock", "-"),
+
     _shared("*", "epoch", "hive_lock", "GenericBeeModule.query_epoch",
             "query-epoch stamp written onto routines at memo time"),
 )

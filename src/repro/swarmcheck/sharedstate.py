@@ -82,6 +82,11 @@ EXEC_MODULES: tuple[str, ...] = (
     "bees/vector/fusion.py",
     "bees/vector/codegen.py",
     "bees/vector/chunks.py",
+    "parallel/coordinator.py",
+    "parallel/fusion.py",
+    "parallel/nodes.py",
+    "parallel/partialagg.py",
+    "parallel/worker.py",
     "resilience/guard.py",
     "resilience/registry.py",
     "resilience/errors.py",
@@ -124,6 +129,12 @@ STATEMENT_MODULES = frozenset({
     "bees/pipeline/nodes.py",
     "bees/vector/nodes.py",
     "cost/profiler.py",
+    # Parallel drivers are plan nodes too; the worker module's state is
+    # forked-process private (each worker owns its ledger/bee/chunk
+    # caches outright — replies cross the pipe by pickle, never by
+    # reference), which is the same no-contention property.
+    "parallel/nodes.py",
+    "parallel/worker.py",
 })
 
 #: Modules that *construct* a routine or plan: the object under
@@ -148,6 +159,8 @@ CONSTRUCTION_MODULES = frozenset({
     "bees/pipeline/fusion.py",
     "bees/vector/codegen.py",
     "bees/vector/fusion.py",
+    "parallel/fusion.py",
+    "parallel/partialagg.py",
 })
 
 #: Method names that mutate their receiver (list/dict/set/deque/ndarray

@@ -428,9 +428,19 @@ class RewriteChecker:
 def check_fusion(
     plan: PlanNode, db, subject: str
 ) -> tuple[list[Finding], int]:
-    """Fuse *plan* through both tiers and prove each result equivalent."""
+    """Fuse *plan* through every tier and prove each result equivalent.
+
+    Three replays: the pipeline rewrite, the vector rewrite stacked on
+    it, and the parallel rewrite stacked on the vector one.  The morsel
+    drivers carry the same spec object as the driver they wrap, so the
+    existing driver-on-driver stacking rules apply unchanged — a
+    parallel node that invented its own spec (or grafted a build
+    subtree that no longer replays against the original join's build
+    side) is a finding.
+    """
     from repro.bees.pipeline.fusion import fuse_plan
     from repro.bees.vector.fusion import fuse_vector_plan
+    from repro.parallel.fusion import parallelize_plan
 
     checker = RewriteChecker(subject, db)
     try:
@@ -445,6 +455,12 @@ def check_fusion(
         checker.fail(f"fuse_vector_plan raised {type(exc).__name__}: {exc}")
         return checker.findings, checker.rewrites_checked
     checker.compare(vectorized, plan)
+    try:
+        paralleled = parallelize_plan(fuse_vector_plan(plan, db), db)
+    except Exception as exc:    # noqa: BLE001
+        checker.fail(f"parallelize_plan raised {type(exc).__name__}: {exc}")
+        return checker.findings, checker.rewrites_checked
+    checker.compare(paralleled, plan)
     return checker.findings, checker.rewrites_checked
 
 

@@ -49,9 +49,10 @@ def build_tpch_database(
     seed: int = 20120401,
     rows: dict[str, list[list]] | None = None,
     annotate: bool = True,
+    parallel_workers: int = 2,
 ) -> Database:
     """A ready-to-query TPC-H database with the given bee settings."""
-    db = Database(settings)
+    db = Database(settings, parallel_workers=parallel_workers)
     create_tables(db, annotate=annotate)
     if rows is None:
         rows = generate_rows(TPCHGenerator(scale_factor, seed))
