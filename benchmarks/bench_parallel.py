@@ -42,6 +42,7 @@ import json
 import math
 import sys
 import time
+from contextlib import ExitStack
 from pathlib import Path
 
 from repro.bees.settings import BeeSettings
@@ -194,14 +195,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     databases = build_databases(args.sf, args.seed)
-    try:
+    with ExitStack() as stack:
+        for db in databases.values():
+            stack.enter_context(db)
         queries = run_suite(databases, args.repeat)
         mixed = run_mixed(databases, args.repeat)
         summary = summarize(queries)
         pool_stats = databases["parallel4"].stats()["parallel"]
-    finally:
-        for db in databases.values():
-            db.close()
     report = {
         "scale_factor": args.sf,
         "seed": args.seed,

@@ -1,0 +1,281 @@
+"""Hive Gate benchmark: 8-client mixed workload vs a single session.
+
+Two phases over the same balanced-pair workload (one shared hub table
+every client reads, one private table per client that only it flips):
+
+1. **Concurrent run + serialized oracle.**  Eight client threads drive
+   their statement lists through a live :class:`HiveServer`.  The run
+   must finish with zero errors and zero snapshot violations, and the
+   recorded schedule must replay single-threaded on a fresh base with
+   every statement fingerprint matching — the correctness half of the
+   gate.  Real wall time is recorded for transparency.
+
+2. **Modeled makespan.**  Each scheduled statement is re-executed
+   serially on a fresh base under ``db.measure``, pricing it in modeled
+   seconds (the calibrated cost model every experiment in this repo is
+   denominated in — real wall time on a shared/1-CPU GIL box measures
+   the host, not the schedule).  A greedy earliest-start simulation
+   then replays the schedule under the server's actual concurrency
+   rules — statements on one session serialize, reads share a relation,
+   writes exclude it — and the **modeled speedup** is serial-sum /
+   simulated-makespan.
+
+``--check`` gates both: the replay must be divergence-free and the
+modeled speedup at 8 clients must be at least ``--tolerance`` (default
+2.0 — the server must buy at least a 2x throughput win over feeding the
+same statements through one session).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.bees.settings import BeeSettings
+from repro.db import Database
+from repro.server.core import HiveServer, classify_statement
+from repro.server.oracle import statement_fingerprint
+from repro.sql.parser import parse
+from repro.sql.session import execute_sql
+
+CLIENTS = 8
+STATEMENTS_PER_CLIENT = 12
+PAIRS = 10
+
+HUB = "gate_hub"
+
+
+def _pair_rows(pairs: int) -> list[list[int]]:
+    rows = []
+    for pair in range(pairs):
+        qty = 10 + pair
+        rows.append([2 * pair, pair, qty])
+        rows.append([2 * pair + 1, pair, -qty])
+    return rows
+
+
+def build_base() -> Database:
+    """The pre-workload state: hub + one private table per client.
+    Built outside any server, so the WAL-free schedule fully describes
+    everything that happened after."""
+    db = Database(BeeSettings.future().enabling(parallel=False))
+    for table in [HUB] + [f"gate_c{i}" for i in range(CLIENTS)]:
+        execute_sql(
+            db,
+            f"CREATE TABLE {table} (id int NOT NULL, pair int NOT NULL, "
+            "qty int NOT NULL)",
+        )
+        db.copy_from(table, _pair_rows(PAIRS))
+    return db
+
+
+def build_workload(seed: int) -> list[list[str]]:
+    """Per-client statement lists: reads on the shared hub and the
+    occasional neighbour, flips on the client's own table."""
+    rng = random.Random(seed)
+    workload = []
+    for client in range(CLIENTS):
+        mine = f"gate_c{client}"
+        statements = []
+        for step in range(STATEMENTS_PER_CLIENT):
+            if step % 2 == 0:
+                table = (
+                    HUB if rng.random() < 0.6
+                    else f"gate_c{rng.randrange(CLIENTS)}"
+                )
+                statements.append(f"SELECT SUM(qty) FROM {table}")
+            else:
+                pair = rng.randrange(PAIRS)
+                statements.append(
+                    f"UPDATE {mine} SET qty = 0 - qty WHERE pair = {pair}"
+                )
+        workload.append(statements)
+    return workload
+
+
+# ----------------------------------------------------------------------
+# phase 1: the concurrent run and its serialized replay
+
+
+def run_concurrent(workload) -> dict:
+    db = build_base()
+    server = HiveServer(db)
+    errors: list[str] = []
+
+    def client(statements):
+        try:
+            with server.session() as session:
+                for sql in statements:
+                    session.sql(sql)
+        except Exception as exc:  # noqa: BLE001 — benchmark verdict
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=client, args=(statements,))
+        for statements in workload
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    stats = server.stats_snapshot()
+    schedule = sorted(server.schedule, key=lambda e: e.seq)
+    db.close()
+    return {
+        "errors": errors,
+        "wall_seconds": wall,
+        "stats": stats,
+        "schedule": schedule,
+    }
+
+
+def replay_and_price(schedule) -> tuple[list, dict]:
+    """Re-run the schedule serially on a fresh base, checking every
+    fingerprint and pricing every statement in modeled seconds."""
+    db = build_base()
+    costs = []
+    divergences = []
+    for entry in schedule:
+        run = db.measure(lambda sql=entry.sql: execute_sql(db, sql))
+        if statement_fingerprint(run.result) != entry.fingerprint:
+            divergences.append(entry.seq)
+        costs.append((entry, run.seconds))
+    db.close()
+    return costs, {
+        "statements": len(schedule),
+        "divergences": divergences,
+        "ok": not divergences,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 2: the modeled makespan
+
+
+def simulate_makespan(costs) -> dict:
+    """Greedy earliest-start replay of the schedule under the server's
+    concurrency rules: per-session serialization, shared read latches,
+    exclusive write latches — the same constraints the live latches
+    enforce, priced by the cost model."""
+    session_free: dict[int, float] = {}
+    read_free: dict[str, float] = {}
+    write_free: dict[str, float] = {}
+    makespan = 0.0
+    serial = 0.0
+    for entry, seconds in costs:
+        _kind, relations = classify_statement(parse(entry.sql))
+        start = session_free.get(entry.session, 0.0)
+        for name in relations:
+            start = max(start, write_free.get(name, 0.0))
+            if entry.kind != "read":
+                start = max(start, read_free.get(name, 0.0))
+        end = start + seconds
+        session_free[entry.session] = end
+        for name in relations:
+            if entry.kind == "read":
+                read_free[name] = max(read_free.get(name, 0.0), end)
+            else:
+                write_free[name] = end
+        makespan = max(makespan, end)
+        serial += seconds
+    return {
+        "serial_model_seconds": serial,
+        "makespan_model_seconds": makespan,
+        "modeled_speedup": serial / makespan if makespan else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# entry point
+
+
+def run_benchmark(seed: int) -> dict:
+    workload = build_workload(seed)
+    concurrent = run_concurrent(workload)
+    if concurrent["errors"]:
+        raise AssertionError(
+            f"concurrent run errored: {concurrent['errors']}"
+        )
+    costs, replay = replay_and_price(concurrent["schedule"])
+    model = simulate_makespan(costs)
+    return {
+        "clients": CLIENTS,
+        "statements_per_client": STATEMENTS_PER_CLIENT,
+        "seed": seed,
+        "concurrent": {
+            "wall_seconds": concurrent["wall_seconds"],
+            "errors": concurrent["stats"]["errors"],
+            "snapshot_violations": concurrent["stats"][
+                "snapshot_violations"
+            ],
+            "statements": concurrent["stats"]["statements"],
+            "queue_high_water": concurrent["stats"]["queue_high_water"],
+        },
+        "replay": replay,
+        "model": model,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Hive Gate 8-client throughput benchmark"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path,
+                        default=Path("results") / "BENCH_server.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the serialized replay "
+                             "is divergence-free and the modeled "
+                             "speedup meets --tolerance")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="minimum modeled speedup at 8 clients "
+                             "(default 2.0)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.seed)
+    replay_ok = report["replay"]["ok"]
+    speedup = report["model"]["modeled_speedup"]
+    passed = replay_ok and speedup >= args.tolerance
+    report["check"] = {
+        "tolerance": args.tolerance,
+        "replay_ok": replay_ok,
+        "modeled_speedup": speedup,
+        "passed": passed,
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"hive gate: {report['concurrent']['statements']} statements, "
+        f"{report['clients']} clients, "
+        f"wall {report['concurrent']['wall_seconds']:.2f}s"
+    )
+    print(
+        f"replay: {'ok' if replay_ok else 'DIVERGED'} "
+        f"({report['replay']['statements']} statements)"
+    )
+    print(
+        f"modeled: serial {report['model']['serial_model_seconds']:.4f}s, "
+        f"makespan {report['model']['makespan_model_seconds']:.4f}s, "
+        f"speedup {speedup:.2f}x (gate {args.tolerance:.2f}x)"
+    )
+    print(f"wrote {args.out}")
+    if args.check and not passed:
+        print("CHECK FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ path, which is where the tier's cold/warm asymmetry comes from.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -151,8 +152,9 @@ class ChunkCache:
     both invalidate without the cache having to observe DDL.
     """
 
-    def __init__(self, capacity: int = 16) -> None:
+    def __init__(self, capacity: int = 16, lock=None) -> None:
         self.capacity = capacity
+        self._lock = lock if lock is not None else threading.RLock()
         self._entries: OrderedDict[int, tuple[int, object, Chunk]] = (
             OrderedDict()
         )
@@ -160,36 +162,45 @@ class ChunkCache:
         self.misses = 0
 
     def get(self, rel) -> Chunk:
-        """The current chunk for *rel*: cached, or decoded and cached."""
-        heap = rel.heap
-        entry = self._entries.get(heap.uid)
-        if (
-            entry is not None
-            and entry[0] == heap.version
-            and entry[1] is rel.layout
-        ):
+        """The current chunk for *rel*: cached, or decoded and cached.
+
+        Runs wholly under the cache's lock (the materialized
+        ``chunk_lock`` guard): lookup, validation, LRU maintenance, and
+        the decode itself — concurrent readers of a cold relation decode
+        it once, not once each, and frozen chunks are shared read-only.
+        """
+        with self._lock:
+            heap = rel.heap
+            entry = self._entries.get(heap.uid)
+            if (
+                entry is not None
+                and entry[0] == heap.version
+                and entry[1] is rel.layout
+            ):
+                self._entries.move_to_end(heap.uid)
+                self.hits += 1
+                heap.ledger.charge(C.VEC_CHUNK_HIT * max(1, heap.page_count))
+                return entry[2]
+            self.misses += 1
+            chunk = freeze_chunk(decode_relation(rel))
+            self._entries[heap.uid] = (heap.version, rel.layout, chunk)
             self._entries.move_to_end(heap.uid)
-            self.hits += 1
-            heap.ledger.charge(C.VEC_CHUNK_HIT * max(1, heap.page_count))
-            return entry[2]
-        self.misses += 1
-        chunk = freeze_chunk(decode_relation(rel))
-        self._entries[heap.uid] = (heap.version, rel.layout, chunk)
-        self._entries.move_to_end(heap.uid)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return chunk
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return chunk
 
     def invalidate(self, uid: int | None = None) -> None:
         """Drop one heap's entry, or everything."""
-        if uid is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(uid, None)
+        with self._lock:
+            if uid is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(uid, None)
 
     def statistics(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

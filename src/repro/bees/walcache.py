@@ -55,8 +55,15 @@ def _decode_record(line: str) -> dict | None:
         return None
 
 
-class BeeCacheWAL:
-    """Append-only undo/redo log for bee-cache mutations.
+class WALFile:
+    """A checksummed, commit-marked, torn-tail-repairing log file.
+
+    The shared machinery under both the bee-cache WAL and the server's
+    data WAL (:class:`repro.server.wal.DataWAL`): CRC-framed JSON
+    records, bare ``COMMIT`` marker lines, torn-tail repair on reopen,
+    and committed-prefix recovery.  Subclasses add their record
+    vocabulary and durability policy (the bee cache flushes, the data
+    WAL fsyncs through a group committer).
 
     *registry* is an optional :class:`repro.resilience.ResilienceRegistry`
     that receives a ``wal_truncated`` event whenever :meth:`repair` drops
@@ -80,6 +87,22 @@ class BeeCacheWAL:
         with open(self.path, "a") as handle:
             handle.write(line + "\n")
             handle.flush()
+
+    def _append_group(self, lines: list[str]) -> None:
+        """Append *lines* plus a COMMIT marker in one write, then
+        :meth:`_sync`.  A crash inside the write leaves at most a torn
+        unterminated tail — exactly what :meth:`repair` heals — and the
+        group's records stay invisible to :meth:`committed_records`
+        until their COMMIT landed."""
+        with open(self.path, "a") as handle:
+            handle.write("\n".join([*lines, _COMMIT]) + "\n")
+            handle.flush()
+            self._sync(handle)
+
+    def _sync(self, handle) -> None:
+        """Durability hook: the base class only flushes (the bee cache
+        tolerates losing the OS cache); the data WAL overrides this
+        with a real ``os.fsync``."""
 
     # -- torn-write repair ----------------------------------------------------------
 
@@ -111,29 +134,6 @@ class BeeCacheWAL:
         return dropped
 
     # -- logging -------------------------------------------------------------------
-
-    def log_put(self, bee: RelationBee) -> None:
-        """Log the creation/replacement of a relation bee."""
-        record = {
-            "op": "put",
-            "relation": bee.relation,
-            "bee_attrs": list(bee.layout.bee_attrs),
-            "data_sections": (
-                [list(section) for section in bee.sections_list()]
-                if bee.data_sections is not None
-                else None
-            ),
-        }
-        self._append(_encode_record(record))
-
-    def log_section(self, relation: str, key: tuple) -> None:
-        """Log one new tuple-bee data section (created during inserts)."""
-        record = {"op": "section", "relation": relation, "key": list(key)}
-        self._append(_encode_record(record))
-
-    def log_delete(self, relation: str) -> None:
-        """Log the collection of a relation bee."""
-        self._append(_encode_record({"op": "delete", "relation": relation}))
 
     def commit(self) -> None:
         """Seal everything logged so far (redo on recovery)."""
@@ -177,6 +177,33 @@ class BeeCacheWAL:
                 )
             records.append(record)
         return records
+
+
+class BeeCacheWAL(WALFile):
+    """Append-only undo/redo log for bee-cache mutations."""
+
+    def log_put(self, bee: RelationBee) -> None:
+        """Log the creation/replacement of a relation bee."""
+        record = {
+            "op": "put",
+            "relation": bee.relation,
+            "bee_attrs": list(bee.layout.bee_attrs),
+            "data_sections": (
+                [list(section) for section in bee.sections_list()]
+                if bee.data_sections is not None
+                else None
+            ),
+        }
+        self._append(_encode_record(record))
+
+    def log_section(self, relation: str, key: tuple) -> None:
+        """Log one new tuple-bee data section (created during inserts)."""
+        record = {"op": "section", "relation": relation, "key": list(key)}
+        self._append(_encode_record(record))
+
+    def log_delete(self, relation: str) -> None:
+        """Log the collection of a relation bee."""
+        self._append(_encode_record({"op": "delete", "relation": relation}))
 
 
 class StableBeeCache:

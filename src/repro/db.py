@@ -27,6 +27,7 @@ from repro.engine.executor import execute as _execute
 from repro.engine.nodes import PlanNode
 from repro.resilience.guard import BeeGuard
 from repro.resilience.registry import ResilienceRegistry
+from repro.server.locks import HiveLocks
 from repro.storage import BufferPool, HeapFile, TupleLayout, build_index
 from repro.storage.buffer import DEFAULT_CAPACITY_PAGES
 
@@ -131,7 +132,13 @@ class Database:
         self.settings = settings or BeeSettings.stock()
         self.ledger = Ledger()
         self.catalog = Catalog()
-        self.buffer_pool = BufferPool(self.ledger, buffer_capacity_pages)
+        # Materialized guard registry (swarmcheck's lock plan made real);
+        # single-session use never contends, the server shares these.
+        self.locks = HiveLocks()
+        self.buffer_pool = BufferPool(
+            self.ledger, buffer_capacity_pages,
+            lock=self.locks.buffer_lock,
+        )
         self.resilience = ResilienceRegistry()
         self.shield = BeeGuard(self.resilience, self.ledger)
         self.bee_module = GenericBeeModule(
@@ -141,12 +148,15 @@ class Database:
         self.time_model = TimeModel()
         # Columnar chunk cache for the vector tier (validated against
         # heap versions, so it is safe to hold even when vectors are off).
-        self.chunk_cache = ChunkCache()
+        self.chunk_cache = ChunkCache(lock=self.locks.chunk_lock)
         # Morsel-parallel tier: the worker-pool coordinator is created
         # lazily on first parallel statement (spawning processes is not
         # free, and most sessions never enable the tier).
         self.parallel_workers = parallel_workers
         self._parallel = None
+        # The attached HiveServer, if any (set by HiveServer.__init__;
+        # feeds the ``server`` section of stats()).
+        self._server = None
         self._relations: dict[str, Relation] = {}
         self._deadline: float | None = None
         self.catalog.on("drop", self._on_drop)
@@ -442,14 +452,27 @@ class Database:
         return self._parallel
 
     def close(self) -> None:
-        """Release external resources (the parallel worker pool).
+        """Release external resources (the parallel worker pool and any
+        attached server).
 
-        Safe to call repeatedly; the database stays usable afterwards
-        (a later parallel statement respawns the pool).  Workers are
-        daemons, so an unclosed database cannot outlive the process.
+        Idempotent: the pool reference is taken before shutdown, so a
+        second ``close()`` never touches an already-joined coordinator.
+        The database stays usable afterwards (a later parallel statement
+        respawns the pool).  Workers are daemons, so an unclosed
+        database cannot outlive the process.
         """
-        if self._parallel is not None:
-            self._parallel.shutdown()
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+        pool, self._parallel = self._parallel, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def sql(
         self,
@@ -571,10 +594,15 @@ class Database:
             self._parallel.stats if self._parallel is not None
             else ParallelStats()
         )
+        server = (
+            self._server.stats_snapshot() if self._server is not None
+            else {}
+        )
         return copy.deepcopy({
             "bees": self.bee_module.statistics(),
             "resilience": self.resilience.report(),
             "parallel": parallel.snapshot(),
+            "server": server,
         })
 
     def table_names(self) -> list[str]:

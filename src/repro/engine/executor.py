@@ -17,6 +17,7 @@ ledger back, so a cancelled statement leaves the database usable.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 
 from repro.cost import constants as C
@@ -61,19 +62,27 @@ def execute(
     if shield is None and deadline is None:
         return _run(db, plan, emit, settings, None, None)
 
-    snapshot = db.ledger.snapshot()
+    # Ledger snapshot/rollback are compound multi-counter operations;
+    # under the concurrent server they run inside the materialized
+    # ledger_lock so a rollback never interleaves with another
+    # statement's snapshot (per-charge increments stay lock-free).
+    ledger_lock = db.locks.ledger_lock if hasattr(db, "locks") else nullcontext()
+    with ledger_lock:
+        snapshot = db.ledger.snapshot()
     current = settings
     last_error: BaseException | None = None
     for _attempt in range(_MAX_ATTEMPTS):
         try:
             return _run(db, plan, emit, current, deadline, shield)
         except QueryTimeout:
-            db.ledger.rollback_to(snapshot)
+            with ledger_lock:
+                db.ledger.rollback_to(snapshot)
             raise
         except BeeDegradeError as fault:
             if shield is None:
                 raise
-            db.ledger.rollback_to(snapshot)
+            with ledger_lock:
+                db.ledger.rollback_to(snapshot)
             _reset_plan_state(plan)
             shield.registry.record_failure(
                 fault.bee, site=fault.site, kind=fault.kind, error=fault.original
@@ -85,7 +94,8 @@ def execute(
                 raise
             if is_verification_refusal(exc):
                 raise
-            db.ledger.rollback_to(snapshot)
+            with ledger_lock:
+                db.ledger.rollback_to(snapshot)
             _reset_plan_state(plan)
             family, key = shield.attribute(exc, db.bee_module)
             shield.registry.record_failure(

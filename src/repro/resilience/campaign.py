@@ -15,14 +15,18 @@ scenario; three things must hold per site:
 * **evidence** — the fault demonstrably triggered (a campaign that never
   fires its faults proves nothing).
 
-Two extra lanes ride along: a *ladder* lane arms the vector and
+Three extra lanes ride along: a *ladder* lane arms the vector and
 pipeline shape faults together — proving a statement can degrade
 vector → pipeline → generic within one campaign and still match stock —
-and a WAL lane tears the bee-cache log at seeded offsets and checks
-recovery.  :func:`run_self_test` re-runs two sites with the shield
-*disabled* to prove the harness reports exactly the failures the shield
-exists to prevent (escapes for raising routines, silent wrong results
-for shape bugs).
+a WAL lane tears the bee-cache log at seeded offsets and checks
+recovery, and a *server* lane
+(:mod:`repro.resilience.serverlane`) drives the four ``server=True``
+sites against the Hive Gate front-end under real concurrency.
+:func:`run_self_test` re-runs two sites with the shield *disabled* —
+plus the server harness with its relation latches disabled — to prove
+the harness reports exactly the failures the defenses exist to prevent
+(escapes for raising routines, silent wrong results for shape bugs,
+torn reads for unlatched writers).
 """
 
 from __future__ import annotations
@@ -174,6 +178,7 @@ class CampaignReport:
     sites: list[SiteResult] = field(default_factory=list)
     ladder: dict = field(default_factory=dict)
     wal: dict = field(default_factory=dict)
+    server: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -181,6 +186,7 @@ class CampaignReport:
             all(site.ok for site in self.sites)
             and self.ladder.get("ok", False)
             and self.wal.get("ok", False)
+            and self.server.get("ok", False)
         )
 
     def to_dict(self) -> dict:
@@ -191,6 +197,7 @@ class CampaignReport:
             "sites": [site.to_dict() for site in self.sites],
             "ladder": self.ladder,
             "wal": self.wal,
+            "server": self.server,
         }
 
     def summary(self) -> str:
@@ -222,6 +229,12 @@ class CampaignReport:
             f"  [{wal_status:4}] wal-torn         rounds={self.wal.get('rounds')} "
             f"truncations={self.wal.get('truncations')}"
         )
+        for name, lane in self.server.get("sites", {}).items():
+            status = "ok" if lane.get("ok") else "FAIL"
+            detail = f"fired={lane.get('fired')}"
+            if lane.get("failures"):
+                detail += f" failures={lane['failures']}"
+            lines.append(f"  [{status:4}] {name:24} {detail}")
         lines.append(f"result: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
@@ -392,24 +405,33 @@ def run_campaign(
     from repro.workloads.tpch.dbgen import TPCHGenerator
     from repro.workloads.tpch.loader import generate_rows
 
+    from repro.resilience import serverlane
+
     rows = generate_rows(TPCHGenerator(scale_factor, 20120401))
     expected = _expected_outcomes(rows)
     report = CampaignReport(seed, scale_factor)
     for name in sites or SITE_NAMES:
-        report.sites.append(run_site(name, rows, expected, seed))
+        # server=True sites need clients and latches; they run in the
+        # server lane below, not the single-session site harness.
+        if not SITES[name].server:
+            report.sites.append(run_site(name, rows, expected, seed))
     report.ladder = run_ladder_lane(rows, expected, seed)
     report.wal = run_wal_lane(seed)
+    report.server = serverlane.run_server_lane(seed)
     return report
 
 
 def run_self_test(seed: int = 0, scale_factor: float = 0.002) -> dict:
     """Prove the harness detects what the shield normally absorbs.
 
-    Two deliberately *unshielded* runs: a raising deform must surface as
-    a ChaosFault escape, and a wrong-type predicate as silent result
-    mismatches.  If either run comes back clean, the harness could not
-    have caught a real guard hole either — the self-test fails.
+    Three deliberately *undefended* runs: a raising deform must surface
+    as a ChaosFault escape, a wrong-type predicate as silent result
+    mismatches, and — with the server's relation latches disabled — a
+    half-applied flip as a torn read.  If any run comes back clean, the
+    harness could not have caught a real hole either — the self-test
+    fails.
     """
+    from repro.resilience import serverlane
     from repro.workloads.tpch.dbgen import TPCHGenerator
     from repro.workloads.tpch.loader import generate_rows
 
@@ -426,4 +448,5 @@ def run_self_test(seed: int = 0, scale_factor: float = 0.002) -> dict:
             "mismatches": result.mismatches,
             "caught": detected,
         }
+    verdicts["server-unlatched"] = serverlane.run_unlatched_selftest(seed)
     return verdicts

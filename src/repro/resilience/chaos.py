@@ -100,6 +100,12 @@ class ChaosSite:
     #: Parallel sites compare with the float-tolerant equivalence
     #: (morsel partial sums re-associate) instead of exact equality.
     parallel: bool = False
+    #: A Hive Gate server fault: driven by the resilience *server lane*
+    #: (:mod:`repro.resilience.serverlane`) against a concurrent
+    #: multi-session harness instead of the single-session campaign
+    #: scenario.  ``arm`` receives the :class:`HiveServer` as its second
+    #: argument, not a Database.
+    server: bool = False
 
     def triggered(self, chaos: ChaosInjector, db) -> bool:
         if self.evidence is not None:
@@ -380,6 +386,64 @@ def _section_evidence(chaos, db) -> bool:
 
 
 # ----------------------------------------------------------------------
+# server sites (armed by the resilience server lane, which passes the
+# HiveServer — not a Database — as the harness object)
+
+#: The balanced-pair scratch relation every server lane runs against.
+SERVER_LANE_TABLE = "gate_ledger"
+
+
+@contextmanager
+def _arm_server_noop(chaos, _server):
+    """The lane itself injects the fault (socket resets, WAL tears);
+    arming is a no-op so the site still fits the campaign shape."""
+    yield
+
+
+@contextmanager
+def _arm_latch_hijack(chaos, server):
+    """Hold the lane table's write latch from outside any session, so
+    every statement touching it exhausts its lock-wait budget."""
+    latch = server.locks.relation_lock.latch(SERVER_LANE_TABLE)
+    latch.acquire_write(None)
+    chaos.fired["server-lock-timeout"] += 1
+    try:
+        yield
+    finally:
+        latch.release_write()
+
+
+@contextmanager
+def _arm_fsync_fail(chaos, server):
+    """One-shot fsync failure in the data WAL's durability hook."""
+    with server.locks.wal_lock:
+        server.wal._chaos_fsync_fail = 1
+    chaos.fired["server-fsync-fail"] += 1
+    try:
+        yield
+    finally:
+        with server.locks.wal_lock:
+            server.wal._chaos_fsync_fail = 0
+
+
+def _server_stat_evidence(counter: str):
+    def evidence(_chaos, server):
+        return getattr(server.stats, counter) > 0
+
+    return evidence
+
+
+def _server_event_evidence(event: str):
+    def evidence(_chaos, server):
+        return any(
+            entry.get("event") == event
+            for entry in server.db.resilience.report()["events"]
+        )
+
+    return evidence
+
+
+# ----------------------------------------------------------------------
 # the catalog
 
 def _maker_module():
@@ -544,6 +608,37 @@ def _build_sites() -> dict[str, ChaosSite]:
             _arm_budget,
             arm_with_db=True,
             evidence=_budget_evidence,
+        ),
+        ChaosSite(
+            "server-client-disconnect",
+            "client resets its connection mid-statement",
+            _arm_server_noop,
+            arm_with_db=True,
+            evidence=_server_stat_evidence("disconnects"),
+            server=True,
+        ),
+        ChaosSite(
+            "server-lock-timeout",
+            "a hung writer holds a relation latch past the wait budget",
+            _arm_latch_hijack,
+            arm_with_db=True,
+            evidence=_server_stat_evidence("lock_timeouts"),
+            server=True,
+        ),
+        ChaosSite(
+            "server-fsync-fail",
+            "fsync fails during group commit",
+            _arm_fsync_fail,
+            arm_with_db=True,
+            evidence=_server_event_evidence("wal_fsync_failed"),
+            server=True,
+        ),
+        ChaosSite(
+            "server-kill-mid-commit",
+            "server killed with a commit group half-written",
+            _arm_server_noop,
+            arm_with_db=True,
+            server=True,
         ),
     ]
     return {site.name: site for site in sites}

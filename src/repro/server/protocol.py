@@ -1,0 +1,172 @@
+"""Hive Gate wire protocol: newline-delimited JSON over TCP.
+
+One connection ↔ one :class:`~repro.server.core.Session`.  The client
+sends one request object per line::
+
+    {"sql": "SELECT ...", "timeout": 1.5}
+
+and receives one response line::
+
+    {"ok": true, "status": "SELECT 3", "columns": [...], "rows": [...]}
+    {"ok": false, "error": "QueryTimeout", "message": "..."}
+
+Errors are *statement* failures — the connection survives them; the
+session only ends when the client disconnects or the listener shuts
+down.  A client that disconnects mid-statement does not hurt anyone
+else: the handler thread finishes (or fails) the statement, counts a
+``disconnects``, closes the session, and exits.  The socket shell does
+no engine writes itself — every statement runs through
+``HiveServer.execute`` exactly like an in-process session.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.sql.session import SQLResult
+
+
+class RemoteStatementError(Exception):
+    """A statement failed on the server; ``kind`` is the server-side
+    exception type name."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def _encode_value(value):
+    # JSON has no tuple/bytes; rows are lists of scalars already.
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    return value
+
+
+class HiveListener:
+    """Threaded socket front-end: one daemon thread per connection."""
+
+    def __init__(self, server, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.server = server
+        self._sock = socket.create_server((host, port))
+        self.address = self._sock.getsockname()
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="hive-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener socket closed
+            thread = threading.Thread(
+                target=self._serve, args=(conn,),
+                name="hive-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        session = self.server.session()
+        try:
+            with conn, conn.makefile("r", encoding="utf-8") as reader:
+                for line in reader:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    response = self._respond(session, line)
+                    payload = (json.dumps(response) + "\n").encode()
+                    try:
+                        conn.sendall(payload)
+                    except OSError:
+                        # Client went away mid-statement: the statement
+                        # already completed server-side; just hang up.
+                        self.server.note_disconnect()
+                        return
+        except OSError:
+            self.server.note_disconnect()
+        finally:
+            session.close()
+
+    def _respond(self, session, line: str) -> dict:
+        try:
+            request = json.loads(line)
+            result = session.sql(
+                request["sql"], timeout=request.get("timeout")
+            )
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        return {
+            "ok": True,
+            "status": result.status,
+            "columns": result.columns,
+            "rows": [
+                [_encode_value(v) for v in row] for row in result.rows
+            ],
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+
+class HiveClient:
+    """Minimal blocking client for the line protocol."""
+
+    def __init__(self, address) -> None:
+        self._sock = socket.create_connection(address)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def sql(self, statement: str,
+            timeout: float | None = None) -> SQLResult:
+        request = {"sql": statement}
+        if timeout is not None:
+            request["timeout"] = timeout
+        self._sock.sendall((json.dumps(request) + "\n").encode())
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response["ok"]:
+            raise RemoteStatementError(
+                response["error"], response["message"]
+            )
+        return SQLResult(
+            response["status"],
+            [tuple(row) for row in response["rows"]],
+            response["columns"],
+        )
+
+    def close(self) -> None:
+        # The makefile reader holds a reference on the socket's fd;
+        # both must close before the server sees EOF.
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "HiveClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

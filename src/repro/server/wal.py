@@ -1,0 +1,183 @@
+"""Durable DML: a statement-level data WAL with group commit.
+
+The server logs every committed write statement (DML and DDL) to a
+:class:`DataWAL` — the same CRC-framed, COMMIT-marked, torn-tail-
+repairing format as the PR-5 bee-cache WAL (:class:`~repro.bees.walcache.WALFile`),
+extended with real ``os.fsync`` durability.  Records are *logical*:
+``{"op": "stmt", "seq": N, "session": S, "sql": ...}`` — replaying the
+SQL in sequence order on a fresh base reproduces the database, which is
+exactly what :func:`recover_database` does after a crash.
+
+**Group commit** (:class:`GroupCommitter`): concurrent committers
+enqueue their records under one condition variable; the first waiter
+elects itself leader, drains the whole queue, writes the batch plus a
+single COMMIT marker, and pays *one* fsync for every statement in the
+group.  Followers just wait for their ticket to be flushed.  This is
+the classic leader/follower protocol — fsync cost is amortized across
+whatever concurrency the moment offers, and a crash between groups
+loses only un-fsynced statements, never tears a committed one.
+
+An fsync failure poisons the committer: the current group's committers
+see :class:`WALSyncError`, and the server degrades durability (keeps
+serving, stops logging) rather than pretending the disk still promises
+anything.  The on-disk file remains a valid committed prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.bees.walcache import WALFile, _encode_record
+
+
+class WALSyncError(Exception):
+    """The group leader's write or fsync failed; durability is gone."""
+
+
+class DataWAL(WALFile):
+    """The server's statement log: fsync-durable :class:`WALFile`.
+
+    ``_chaos_fsync_fail`` is the chaos harness's one-shot hook: when
+    positive, that many upcoming fsyncs raise ``OSError`` (armed only by
+    the resilience server lane, under ``wal_lock``).
+    """
+
+    def __init__(self, path: str | Path, registry=None) -> None:
+        super().__init__(path, registry)
+        self._chaos_fsync_fail = 0
+        self.fsyncs = 0
+
+    @staticmethod
+    def statement_record(seq: int, session: int, sql: str) -> dict:
+        return {"op": "stmt", "seq": seq, "session": session, "sql": sql}
+
+    def _sync(self, handle) -> None:
+        if self._chaos_fsync_fail > 0:
+            self._chaos_fsync_fail -= 1
+            raise OSError("chaos: fsync failed")
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
+
+    def append_group(self, records: list[dict]) -> None:
+        """Write *records* + COMMIT in one append, sealed by one fsync."""
+        self._append_group([_encode_record(record) for record in records])
+
+    def committed_statements(self) -> list[dict]:
+        """Committed ``stmt`` records in sequence order."""
+        records = [
+            record for record in self.committed_records()
+            if record.get("op") == "stmt"
+        ]
+        records.sort(key=lambda record: record["seq"])
+        return records
+
+
+class GroupCommitter:
+    """Leader/follower fsync batching over a :class:`DataWAL`.
+
+    ``commit(record)`` blocks until *record* is on disk (or raises
+    :class:`WALSyncError`).  All bookkeeping fields are guarded by
+    *lock* — the database's materialized ``wal_lock`` — which also
+    backs the condition variable, so the swarmcheck registry's
+    ``wal_lock`` guard is literally the lock these writes happen under.
+    The leader performs the file write *outside* the lock (followers
+    must be able to enqueue into the next group meanwhile); mutual
+    exclusion of writers is the leadership flag itself.
+    """
+
+    def __init__(self, wal: DataWAL, lock=None) -> None:
+        self.wal = wal
+        self._cond = threading.Condition(lock or threading.RLock())
+        self._pending: list[dict] = []
+        self._ticket = 0
+        self._flushed = 0        # highest ticket whose group was attempted
+        self._flushed_ok = 0     # highest ticket actually on disk
+        self._leader = False
+        self._broken: Exception | None = None
+        self.batches = 0
+        self.records_logged = 0
+        self.max_batch = 0
+
+    def commit(self, record: dict) -> None:
+        with self._cond:
+            if self._broken is not None:
+                raise WALSyncError("data WAL is broken") from self._broken
+            self._ticket += 1
+            ticket = self._ticket
+            self._pending.append(record)
+            while self._flushed < ticket and self._leader:
+                self._cond.wait()
+            if self._flushed >= ticket:
+                if ticket <= self._flushed_ok:
+                    return
+                raise WALSyncError(
+                    "group fsync failed"
+                ) from self._broken
+            self._leader = True
+        self._lead(ticket)
+
+    def _lead(self, ticket: int) -> None:
+        """Leadership loop: flush groups until the queue drains."""
+        failed: Exception | None = None
+        while True:
+            with self._cond:
+                batch = self._pending
+                high = self._ticket
+                self._pending = []
+                if not batch:
+                    self._leader = False
+                    self._cond.notify_all()
+                    if failed is not None or self._broken is not None:
+                        raise WALSyncError(
+                            "group fsync failed"
+                        ) from (failed or self._broken)
+                    return
+            error: Exception | None = None
+            try:
+                self.wal.append_group(batch)
+            except OSError as exc:
+                error = exc
+            with self._cond:
+                self._flushed = high
+                if error is None:
+                    self._flushed_ok = high
+                    self.batches += 1
+                    self.records_logged += len(batch)
+                    self.max_batch = max(self.max_batch, len(batch))
+                else:
+                    self._broken = error
+                    failed = error
+                self._cond.notify_all()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "batches": self.batches,
+                "fsyncs": self.wal.fsyncs,
+                "records": self.records_logged,
+                "max_batch": self.max_batch,
+                "broken": self._broken is not None,
+            }
+
+
+def recover_database(wal_path: str | Path, base_factory):
+    """Rebuild a database after a crash: base + committed WAL replay.
+
+    *base_factory* returns a fresh database in the pre-crash *loaded*
+    state (the base backup: schema + bulk-loaded data that predate the
+    WAL).  The WAL is opened — repairing any torn tail, with the
+    truncation logged to the database's resilience registry — and every
+    committed statement is re-executed in sequence order.  Returns
+    ``(db, applied)``.
+    """
+    from repro.sql.session import execute_sql
+
+    db = base_factory()
+    wal = DataWAL(wal_path, registry=db.resilience)
+    applied = 0
+    for record in wal.committed_statements():
+        execute_sql(db, record["sql"])
+        applied += 1
+    return db, applied

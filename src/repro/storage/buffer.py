@@ -9,6 +9,7 @@ relations shrunk by tuple bees read fewer pages and win on I/O.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.cost.ledger import Ledger
@@ -17,48 +18,61 @@ DEFAULT_CAPACITY_PAGES = 16384  # 128 MB of 8KB pages
 
 
 class BufferPool:
-    """Tracks which ``(relation, pageno)`` pages are resident, LRU-evicted."""
+    """Tracks which ``(relation, pageno)`` pages are resident, LRU-evicted.
+
+    LRU maintenance is a compound check-then-act over an ``OrderedDict``
+    (membership test, ``move_to_end``, eviction ``popitem``), so every
+    public method runs under *lock* — the database's materialized
+    ``buffer_lock`` guard from the swarmcheck registry.  Single-session
+    use never contends; the server's concurrent readers do.
+    """
 
     def __init__(
-        self, ledger: Ledger, capacity_pages: int = DEFAULT_CAPACITY_PAGES
+        self, ledger: Ledger, capacity_pages: int = DEFAULT_CAPACITY_PAGES,
+        lock=None,
     ) -> None:
         if capacity_pages < 1:
             raise ValueError("buffer pool needs capacity of at least one page")
         self.ledger = ledger
         self.capacity_pages = capacity_pages
+        self._lock = lock if lock is not None else threading.RLock()
         self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
 
     def access(self, relation: str, pageno: int, sequential: bool = True) -> bool:
         """Record an access; returns True on hit, False on (charged) miss."""
         key = (relation, pageno)
-        resident = self._resident
-        if key in resident:
-            resident.move_to_end(key)
-            self.ledger.hit_page()
-            return True
-        self.ledger.read_page(sequential=sequential)
-        resident[key] = None
-        if len(resident) > self.capacity_pages:
-            resident.popitem(last=False)
-        return False
+        with self._lock:
+            resident = self._resident
+            if key in resident:
+                resident.move_to_end(key)
+                self.ledger.hit_page()
+                return True
+            self.ledger.read_page(sequential=sequential)
+            resident[key] = None
+            if len(resident) > self.capacity_pages:
+                resident.popitem(last=False)
+            return False
 
     def install(self, relation: str, pageno: int) -> None:
         """Make a page resident without charging I/O (e.g. a fresh page)."""
         key = (relation, pageno)
-        self._resident[key] = None
-        self._resident.move_to_end(key)
-        if len(self._resident) > self.capacity_pages:
-            self._resident.popitem(last=False)
+        with self._lock:
+            self._resident[key] = None
+            self._resident.move_to_end(key)
+            if len(self._resident) > self.capacity_pages:
+                self._resident.popitem(last=False)
 
     def invalidate_relation(self, relation: str) -> None:
         """Drop every resident page of *relation* (relation dropped)."""
-        stale = [key for key in self._resident if key[0] == relation]
-        for key in stale:
-            del self._resident[key]
+        with self._lock:
+            stale = [key for key in self._resident if key[0] == relation]
+            for key in stale:
+                del self._resident[key]
 
     def clear(self) -> None:
         """Empty the pool — the cold-cache starting state."""
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     def warm(self, relation: str, page_count: int) -> None:
         """Mark pages ``0..page_count-1`` of *relation* resident (no I/O)."""
@@ -68,4 +82,5 @@ class BufferPool:
     @property
     def resident_pages(self) -> int:
         """Number of currently resident pages."""
-        return len(self._resident)
+        with self._lock:
+            return len(self._resident)

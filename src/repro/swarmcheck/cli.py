@@ -1,11 +1,13 @@
 """``python -m repro.swarmcheck`` — certify the hive for sharing.
 
-Runs the three passes (purity over the routine corpus, shared-state
+Runs the four passes (purity over the routine corpus, shared-state
 classification over everything reachable from the session surface,
-escape analysis for cached chunk arrays) plus the bug-injection
-self-test, and writes ``results/swarmcheck/report.json``.  With
-``--check``, exits non-zero on any finding or missed injection — the CI
-gate the morsel-parallel work will stand on.
+escape analysis for cached chunk arrays, and lock materialization —
+every declared guard resolves to a live lock that guarded writes hold)
+plus the bug-injection self-test, and writes
+``results/swarmcheck/report.json``.  With ``--check``, exits non-zero
+on any finding or missed injection — the CI gate the morsel-parallel
+tier and the Hive Gate server stand on.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.analysis import add_standard_args, exit_code, write_report as _write
 from repro.hiveaudit.source import EngineSource
 from repro.swarmcheck import corpus as corpus_mod
 from repro.swarmcheck import escape as escape_mod
+from repro.swarmcheck import locks as locks_mod
 from repro.swarmcheck import purity as purity_mod
 from repro.swarmcheck import registry as registry_mod
 from repro.swarmcheck import selftest as selftest_mod
@@ -57,6 +60,10 @@ def run_swarmcheck(
     findings, escape_stats = escape_mod.run_escape(source, corpus)
     report.findings.extend(findings)
     report.escape = escape_stats
+
+    findings, locks_stats = locks_mod.run_locks(source)
+    report.findings.extend(findings)
+    report.locks = locks_stats
 
     if with_selftest:
         report.selftest = selftest_mod.run_selftest(source, corpus)

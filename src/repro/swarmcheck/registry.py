@@ -219,6 +219,74 @@ REGISTRY: tuple[SharedState, ...] = (
     _shared("ParallelStats", "degradations", "parallel_lock", "-"),
     _shared("ParallelStats", "bypassed", "parallel_lock", "-"),
 
+    # -- server: sessions, admission, schedule, data WAL ---------------------
+    # The Hive Gate server (PR 10) is what finally *takes* the guards
+    # declared above: ``repro.server.locks.HiveLocks`` materializes every
+    # guard name into a live lock, and the ``locks`` pass certifies the
+    # resolution in both directions.  ``session`` remains the
+    # session-confinement pseudo-guard; ``latch-internal`` marks fields
+    # mutated under the latch's own condition-variable lock.
+    _shared("Database", "_server", "session", "-",
+            "attached HiveServer handle; wired at server construction, "
+            "cleared by close() — only the owning thread does either"),
+    _shared("Session", "closed", "server_lock", "-",
+            "set by HiveServer._close_session under server_lock"),
+    _shared("Session", "statements", "session", "-",
+            "per-session statement count; a session is used by one "
+            "thread at a time"),
+    _shared("Session", "_last_versions", "session", "-",
+            "relation -> (heap uid, version) snapshot-monotonicity pins"),
+    _shared("HiveServer", "_seq", "server_lock", "-",
+            "global statement sequence, assigned after latch grant"),
+    _shared("HiveServer", "_waiting", "server_lock", "-"),
+    _shared("HiveServer", "_executing", "server_lock", "-"),
+    _shared("HiveServer", "_closed", "server_lock", "-"),
+    _shared("HiveServer", "_durable", "server_lock", "-",
+            "flips to False when a group fsync fails (degraded mode)"),
+    _shared("HiveServer", "_sessions", "server_lock", "-"),
+    _shared("HiveServer", "_next_session_id", "server_lock", "-"),
+    _shared("HiveServer", "schedule", "server_lock", "-",
+            "ScheduleEntry list the serialized oracle replays"),
+    _shared("ServerStats", "sessions_opened", "server_lock", "-"),
+    _shared("ServerStats", "sessions_closed", "server_lock", "-"),
+    _shared("ServerStats", "statements", "server_lock", "-"),
+    _shared("ServerStats", "reads", "server_lock", "-"),
+    _shared("ServerStats", "writes", "server_lock", "-"),
+    _shared("ServerStats", "ddl", "server_lock", "-"),
+    _shared("ServerStats", "errors", "server_lock", "-"),
+    _shared("ServerStats", "timeouts", "server_lock", "-"),
+    _shared("ServerStats", "lock_timeouts", "server_lock", "-"),
+    _shared("ServerStats", "snapshot_violations", "server_lock", "-"),
+    _shared("ServerStats", "refused", "server_lock", "-"),
+    _shared("ServerStats", "sheds", "server_lock", "-"),
+    _shared("ServerStats", "disconnects", "server_lock", "-"),
+    _shared("ServerStats", "wal_failures", "server_lock", "-"),
+    _shared("ServerStats", "queue_high_water", "server_lock", "-"),
+    _shared("GroupCommitter", "_pending", "wal_lock", "-",
+            "the forming group; wal_lock backs the condition variable"),
+    _shared("GroupCommitter", "_ticket", "wal_lock", "-"),
+    _shared("GroupCommitter", "_flushed", "wal_lock", "-",
+            "highest ticket whose group flush was attempted"),
+    _shared("GroupCommitter", "_flushed_ok", "wal_lock", "-",
+            "highest ticket actually durable on disk"),
+    _shared("GroupCommitter", "_leader", "wal_lock", "-"),
+    _shared("GroupCommitter", "_broken", "wal_lock", "-",
+            "poison: the exception that ended durability"),
+    _shared("GroupCommitter", "batches", "wal_lock", "-"),
+    _shared("GroupCommitter", "records_logged", "wal_lock", "-"),
+    _shared("GroupCommitter", "max_batch", "wal_lock", "-"),
+    _shared("DataWAL", "_chaos_fsync_fail", "group-leader", "-",
+            "one-shot chaos hook: fail the next N fsyncs; armed before "
+            "the run, consumed inside the leader's flush"),
+    _shared("DataWAL", "fsyncs", "group-leader", "-",
+            "bumped inside the leader's flush, which runs the file "
+            "write outside wal_lock — leadership is the exclusion"),
+    _shared("RWLatch", "_readers", "latch-internal", "-"),
+    _shared("RWLatch", "_writer", "latch-internal", "-"),
+    _shared("RWLatch", "_writers_waiting", "latch-internal", "-"),
+    _shared("RelationLatches", "_latches", "latch-internal", "-",
+            "name -> RWLatch, populated under the manager's own guard"),
+
     _shared("*", "epoch", "hive_lock", "GenericBeeModule.query_epoch",
             "query-epoch stamp written onto routines at memo time"),
 )

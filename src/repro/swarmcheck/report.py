@@ -1,13 +1,15 @@
 """Swarmcheck findings and the sharing-certification report.
 
 A *finding* is one violated sharing-safety property, attributed to the
-pass that proved it (``purity``, ``shared-state``, ``escape``).  The
-:class:`SwarmReport` aggregates the three passes plus the injection
-self-test into the machine-readable JSON written under
-``results/swarmcheck/`` — the contract the morsel-parallel PR consumes:
-a bee corpus proven pure, a closed registry of shared-mutable state
-(each entry naming its guard and invalidation epoch), and chunk arrays
-proven immutable after caching.
+pass that proved it (``purity``, ``shared-state``, ``escape``,
+``locks``).  The :class:`SwarmReport` aggregates the four passes plus
+the injection self-test into the machine-readable JSON written under
+``results/swarmcheck/`` — the contract the morsel-parallel and server
+work consume: a bee corpus proven pure, a closed registry of
+shared-mutable state (each entry naming its guard and invalidation
+epoch), chunk arrays proven immutable after caching, and — since the
+Hive Gate server — every declared guard materialized as a live lock
+that guarded writes actually hold.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Pass names, in the order the CLI runs them.
-PASSES = ("purity", "shared-state", "escape")
+PASSES = ("purity", "shared-state", "escape", "locks")
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,7 @@ class SwarmReport:
     shared_state: list = field(default_factory=list)  # registry entry dicts
     unused_registry: list = field(default_factory=list)  # "Class.attr"
     escape: dict = field(default_factory=dict)  # scanned/kernels/frozen
+    locks: dict = field(default_factory=dict)   # guards/writes/latch sites
     selftest: dict = field(default_factory=dict)  # case -> caught
     elapsed: float = 0.0
 
@@ -80,6 +83,7 @@ class SwarmReport:
             "shared_state": list(self.shared_state),
             "unused_registry": list(self.unused_registry),
             "escape": dict(self.escape),
+            "locks": dict(self.locks),
             "findings_by_pass": self.by_pass(),
             "findings": [finding.to_dict() for finding in self.findings],
             "selftest": dict(self.selftest),
@@ -107,6 +111,16 @@ class SwarmReport:
                 f"{self.escape.get('modules_scanned', 0)} modules, "
                 f"{self.escape.get('kernels_checked', 0)} kernels, "
                 f"{self.escape.get('arrays_frozen', 0)} cached arrays frozen"
+            )
+        if self.locks:
+            lines.append(
+                "locks: "
+                f"{len(self.locks.get('materialized', []))} guards "
+                "materialized, "
+                f"{self.locks.get('guarded_writes_checked', 0)} guarded "
+                "writes checked, "
+                f"{self.locks.get('latched_run_sites', 0)} latched "
+                "execution sites"
             )
         if self.selftest:
             verdicts = ", ".join(

@@ -1,12 +1,14 @@
 """Bug-injection self-test: prove each pass catches its bug class.
 
-Ten seeded violations — impure bees (scope escape, mutable capture,
-parameter mutation, rogue call), unregistered shared-state writes (a
-new engine field, a registry gap, a module-level global), and chunk
-escapes (kernel store, engine-module mutation, a writable cached
-array).  Each case must produce at least one finding from the right
-pass; a silently-passing analyzer is worse than none, so every MISSED
-case fails the whole run.
+Thirteen seeded violations — impure bees (scope escape, mutable
+capture, parameter mutation, rogue call), unregistered shared-state
+writes (a new engine field, a registry gap, a module-level global),
+chunk escapes (kernel store, engine-module mutation, a writable cached
+array), and lock violations (a phantom guard with no lock behind it, a
+guarded write moved outside its lock, a group commit whose sync hook
+was severed).  Each case must produce at least one finding from the
+right pass; a silently-passing analyzer is worse than none, so every
+MISSED case fails the whole run.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.swarmcheck import escape as esc
+from repro.swarmcheck import locks as lck
 from repro.swarmcheck import purity as pur
 from repro.swarmcheck import registry as reg
 from repro.swarmcheck import sharedstate as shared
@@ -152,5 +155,37 @@ def run_selftest(source, corpus) -> dict[str, bool]:
     results["escape-writable-chunk"] = arrays > 0 and _caught(
         findings, "escape"
     )
+
+    # -- locks -------------------------------------------------------------
+    # A registry entry naming a guard nobody materialized.
+    phantom = reg.REGISTRY + (
+        reg.SharedState(
+            "HiveServer", "_phantom", reg.SHARED, "phantom_lock", "-"
+        ),
+    )
+    findings, _stats = lck.run_locks(source, registry=phantom)
+    results["locks-missing-guard"] = _caught(findings, "locks")
+
+    # A server_lock-guarded write hoisted out of its lock.
+    text = source.text("server/core.py").replace(
+        "        with self.locks.server_lock:\n"
+        "            self.stats.disconnects += 1",
+        "        self.stats.disconnects += 1",
+        1,
+    )
+    assert text != source.text("server/core.py")
+    patched = type(source)(overrides={"server/core.py": text})
+    findings, _stats = lck.run_locks(patched)
+    results["locks-unguarded-write"] = _caught(findings, "locks")
+
+    # A group commit whose durability hook was severed: the COMMIT
+    # marker would land in the OS cache and call itself durable.
+    text = source.text("bees/walcache.py").replace(
+        "            self._sync(handle)", "            pass", 1,
+    )
+    assert text != source.text("bees/walcache.py")
+    patched = type(source)(overrides={"bees/walcache.py": text})
+    findings, _stats = lck.run_locks(patched)
+    results["locks-unsynced-commit"] = _caught(findings, "locks")
 
     return results

@@ -100,6 +100,14 @@ EXEC_MODULES: tuple[str, ...] = (
     "storage/layout.py",
     "storage/index.py",
     "storage/page.py",
+    # Hive Gate server core: admission, latching, sequencing, data WAL.
+    # protocol.py stays out deliberately — the socket shell does no
+    # engine writes (its one counter goes through
+    # HiveServer.note_disconnect) and its conn/reader state is
+    # connection-thread private.
+    "server/locks.py",
+    "server/wal.py",
+    "server/core.py",
 )
 
 #: The session-facing mutation surface: everything a SQL session can
@@ -109,8 +117,16 @@ EXEC_MODULES: tuple[str, ...] = (
 ENTRY_POINTS = (
     "Database.sql",
     "Database.reannotate",
+    "Database.close",
     "FunctionProfile.__enter__",
     "FunctionProfile.__exit__",
+    # The server surface: everything a connected client can trigger.
+    "Session.sql",
+    "Session.close",
+    "HiveServer.session",
+    "HiveServer.shutdown",
+    "HiveServer.note_disconnect",
+    "HiveServer.stats_snapshot",
 )
 
 #: Modules whose classes are statement-scoped: instances are rebuilt
@@ -198,6 +214,10 @@ OWNED: dict[str, frozenset] = {
     # arrays: it runs once, at ChunkCache insertion, before the chunk is
     # published (the escape pass proves nothing writes afterwards).
     "freeze_chunk": frozenset({"arr", "mask"}),
+    # The statement classifier's accumulator set: created fresh in
+    # referenced_tables for every parse, filled recursively, never
+    # escapes the call.
+    "_collect_tables": frozenset({"names"}),
 }
 
 

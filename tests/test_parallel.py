@@ -35,11 +35,10 @@ SCALE_FACTOR = 0.002
 @pytest.fixture(scope="module")
 def tpch():
     rows = generate_rows(TPCHGenerator(SCALE_FACTOR, 0))
-    db = build_tpch_database(
+    with build_tpch_database(
         BeeSettings.parallelized(), rows=rows, parallel_workers=2
-    )
-    yield db
-    db.close()
+    ) as db:
+        yield db
 
 
 def _serial(db):

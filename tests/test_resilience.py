@@ -303,6 +303,37 @@ class TestTornWAL:
         assert lane["truncations"] == 4
 
 
+class TestServerLane:
+    def test_server_sites_are_catalogued(self):
+        server_sites = {name for name, s in SITES.items() if s.server}
+        assert server_sites == {
+            "server-client-disconnect", "server-lock-timeout",
+            "server-fsync-fail", "server-kill-mid-commit",
+        }
+
+    def test_kill_mid_commit_recovers_prefix_state(self):
+        from repro.resilience.serverlane import _lane_kill_mid_commit
+
+        lane = _lane_kill_mid_commit(seed=3)
+        assert lane["ok"], lane["failures"]
+        assert lane["truncations"] > 0
+
+    def test_fsync_failure_degrades_not_corrupts(self):
+        from repro.resilience.serverlane import _lane_fsync_fail
+
+        lane = _lane_fsync_fail(seed=3)
+        assert lane["ok"], lane["failures"]
+        assert lane["wal_failures"] == 1
+
+    def test_unlatched_selftest_sees_torn_reads(self):
+        from repro.resilience.serverlane import run_unlatched_selftest
+
+        verdict = run_unlatched_selftest()
+        assert verdict["caught"], verdict
+        assert verdict["mismatches"]
+        assert verdict["latched_detections"] == []
+
+
 @pytest.fixture(scope="module")
 def tiny_tpch():
     from repro.workloads.tpch.dbgen import TPCHGenerator

@@ -13,6 +13,7 @@ from repro.db import Database
 from repro.hiveaudit.source import EngineSource
 from repro.swarmcheck import REGISTRY, SHARED
 from repro.swarmcheck import escape as escape_mod
+from repro.swarmcheck import locks as locks_mod
 from repro.swarmcheck import purity as purity_mod
 from repro.swarmcheck import registry as registry_mod
 from repro.swarmcheck import sharedstate as shared_mod
@@ -231,10 +232,60 @@ class TestEscape:
         assert findings == []
 
 
+class TestLocks:
+    """Pass 4: the guard registry is materialized and honoured."""
+
+    def test_locks_pass_is_clean(self, source):
+        findings, stats = locks_mod.run_locks(source)
+        assert findings == []
+        # One latched _run_statement site per statement class.
+        assert stats["latched_run_sites"] == 3
+        assert stats["guarded_writes_checked"] > 0
+
+    def test_every_declared_guard_is_materialized(self, source):
+        _findings, stats = locks_mod.run_locks(source)
+        assert set(stats["declared_guards"]) == set(stats["materialized"])
+
+    def test_phantom_guard_is_a_finding(self, source):
+        phantom = REGISTRY + (
+            registry_mod.SharedState(
+                "HiveServer", "_ghost", SHARED, "ghost_lock", "-"
+            ),
+        )
+        findings, _stats = locks_mod.run_locks(source, registry=phantom)
+        assert any(f.subject == "ghost_lock" for f in findings)
+
+    def test_unguarded_write_is_a_finding(self, source):
+        text = source.text("server/core.py").replace(
+            "        with self.locks.server_lock:\n"
+            "            self.stats.disconnects += 1",
+            "        self.stats.disconnects += 1",
+            1,
+        )
+        patched = type(source)(overrides={"server/core.py": text})
+        findings, _stats = locks_mod.run_locks(patched)
+        assert any(
+            f.subject == "ServerStats.disconnects" for f in findings
+        )
+
+    def test_unlatched_run_statement_is_a_finding(self, source):
+        text = source.text("server/core.py").replace(
+            "        with self.locks.catalog_lock.write(self.lock_timeout):\n"
+            "            seq = self._next_seq()",
+            "        if True:\n"
+            "            seq = self._next_seq()",
+            1,
+        )
+        assert text != source.text("server/core.py")
+        patched = type(source)(overrides={"server/core.py": text})
+        findings, _stats = locks_mod.run_locks(patched)
+        assert any("catalog latch" in f.detail for f in findings)
+
+
 class TestSelftest:
     def test_every_injection_is_caught(self, source, corpus):
         results = run_selftest(source, corpus)
-        assert len(results) >= 8
+        assert len(results) >= 13
         missed = [case for case, ok in results.items() if not ok]
         assert not missed, f"injections missed: {missed}"
 
